@@ -1,0 +1,228 @@
+// Command dpalloc allocates a datapath for a multiple-wordlength
+// sequencing graph read as JSON from a file or stdin.
+//
+// Usage:
+//
+//	tgff -n 9 | dpalloc -relax 0.15
+//	dpalloc -in graph.json -lambda 20 -method twostage
+//	dpalloc -in graph.json -relax 0.3 -method all
+//
+// Methods: heuristic (Algorithm DPAlloc, default), twostage [4],
+// descend [14], optimal (exhaustive, small graphs only), ilp [5], all.
+// Fixed resource limits (the paper's N_y) are set with e.g.
+// -limits mul=2,add=1; the default is the automatic minimal-resource
+// search.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	mwl "repro"
+	"repro/internal/dfg"
+	"repro/internal/fxsim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dpalloc: ")
+	var (
+		in       = flag.String("in", "-", "input graph JSON file (- for stdin)")
+		lambda   = flag.Int("lambda", 0, "latency constraint in cycles (overrides -relax)")
+		relax    = flag.Float64("relax", 0, "latency relaxation over λ_min, e.g. 0.15 for +15%")
+		method   = flag.String("method", "heuristic", "heuristic | twostage | descend | optimal | ilp | all")
+		limits   = flag.String("limits", "", "fixed resource limits, e.g. mul=2,add=1")
+		ilpLimit = flag.Duration("ilptimeout", mwl.DefaultILPTimeLimit, "ILP time limit")
+		quiet    = flag.Bool("q", false, "print only area and latency")
+		verilog  = flag.String("verilog", "", "write generated Verilog for the first method's datapath to this file (- for stdout)")
+		regs     = flag.Bool("registers", false, "also report register/mux completion (full-datapath area)")
+		jsonOut  = flag.String("json", "", "write the first method's datapath as JSON to this file (- for stdout)")
+		vcdOut   = flag.String("vcd", "", "simulate the first method's datapath (zero inputs) and write a VCD waveform to this file")
+	)
+	flag.Parse()
+
+	g, err := readGraph(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lib := mwl.DefaultLibrary()
+	lmin, err := mwl.MinLambda(g, lib)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lam := *lambda
+	if lam == 0 {
+		lam = lmin + int(float64(lmin)**relax+0.5)
+	}
+	fmt.Printf("graph: %d operations, λ_min = %d, λ = %d\n", g.N(), lmin, lam)
+
+	opt := mwl.Options{}
+	if *limits != "" {
+		l, err := parseLimits(*limits)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt.Limits = l
+	}
+
+	artifactsDone := false
+	run := func(name string, f func() (*mwl.Datapath, error)) {
+		t0 := time.Now()
+		dp, err := f()
+		el := time.Since(t0)
+		if err != nil {
+			fmt.Printf("%-10s error: %v\n", name, err)
+			return
+		}
+		if err := dp.Verify(g, lib, lam); err != nil {
+			log.Fatalf("%s produced an illegal datapath: %v", name, err)
+		}
+		if *quiet {
+			fmt.Printf("%-10s area %6d  latency %3d  (%v)\n", name, dp.Area(lib), dp.Makespan(lib), el.Round(time.Millisecond))
+		} else {
+			fmt.Printf("\n--- %s (%v) ---\n%s", name, el.Round(time.Millisecond), dp.Render(g, lib))
+		}
+		if *regs {
+			plan, err := mwl.AllocateRegisters(g, lib, dp, mwl.RegisterOptions{})
+			if err != nil {
+				log.Fatalf("%s: register completion: %v", name, err)
+			}
+			fmt.Printf("%-10s full datapath: FU %d + reg %d (%d regs) + mux %d = %d\n",
+				name, plan.FUArea, plan.RegArea, len(plan.Registers), plan.MuxArea, plan.TotalArea())
+		}
+		if *verilog != "" && !artifactsDone {
+			src, err := mwl.GenerateVerilog("datapath", g, lib, dp)
+			if err != nil {
+				log.Fatalf("%s: verilog: %v", name, err)
+			}
+			if *verilog == "-" {
+				fmt.Print(src)
+			} else if err := os.WriteFile(*verilog, []byte(src), 0o644); err != nil {
+				log.Fatal(err)
+			} else {
+				fmt.Printf("%-10s verilog written to %s\n", name, *verilog)
+			}
+		}
+		if *jsonOut != "" && !artifactsDone {
+			blob, err := json.MarshalIndent(dp, "", "  ")
+			if err != nil {
+				log.Fatal(err)
+			}
+			blob = append(blob, '\n')
+			if *jsonOut == "-" {
+				os.Stdout.Write(blob)
+			} else if err := os.WriteFile(*jsonOut, blob, 0o644); err != nil {
+				log.Fatal(err)
+			} else {
+				fmt.Printf("%-10s datapath JSON written to %s\n", name, *jsonOut)
+			}
+		}
+		if *vcdOut != "" && !artifactsDone {
+			_, traces, err := fxsim.Run(g, lib, dp, fxsim.Inputs{})
+			if err != nil {
+				log.Fatalf("%s: simulate: %v", name, err)
+			}
+			f, err := os.Create(*vcdOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := fxsim.WriteVCD(f, g, lib, dp, traces); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-10s waveform written to %s\n", name, *vcdOut)
+		}
+		artifactsDone = true
+	}
+
+	methods := strings.Split(*method, ",")
+	if *method == "all" {
+		methods = []string{"heuristic", "twostage", "descend", "optimal", "ilp"}
+	}
+	for _, m := range methods {
+		switch m {
+		case "heuristic":
+			run("heuristic", func() (*mwl.Datapath, error) {
+				dp, _, err := mwl.Allocate(g, lib, lam, opt)
+				return dp, err
+			})
+		case "twostage":
+			run("twostage", func() (*mwl.Datapath, error) { return mwl.AllocateTwoStage(g, lib, lam) })
+		case "descend":
+			run("descend", func() (*mwl.Datapath, error) { return mwl.AllocateDescending(g, lib, lam) })
+		case "optimal":
+			if g.N() > mwl.MaxOptimalOps {
+				fmt.Printf("%-10s skipped: %d operations exceed the exhaustive-search limit %d\n",
+					"optimal", g.N(), mwl.MaxOptimalOps)
+				continue
+			}
+			run("optimal", func() (*mwl.Datapath, error) { return mwl.AllocateOptimal(g, lib, lam) })
+		case "ilp":
+			run("ilp", func() (*mwl.Datapath, error) {
+				h, _, err := mwl.Allocate(g, lib, lam, mwl.Options{})
+				if err != nil {
+					return nil, err
+				}
+				r, err := mwl.SolveILP(g, lib, lam, mwl.ILPOptions{TimeLimit: *ilpLimit, Incumbent: h})
+				if err != nil {
+					return nil, err
+				}
+				if r.TimedOut {
+					fmt.Printf("ilp: time limit hit after %d nodes; best found follows\n", r.Nodes)
+				}
+				return r.DP, nil
+			})
+		default:
+			log.Fatalf("unknown method %q", m)
+		}
+	}
+}
+
+func readGraph(path string) (*dfg.Graph, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	var g dfg.Graph
+	if err := json.NewDecoder(r).Decode(&g); err != nil {
+		return nil, fmt.Errorf("reading graph: %w", err)
+	}
+	return &g, nil
+}
+
+func parseLimits(s string) (mwl.Limits, error) {
+	out := mwl.Limits{}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad limit %q (want class=count)", part)
+		}
+		n, err := strconv.Atoi(kv[1])
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad limit count %q", kv[1])
+		}
+		switch strings.TrimSpace(kv[0]) {
+		case "mul":
+			out[mwl.Mul] = n
+		case "add":
+			out[mwl.Add] = n
+		default:
+			return nil, fmt.Errorf("unknown resource class %q (mul or add)", kv[0])
+		}
+	}
+	return out, nil
+}

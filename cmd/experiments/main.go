@@ -1,0 +1,165 @@
+// Command experiments regenerates the paper's evaluation: Fig. 3, Fig. 4,
+// Fig. 5 and Table 2 (see DESIGN.md §4 for the per-experiment index).
+//
+// The default configuration is a scaled-down sweep that completes in
+// minutes; -paper runs the full published configuration (200 graphs per
+// point, sizes 1..24, ILP capped at 30 minutes per instance), which can
+// take many hours exactly as it did for the authors.
+//
+// Usage:
+//
+//	experiments                 # all experiments, scaled down
+//	experiments -fig 3          # one experiment
+//	experiments -fig 5 -graphs 50 -sizes 1,2,3,4,5,6,7,8
+//	experiments -table 2 -ilplimit 2m
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/expt"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		fig      = flag.Int("fig", 0, "figure to regenerate (3, 4 or 5); 0 = all")
+		table    = flag.Int("table", 0, "table to regenerate (2); 0 = all")
+		graphs   = flag.Int("graphs", 0, "graphs per configuration (0 = per-experiment default)")
+		seed     = flag.Int64("seed", 2001, "base RNG seed")
+		sizesF   = flag.String("sizes", "", "comma-separated problem sizes (default per experiment)")
+		ilpLimit = flag.Duration("ilplimit", 30*time.Second, "per-instance ILP time limit")
+		paper    = flag.Bool("paper", false, "full published configuration (slow: hours)")
+		csvDir   = flag.String("csv", "", "also write <dir>/fig3.csv etc. for external plotting")
+		fullArea = flag.Bool("fullarea", false, "score Fig. 3 on full RTL area (FU + registers + muxes)")
+	)
+	flag.Parse()
+
+	writeCSV := func(name string, emit func(io.Writer) error) {
+		if *csvDir == "" {
+			return
+		}
+		path := filepath.Join(*csvDir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := emit(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("(csv written to %s)\n", path)
+	}
+
+	all := *fig == 0 && *table == 0
+	cfg := expt.Config{Seed: *seed}
+
+	pick := func(def int) int {
+		if *graphs > 0 {
+			return *graphs
+		}
+		if *paper {
+			return 200
+		}
+		return def
+	}
+	sizes := func(def []int) []int {
+		if *sizesF != "" {
+			return parseInts(*sizesF)
+		}
+		return def
+	}
+
+	if all || *fig == 3 {
+		cfg.Graphs = pick(25)
+		cfg.FullArea = *fullArea
+		szs := sizes(pick3Sizes(*paper))
+		relaxes := []float64{0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30}
+		scoring := "FU area (paper model)"
+		if *fullArea {
+			scoring = "full RTL area (FU+reg+mux)"
+		}
+		fmt.Printf("# Fig. 3 — %d graphs/point, sizes %v, %s\n", cfg.Graphs, szs, scoring)
+		pts, err := expt.Fig3(cfg, szs, relaxes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		expt.WriteFig3(os.Stdout, pts)
+		writeCSV("fig3.csv", func(w io.Writer) error { return expt.WriteFig3CSV(w, pts) })
+		fmt.Println()
+	}
+	if all || *fig == 4 {
+		cfg.Graphs = pick(25)
+		szs := sizes([]int{1, 2, 3, 4, 5, 6, 7, 8})
+		fmt.Printf("# Fig. 4 — %d graphs/point, sizes %v, λ = λ_min\n", cfg.Graphs, szs)
+		pts, err := expt.Fig4(cfg, szs, 50_000_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		expt.WriteFig4(os.Stdout, pts)
+		writeCSV("fig4.csv", func(w io.Writer) error { return expt.WriteFig4CSV(w, pts) })
+		fmt.Println()
+	}
+	if all || *fig == 5 {
+		cfg.Graphs = pick(25)
+		szs := sizes([]int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+		fmt.Printf("# Fig. 5 — %d graphs/point, sizes %v, λ = λ_min, ILP limit %v\n",
+			cfg.Graphs, szs, *ilpLimit)
+		pts, err := expt.Fig5(cfg, szs, *ilpLimit)
+		if err != nil {
+			log.Fatal(err)
+		}
+		expt.WriteFig5(os.Stdout, pts, cfg.Graphs)
+		writeCSV("fig5.csv", func(w io.Writer) error { return expt.WriteFig5CSV(w, pts) })
+		fmt.Println()
+	}
+	if all || *table == 2 {
+		cfg.Graphs = pick(25)
+		relaxes := []float64{0, 0.05, 0.10, 0.15}
+		lim := *ilpLimit
+		if *paper {
+			lim = 30 * time.Minute
+		}
+		fmt.Printf("# Table 2 — %d graphs of 9 operations, ILP limit %v\n", cfg.Graphs, lim)
+		rows, err := expt.Table2(cfg, 9, relaxes, lim)
+		if err != nil {
+			log.Fatal(err)
+		}
+		expt.WriteTable2(os.Stdout, rows, cfg.Graphs, 9)
+		writeCSV("table2.csv", func(w io.Writer) error { return expt.WriteTable2CSV(w, rows) })
+	}
+}
+
+func pick3Sizes(paper bool) []int {
+	if paper {
+		s := make([]int, 24)
+		for i := range s {
+			s[i] = i + 1
+		}
+		return s
+	}
+	return []int{2, 4, 6, 8, 10, 12, 16, 20, 24}
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			log.Fatalf("bad size %q", p)
+		}
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,48 @@
+// Command tgff generates random multiple-wordlength sequencing graphs in
+// the style of TGFF (reference [8] of the paper) and writes them as JSON
+// to stdout, one graph per line.
+//
+// Usage:
+//
+//	tgff -n 9 -count 3 -seed 1000 > graphs.jsonl
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/tgff"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tgff: ")
+	var (
+		n     = flag.Int("n", 9, "operations per graph")
+		count = flag.Int("count", 1, "number of graphs")
+		seed  = flag.Int64("seed", 1, "base seed (graph i uses seed+i)")
+		mulP  = flag.Float64("mulprob", 0.5, "probability an operation is a multiply")
+		minW  = flag.Int("minw", 4, "minimum operand wordlength")
+		maxW  = flag.Int("maxw", 24, "maximum operand wordlength")
+	)
+	flag.Parse()
+
+	enc := json.NewEncoder(os.Stdout)
+	for i := 0; i < *count; i++ {
+		g, err := tgff.Generate(tgff.Config{
+			N: *n, Seed: *seed + int64(i), MulProb: *mulP, MinWidth: *minW, MaxWidth: *maxW,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := enc.Encode(g); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *count > 1 {
+		fmt.Fprintf(os.Stderr, "tgff: wrote %d graphs of %d operations\n", *count, *n)
+	}
+}

@@ -1,0 +1,97 @@
+// Command wlopt derives operation wordlengths from an output-error
+// budget (the paper's future-work flow; see internal/errspec) and writes
+// the trimmed sequencing graph as JSON, ready for dpalloc.
+//
+// Usage:
+//
+//	tgff -n 9 | wlopt -budget 1e-3 | dpalloc -relax 0.15
+//	wlopt -in fir.json -bits 10 -out fir10.json
+//
+// The budget is the maximum tolerated absolute output error in the
+// fraction domain; -bits b is shorthand for -budget 2^-b.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"os"
+
+	mwl "repro"
+	"repro/internal/dfg"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wlopt: ")
+	var (
+		in      = flag.String("in", "-", "input graph JSON file (- for stdin)")
+		out     = flag.String("out", "-", "output graph JSON file (- for stdout)")
+		budget  = flag.Float64("budget", 0, "maximum absolute output error (fraction domain)")
+		bits    = flag.Int("bits", 0, "shorthand: budget = 2^-bits")
+		vectors = flag.Int("vectors", 32, "Monte-Carlo input vectors")
+		seed    = flag.Int64("seed", 1, "input sampling seed")
+		minW    = flag.Int("minwidth", 2, "smallest allowed operand width")
+	)
+	flag.Parse()
+
+	if *bits > 0 {
+		*budget = math.Ldexp(1, -*bits)
+	}
+	if !(*budget > 0) {
+		log.Fatal("set -budget or -bits")
+	}
+
+	g, err := readGraph(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lib := mwl.DefaultLibrary()
+	res, err := mwl.DeriveWordlengths(g, lib, mwl.ErrorSpecConfig{
+		MaxAbsError: *budget,
+		Vectors:     *vectors,
+		Seed:        *seed,
+		MinWidth:    *minW,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr,
+		"wlopt: %d trims, dedicated area %d -> %d, measured error %.3g (budget %.3g)\n",
+		len(res.Trims), res.AreaBefore, res.AreaAfter, res.MeasuredError, *budget)
+
+	w := io.Writer(os.Stdout)
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res.Graph); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func readGraph(path string) (*dfg.Graph, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	var g dfg.Graph
+	if err := json.NewDecoder(r).Decode(&g); err != nil {
+		return nil, fmt.Errorf("reading graph: %w", err)
+	}
+	return &g, nil
+}

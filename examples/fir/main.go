@@ -1,0 +1,68 @@
+// Command fir allocates datapaths for a multiple-wordlength FIR filter —
+// the archetypal workload of the multiple-wordlength paradigm, where an
+// error analysis (e.g. the Synoptix flow the paper cites) assigns each
+// coefficient its own wordlength. It sweeps the latency constraint from
+// λ_min to +50% and prints the area/latency trade-off achieved by the
+// heuristic against the two-stage and descending-wordlength baselines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	mwl "repro"
+)
+
+func main() {
+	dataW := flag.Int("data", 12, "input sample wordlength (bits)")
+	accW := flag.Int("acc", 24, "accumulator wordlength cap (bits)")
+	flag.Parse()
+
+	// A symmetric low-pass design: outer taps quantise to fewer bits
+	// than the centre taps.
+	coeffs := []int{4, 6, 8, 10, 12, 10, 8, 6, 4}
+	g, err := mwl.FIRGraph(*dataW, coeffs, *accW)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lib := mwl.DefaultLibrary()
+	lmin, err := mwl.MinLambda(g, lib)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%d-tap FIR, %d-bit data, coefficient wordlengths %v\n", len(coeffs), *dataW, coeffs)
+	fmt.Printf("%d operations, λ_min = %d cycles\n\n", g.N(), lmin)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "λ\trelax\theuristic\ttwo-stage [4]\tdescending [14]\tsaving vs [4]")
+	for relax := 0; relax <= 50; relax += 10 {
+		lambda := lmin + lmin*relax/100
+		h, _, err := mwl.Allocate(g, lib, lambda, mwl.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ts, err := mwl.AllocateTwoStage(g, lib, lambda)
+		if err != nil {
+			log.Fatal(err)
+		}
+		de, err := mwl.AllocateDescending(g, lib, lambda)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ha, ta, da := h.Area(lib), ts.Area(lib), de.Area(lib)
+		fmt.Fprintf(w, "%d\t+%d%%\t%d\t%d\t%d\t%.1f%%\n",
+			lambda, relax, ha, ta, da, 100*float64(ta-ha)/float64(ha))
+	}
+	w.Flush()
+
+	lambda := lmin + lmin/2
+	dp, _, err := mwl.Allocate(g, lib, lambda, mwl.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndatapath at λ = %d:\n%s", lambda, dp.Render(g, lib))
+}

@@ -1,0 +1,60 @@
+// Command iir allocates datapaths for a cascade of IIR biquad sections —
+// a larger multiple-wordlength kernel where feedback coefficients need
+// more precision than feed-forward ones. It demonstrates resource limits
+// (the paper's N_y input, Table 1) alongside the automatic
+// minimal-resource mode, and prints the resulting datapaths.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	mwl "repro"
+)
+
+func main() {
+	sections := flag.Int("sections", 2, "number of biquad sections")
+	dataW := flag.Int("data", 10, "data wordlength (bits)")
+	flag.Parse()
+
+	// Feed-forward b coefficients quantise harder than feedback a ones.
+	g, err := mwl.BiquadCascadeGraph(*sections, *dataW, [3]int{8, 6, 8}, [2]int{12, 12}, 24)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lib := mwl.DefaultLibrary()
+	lmin, err := mwl.MinLambda(g, lib)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("IIR cascade: %d sections, %d operations, λ_min = %d\n\n", *sections, g.N(), lmin)
+
+	lambda := lmin + lmin/3
+	fmt.Printf("=== automatic minimal resources, λ = %d ===\n", lambda)
+	dp, stats, err := mwl.Allocate(g, lib, lambda, mwl.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("(%d resource configurations tried)\n%s\n", stats.Configs, dp.Render(g, lib))
+
+	fmt.Printf("=== fixed N_y: 2 multipliers, 2 adders, λ = %d ===\n", lambda)
+	dp2, _, err := mwl.Allocate(g, lib, lambda, mwl.Options{
+		Limits: mwl.Limits{mwl.Mul: 2, mwl.Add: 2},
+	})
+	if err != nil {
+		// Tight fixed limits can be infeasible for the λ; report and
+		// retry with a relaxed constraint, as a user of the N_y input
+		// would.
+		fmt.Printf("infeasible under fixed limits: %v\n", err)
+		lambda = 2 * lmin
+		fmt.Printf("retrying with λ = %d\n", lambda)
+		dp2, _, err = mwl.Allocate(g, lib, lambda, mwl.Options{
+			Limits: mwl.Limits{mwl.Mul: 2, mwl.Add: 2},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Print(dp2.Render(g, lib))
+}

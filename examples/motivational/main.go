@@ -1,0 +1,47 @@
+// Command motivational reproduces the paper's Fig. 1: a multiple-
+// wordlength sequencing graph and its scheduling, resource binding and
+// wordlength selection. It shows the central effect of the paper —
+// resources can execute operations up to the wordlength of the resource,
+// even when implementation in a larger resource gives a longer latency,
+// so latency slack buys area through sharing.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mwl "repro"
+)
+
+func main() {
+	g := mwl.Fig1Graph()
+	lib := mwl.DefaultLibrary()
+
+	fmt.Println("Fig. 1(a): multiple wordlength sequencing graph")
+	for _, o := range g.Ops() {
+		fmt.Printf("  %-3s %s %-6v ->", o.Name, o.Spec.Type, o.Spec.Sig)
+		for _, s := range g.Succ(o.ID) {
+			fmt.Printf(" %s", g.Op(s).Name)
+		}
+		fmt.Println()
+	}
+
+	lmin, err := mwl.MinLambda(g, lib)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nλ_min = %d (adders: 2 cycles; n×m multiplier: ⌈(n+m)/8⌉ cycles)\n", lmin)
+
+	fmt.Println("\nFig. 1(b): scheduling, resource binding and wordlength selection")
+	for _, relax := range []int{0, 50} {
+		lambda := lmin + lmin*relax/100
+		dp, _, err := mwl.Allocate(g, lib, lambda, mwl.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nλ = %d (+%d%%):\n%s", lambda, relax, dp.Render(g, lib))
+		if err := dp.Verify(g, lib, lambda); err != nil {
+			log.Fatalf("illegal datapath: %v", err)
+		}
+	}
+}

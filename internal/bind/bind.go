@@ -1,0 +1,220 @@
+// Package bind implements the paper's §2.3: combined resource binding and
+// wordlength selection on a scheduled wordlength compatibility graph.
+//
+// The problem is to partition the operations into cliques of the
+// transitively oriented compatibility subgraph G'(O, C) — sets of
+// operations whose reserved execution intervals are pairwise disjoint —
+// such that each clique has a resource kind compatible with all members
+// (Eqn. 4), minimising the summed kind areas (Eqn. 5). This is a special
+// case of weighted unate covering (Eqn. 6); the number of cliques is
+// exponential, so following the paper we extend Chvátal's greedy
+// set-covering heuristic to an implicit, polynomial form: at each step a
+// maximum clique of uncovered operations is found per kind (linear-time
+// on the interval order), the kind maximising |clique|/cost is selected,
+// and — compensating the greed — each newly selected clique is grown to
+// swallow previously selected cliques where Eqn. 4 permits.
+package bind
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dfg"
+	"repro/internal/wcg"
+)
+
+// Clique is one selected resource instance: the set of operations bound
+// to it and the kind (index into the compatibility graph's kind set)
+// chosen for it.
+type Clique struct {
+	Ops  []dfg.OpID
+	Kind int
+}
+
+// Binding is a complete resource binding and wordlength selection.
+type Binding struct {
+	Cliques  []Clique
+	CliqueOf []int // per operation: index into Cliques
+}
+
+// Area returns the implementation area of the binding: the sum of the
+// areas of the bound kinds (the paper's Eqn. 5).
+func (b *Binding) Area(g *wcg.Graph) int64 {
+	var a int64
+	for _, k := range b.Cliques {
+		a += g.Lib.Area(g.Kinds[k.Kind])
+	}
+	return a
+}
+
+// KindOf returns the kind index the operation is bound to.
+func (b *Binding) KindOf(o dfg.OpID) int { return b.Cliques[b.CliqueOf[o]].Kind }
+
+// BoundLatency returns ℓ(o): the latency of the resource the operation is
+// bound to.
+func (b *Binding) BoundLatency(g *wcg.Graph, o dfg.OpID) int {
+	return g.KindLatency(b.KindOf(o))
+}
+
+// Options tunes BindSelect for the ablation benches.
+type Options struct {
+	// DisableGrowth turns off the clique-growth compensation step,
+	// leaving pure Chvátal greed.
+	DisableGrowth bool
+	// DisableShrink keeps each clique on the kind used when it was
+	// selected instead of re-selecting the cheapest kind satisfying
+	// Eqn. 4 afterwards.
+	DisableShrink bool
+}
+
+// Select runs Algorithm BindSelect on a scheduled compatibility graph.
+// start gives the scheduled start step per operation; reserved intervals
+// are [start[o], start[o]+L_o) with L_o the current latency upper bound,
+// so the derived binding can never violate the schedule.
+func Select(g *wcg.Graph, start []int) (*Binding, error) {
+	return SelectOpt(g, start, Options{})
+}
+
+// SelectOpt is Select with explicit options.
+func SelectOpt(g *wcg.Graph, start []int, opt Options) (*Binding, error) {
+	n := g.D.N()
+	if len(start) != n {
+		return nil, fmt.Errorf("bind: %d start steps for %d operations", len(start), n)
+	}
+	iv := make([]wcg.Interval, n)
+	for o := 0; o < n; o++ {
+		id := dfg.OpID(o)
+		iv[o] = wcg.Interval{Op: id, Start: start[o], End: start[o] + g.UpperLatency(id)}
+	}
+
+	covered := make([]bool, n)
+	remaining := n
+	var cliques []Clique
+	for remaining > 0 {
+		// Find, per kind, a maximum clique of uncovered compatible
+		// operations; pick the kind maximising |clique|/cost.
+		bestKind, bestSize := -1, 0
+		var bestChain []wcg.Interval
+		for ki := range g.Kinds {
+			var cand []wcg.Interval
+			for _, o := range g.CompatOps(ki) {
+				if !covered[o] {
+					cand = append(cand, iv[o])
+				}
+			}
+			if len(cand) == 0 {
+				continue
+			}
+			chain := wcg.MaxChain(cand)
+			if bestKind < 0 || betterRatio(len(chain), kindArea(g, ki), bestSize, kindArea(g, bestKind)) {
+				bestKind, bestSize, bestChain = ki, len(chain), chain
+			}
+		}
+		if bestKind < 0 {
+			return nil, fmt.Errorf("bind: %d operations have no compatible kind", remaining)
+		}
+		k := Clique{Kind: bestKind}
+		for _, c := range bestChain {
+			k.Ops = append(k.Ops, c.Op)
+			covered[c.Op] = true
+			remaining--
+		}
+		if !opt.DisableGrowth {
+			cliques = grow(g, iv, cliques, &k)
+		}
+		cliques = append(cliques, k)
+	}
+
+	if !opt.DisableShrink {
+		for i := range cliques {
+			cliques[i].Kind = cheapestCommonKind(g, cliques[i].Ops)
+		}
+	}
+
+	b := &Binding{Cliques: cliques, CliqueOf: make([]int, n)}
+	for ci, k := range cliques {
+		sort.Slice(k.Ops, func(i, j int) bool { return k.Ops[i] < k.Ops[j] })
+		for _, o := range k.Ops {
+			b.CliqueOf[o] = ci
+		}
+	}
+	return b, nil
+}
+
+// betterRatio reports whether size1/cost1 > size2/cost2, breaking ties by
+// lower cost then (implicitly, by scan order) lower kind index. Exact
+// integer cross-multiplication; no floats.
+func betterRatio(size1 int, cost1 int64, size2 int, cost2 int64) bool {
+	l := int64(size1) * cost2
+	r := int64(size2) * cost1
+	if l != r {
+		return l > r
+	}
+	return cost1 < cost2
+}
+
+func kindArea(g *wcg.Graph, ki int) int64 { return g.Lib.Area(g.Kinds[ki]) }
+
+// grow attempts to enlarge the newly selected clique k to swallow
+// previously selected cliques: an earlier clique is superfluous (and is
+// deleted) when its operations, together with k's, remain pairwise
+// time-compatible and all fit k's already-paid-for kind — Eqn. 4 holds
+// for the union on k.Kind, so the earlier resource rides along for free
+// and total area strictly decreases. Returns the surviving earlier
+// cliques.
+func grow(g *wcg.Graph, iv []wcg.Interval, cliques []Clique, k *Clique) []Clique {
+	kept := cliques[:0]
+	for _, old := range cliques {
+		merged := append(append([]dfg.OpID(nil), k.Ops...), old.Ops...)
+		if chainOnKind(g, iv, merged, k.Kind) {
+			k.Ops = merged
+			continue
+		}
+		kept = append(kept, old)
+	}
+	return kept
+}
+
+// chainOnKind reports whether the operations are pairwise time-compatible
+// and all compatible with the given kind.
+func chainOnKind(g *wcg.Graph, iv []wcg.Interval, ops []dfg.OpID, ki int) bool {
+	for _, o := range ops {
+		if !g.Compatible(o, ki) {
+			return false
+		}
+	}
+	ivs := make([]wcg.Interval, len(ops))
+	for i, o := range ops {
+		ivs[i] = iv[o]
+	}
+	return wcg.IsChain(ivs)
+}
+
+// cheapestCommonKind returns the minimum-area kind compatible with every
+// operation; the caller guarantees one exists.
+func cheapestCommonKind(g *wcg.Graph, ops []dfg.OpID) int {
+	ki := cheapestCommonKindOK(g, ops)
+	if ki < 0 {
+		panic("bind: clique lost its covering kind")
+	}
+	return ki
+}
+
+// cheapestCommonKindOK returns -1 when no kind covers all operations.
+// Kinds are sorted by class then area ascending at extraction, so the
+// first hit is the cheapest.
+func cheapestCommonKindOK(g *wcg.Graph, ops []dfg.OpID) int {
+	for ki := range g.Kinds {
+		all := true
+		for _, o := range ops {
+			if !g.Compatible(o, ki) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return ki
+		}
+	}
+	return -1
+}

@@ -1,0 +1,261 @@
+// Package core implements Algorithm DPAlloc, the paper's polynomial-time
+// heuristic for combined scheduling, resource binding and wordlength
+// selection of multiple-wordlength systems.
+//
+// The inner loop follows the paper's §2 pseudo-code. The resource set
+// covering each operation is computed once (H edges of the wordlength
+// compatibility graph); each iteration schedules the sequencing graph
+// with per-operation latency *upper bounds* L_o — so that the binding
+// derived afterwards can never violate the schedule — then performs
+// combined binding and wordlength selection. If the resulting datapath
+// violates the user latency constraint λ, wordlength information is
+// refined (maximum-latency H edges of a victim on the bound critical path
+// are deleted, lowering its L_o) and the loop repeats. Starting from the
+// largest possible range of latencies gives the binder the greatest
+// possible resource sharing; latencies are only tightened when forced by
+// λ.
+//
+// The paper treats the per-class resource bound N_y as an input
+// (Table 1). For area minimisation subject only to λ — the setting of the
+// paper's evaluation — Allocate adds an outer search: each hardware class
+// starts at its utilisation lower bound N_y = ⌈Σ_o ℓ_min(o) / λ⌉ and the
+// class blocking feasibility is incremented until the inner loop
+// succeeds. The first feasible configuration has the fewest resources
+// and hence maximal sharing; the binder's cost-effectiveness rule
+// declines merges that would not pay for themselves.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bind"
+	"repro/internal/datapath"
+	"repro/internal/dfg"
+	"repro/internal/model"
+	"repro/internal/refine"
+	"repro/internal/sched"
+	"repro/internal/wcg"
+)
+
+// ErrInfeasible is returned when no datapath meets the latency constraint
+// even with every operation at its minimum latency (λ below λ_min, or
+// resource limits too tight).
+var ErrInfeasible = errors.New("core: latency constraint infeasible")
+
+// Options tunes the heuristic. The zero value is the paper's algorithm
+// with automatic resource bounds.
+type Options struct {
+	// Limits fixes the number of resources per hardware class (the
+	// paper's N_y input). Nil enables the automatic minimal-resource
+	// search described in the package comment.
+	Limits sched.Limits
+	// DisableGrowth, DisableShrink pass through to bind.SelectOpt
+	// (ablation).
+	DisableGrowth bool
+	DisableShrink bool
+	// DisableClosure extracts only the operations' own kinds, without
+	// join closure (ablation).
+	DisableClosure bool
+	// Victim overrides the refinement victim policy (ablation); nil uses
+	// the paper's smallest-proportion metric.
+	Victim refine.Policy
+}
+
+// Stats reports how the heuristic ran.
+type Stats struct {
+	Iterations   int // scheduling/binding rounds across all configurations
+	Refinements  int // H-edge deletion steps
+	EdgesDeleted int // total H edges removed
+	Kinds        int // size of the extracted resource set R
+	Configs      int // resource-bound configurations tried by the auto search
+}
+
+// Allocate runs Algorithm DPAlloc on the sequencing graph with latency
+// constraint lambda and returns a verified datapath.
+func Allocate(d *dfg.Graph, lib *model.Library, lambda int, opt Options) (*datapath.Datapath, Stats, error) {
+	var stats Stats
+	if err := d.Validate(); err != nil {
+		return nil, stats, err
+	}
+	if d.N() == 0 {
+		return &datapath.Datapath{}, stats, nil
+	}
+	if opt.Limits != nil {
+		stats.Configs = 1
+		dp, err := allocateFixed(d, lib, lambda, opt, opt.Limits, &stats)
+		return dp, stats, err
+	}
+
+	// Automatic minimal-resource search.
+	count := make(map[model.OpType]int)
+	busy := make(map[model.OpType]int) // Σ minimum latencies per class
+	for _, o := range d.Ops() {
+		y := o.Spec.Type.HardwareClass()
+		count[y]++
+		busy[y] += model.MinLatency(o.Spec, lib)
+	}
+	limits := make(sched.Limits, len(count))
+	for y, b := range busy {
+		n := 1
+		if lambda > 0 {
+			n = (b + lambda - 1) / lambda
+		}
+		if n < 1 {
+			n = 1
+		}
+		if n > count[y] {
+			n = count[y]
+		}
+		limits[y] = n
+	}
+
+	for {
+		stats.Configs++
+		dp, err := allocateFixed(d, lib, lambda, opt, limits, &stats)
+		if err == nil {
+			return dp, stats, nil
+		}
+		if !errors.Is(err, ErrInfeasible) {
+			return nil, stats, err
+		}
+		y, ok := blame(err, d, lib, limits, count, busy, lambda)
+		if !ok {
+			return nil, stats, fmt.Errorf("%w: λ=%d (λ_min may exceed it)", ErrInfeasible, lambda)
+		}
+		limits[y]++
+	}
+}
+
+// blame picks the hardware class whose resource bound should grow after
+// an infeasible configuration: the class of the operation the scheduler
+// could not place if available, otherwise the class with the highest
+// utilisation pressure Σℓ_min/(N_y·λ). Classes already at one resource
+// per operation cannot grow. Returns false when no class can grow.
+func blame(err error, d *dfg.Graph, lib *model.Library, limits sched.Limits, count, busy map[model.OpType]int, lambda int) (model.OpType, bool) {
+	var se *sched.InfeasibleError
+	if errors.As(err, &se) {
+		y := d.Op(se.Op).Spec.Type.HardwareClass()
+		if limits[y] < count[y] {
+			return y, true
+		}
+	}
+	bestY, found := model.Add, false
+	var bestNum, bestDen int // pressure = busy/(N·λ) compared exactly
+	for y, n := range limits {
+		if n >= count[y] {
+			continue
+		}
+		num, den := busy[y], n*lambda
+		if den <= 0 {
+			den = 1
+		}
+		if !found || num*bestDen > bestNum*den ||
+			(num*bestDen == bestNum*den && count[y] > count[bestY]) {
+			bestY, bestNum, bestDen, found = y, num, den, true
+		}
+	}
+	return bestY, found
+}
+
+// allocateFixed is the paper's Algorithm DPAlloc for a fixed N_y.
+func allocateFixed(d *dfg.Graph, lib *model.Library, lambda int, opt Options, limits sched.Limits, stats *Stats) (*datapath.Datapath, error) {
+	var g *wcg.Graph
+	var err error
+	if opt.DisableClosure {
+		g, err = wcg.BuildWithKinds(d, lib, ownKinds(d))
+	} else {
+		g, err = wcg.Build(d, lib)
+	}
+	if err != nil {
+		return nil, err
+	}
+	stats.Kinds = len(g.Kinds)
+
+	pick := opt.Victim
+	if pick == nil {
+		pick = refine.ChooseVictim
+	}
+	bindOpt := bind.Options{DisableGrowth: opt.DisableGrowth, DisableShrink: opt.DisableShrink}
+
+	// Each refinement deletes at least one H edge, so the loop is bounded
+	// by the initial edge count; the +2 covers the final feasible round.
+	maxIters := g.NumHEdges() + 2
+	for iter := 0; iter < maxIters; iter++ {
+		stats.Iterations++
+		r, schedErr := sched.List(g, limits)
+		if schedErr != nil {
+			if !errors.Is(schedErr, sched.ErrResourceInfeasible) {
+				return nil, schedErr
+			}
+			// No schedule exists under Eqn. 3 with the current
+			// wordlength information: refine without binding guidance.
+			all := make([]dfg.OpID, d.N())
+			for i := range all {
+				all[i] = dfg.OpID(i)
+			}
+			o, ok := pick(g, nil, all)
+			if !ok {
+				return nil, fmt.Errorf("%w: %w", ErrInfeasible, schedErr)
+			}
+			stats.Refinements++
+			stats.EdgesDeleted += g.DeleteMaxLatencyEdges(o)
+			continue
+		}
+		b, err := bind.SelectOpt(g, r.Start, bindOpt)
+		if err != nil {
+			return nil, err
+		}
+		dp := toDatapath(g, r.Start, b)
+		if dp.Makespan(lib) <= lambda {
+			if err := dp.Verify(d, lib, lambda); err != nil {
+				return nil, fmt.Errorf("core: internal error, produced illegal datapath: %w", err)
+			}
+			return dp, nil
+		}
+		edges := g.NumHEdges()
+		if _, ok := refine.StepWithPolicy(g, r.Start, b, lambda, pick); !ok {
+			return nil, fmt.Errorf("%w: λ=%d below achievable latency %d", ErrInfeasible, lambda, dp.Makespan(lib))
+		}
+		stats.Refinements++
+		stats.EdgesDeleted += edges - g.NumHEdges()
+	}
+	return nil, fmt.Errorf("core: refinement loop exceeded %d iterations", maxIters)
+}
+
+// MinLambda returns λ_min for the graph: the smallest latency constraint
+// any allocator can meet (critical path at minimum latencies).
+func MinLambda(d *dfg.Graph, lib *model.Library) (int, error) {
+	return d.MinMakespan(lib)
+}
+
+// ownKinds extracts one kind per distinct operation signature, without
+// join closure.
+func ownKinds(d *dfg.Graph) []model.Kind {
+	seen := make(map[model.Kind]bool)
+	var kinds []model.Kind
+	for _, o := range d.Ops() {
+		k := o.Spec.MinKind()
+		if !seen[k] {
+			seen[k] = true
+			kinds = append(kinds, k)
+		}
+	}
+	return kinds
+}
+
+// toDatapath converts a schedule plus binding into the common result
+// representation.
+func toDatapath(g *wcg.Graph, start []int, b *bind.Binding) *datapath.Datapath {
+	dp := &datapath.Datapath{
+		Start:  append([]int(nil), start...),
+		InstOf: append([]int(nil), b.CliqueOf...),
+	}
+	for _, k := range b.Cliques {
+		dp.Instances = append(dp.Instances, datapath.Instance{
+			Kind: g.Kinds[k.Kind],
+			Ops:  append([]dfg.OpID(nil), k.Ops...),
+		})
+	}
+	return dp
+}

@@ -1,0 +1,111 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datapath"
+	"repro/internal/fxsim"
+	"repro/internal/model"
+	"repro/internal/regalloc"
+	"repro/internal/tgff"
+)
+
+// TestAllocateAcrossShapesAndOptions sweeps the allocator over every
+// generator macro-shape, width distribution and ablation option
+// combination: all products must be legal datapaths, functionally
+// equivalent to the reference evaluation, and register-completable.
+func TestAllocateAcrossShapesAndOptions(t *testing.T) {
+	lib := model.Default()
+	shapes := []tgff.Shape{tgff.ShapeLayered, tgff.ShapeChain, tgff.ShapeForkJoin}
+	dists := []tgff.WidthDist{tgff.WidthUniform, tgff.WidthBimodal, tgff.WidthClustered}
+	opts := []core.Options{
+		{},
+		{DisableGrowth: true},
+		{DisableShrink: true},
+		{DisableClosure: true},
+		{DisableGrowth: true, DisableShrink: true, DisableClosure: true},
+	}
+	for _, shape := range shapes {
+		for _, dist := range dists {
+			g, err := tgff.Generate(tgff.Config{N: 11, Seed: 321, Shape: shape, Dist: dist})
+			if err != nil {
+				t.Fatal(err)
+			}
+			lmin, err := g.MinMakespan(lib)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for oi, opt := range opts {
+				for _, lambda := range []int{lmin, lmin + lmin/4} {
+					name := fmt.Sprintf("shape=%d/dist=%d/opt=%d/λ=%d", shape, dist, oi, lambda)
+					dp, stats, err := core.Allocate(g, lib, lambda, opt)
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					if err := dp.Verify(g, lib, lambda); err != nil {
+						t.Fatalf("%s: illegal datapath: %v", name, err)
+					}
+					if stats.Iterations < 1 {
+						t.Fatalf("%s: zero iterations reported", name)
+					}
+					if err := fxsim.CheckEquivalence(g, lib, dp, fxsim.Inputs{}); err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					if _, err := regalloc.Build(g, lib, dp, regalloc.Options{}); err != nil {
+						t.Fatalf("%s: register completion: %v", name, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestChainNoSharingAtMinLambda: on a pure dependence chain at λ_min
+// there is no slack, so every operation must run at its fastest latency;
+// the datapath's makespan must equal λ_min exactly.
+func TestChainNoSharingAtMinLambda(t *testing.T) {
+	lib := model.Default()
+	g, err := tgff.Generate(tgff.Config{N: 9, Seed: 7, Shape: tgff.ShapeChain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmin, err := g.MinMakespan(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, _, err := core.Allocate(g, lib, lmin, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms := dp.Makespan(lib); ms != lmin {
+		t.Fatalf("chain makespan %d != λ_min %d", ms, lmin)
+	}
+}
+
+// TestChainSharingWithSlack: on a dependence chain no two executions
+// ever overlap, so with generous slack the binder must find substantial
+// sharing — far fewer instances than operations. (A single instance per
+// hardware class is the optimum; the greedy binder is allowed to miss it
+// by a little, which is exactly the premium Fig. 4 measures.)
+func TestChainSharingWithSlack(t *testing.T) {
+	lib := model.Default()
+	g, err := tgff.Generate(tgff.Config{N: 8, Seed: 11, Shape: tgff.ShapeChain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmin, err := g.MinMakespan(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, _, err := core.Allocate(g, lib, lmin*3, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dp.Instances) > g.N()/2 {
+		t.Fatalf("chain with 3x slack shared poorly: %d instances for %d ops:\n%s",
+			len(dp.Instances), g.N(), dp.Render(g, lib))
+	}
+	var _ datapath.Instance // the type the assertions above inspect
+}

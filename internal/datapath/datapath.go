@@ -1,0 +1,158 @@
+// Package datapath defines the common result representation shared by
+// every allocation method in this repository (the DPAlloc heuristic, the
+// two-stage and descending-wordlength baselines, and the exact/ILP
+// optima): a scheduled, bound, wordlength-selected datapath. It also
+// implements the full legality verifier run on every solution in the test
+// suite and experiment harness.
+package datapath
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dfg"
+	"repro/internal/model"
+)
+
+// Instance is one allocated resource: a concrete kind and the operations
+// bound to it.
+type Instance struct {
+	Kind model.Kind
+	Ops  []dfg.OpID
+}
+
+// Datapath is a complete solution of the combined scheduling, resource
+// binding and wordlength selection problem.
+type Datapath struct {
+	Start     []int      // scheduled start step per operation
+	Instances []Instance // allocated resources with their bound operations
+	InstOf    []int      // per operation: index into Instances
+}
+
+// Area returns the total implementation area.
+func (dp *Datapath) Area(lib *model.Library) int64 {
+	var a int64
+	for _, in := range dp.Instances {
+		a += lib.Area(in.Kind)
+	}
+	return a
+}
+
+// BoundLatency returns the execution latency of the operation on its
+// bound resource.
+func (dp *Datapath) BoundLatency(lib *model.Library, o dfg.OpID) int {
+	return lib.Latency(dp.Instances[dp.InstOf[o]].Kind)
+}
+
+// Makespan returns the actual overall latency: the last completion step
+// under bound resource latencies.
+func (dp *Datapath) Makespan(lib *model.Library) int {
+	ms := 0
+	for o := range dp.Start {
+		if f := dp.Start[o] + dp.BoundLatency(lib, dfg.OpID(o)); f > ms {
+			ms = f
+		}
+	}
+	return ms
+}
+
+// Verify checks complete legality of the datapath against its sequencing
+// graph, library and latency constraint:
+//
+//  1. every operation is scheduled at a non-negative step and bound to
+//     exactly one instance;
+//  2. every instance's kind covers all its operations (type and
+//     wordlength);
+//  3. operations sharing an instance have disjoint execution intervals
+//     under the instance's latency;
+//  4. data dependencies are respected under bound latencies;
+//  5. the last operation completes by lambda (skipped if lambda < 0).
+//
+// A nil error means the datapath is a legal implementation.
+func (dp *Datapath) Verify(d *dfg.Graph, lib *model.Library, lambda int) error {
+	n := d.N()
+	if len(dp.Start) != n || len(dp.InstOf) != n {
+		return fmt.Errorf("datapath: has %d starts, %d bindings for %d operations",
+			len(dp.Start), len(dp.InstOf), n)
+	}
+	bound := make([]int, n)
+	for i := range bound {
+		bound[i] = -1
+	}
+	for ii, in := range dp.Instances {
+		if len(in.Ops) == 0 {
+			return fmt.Errorf("datapath: instance %d (%v) has no operations", ii, in.Kind)
+		}
+		for _, o := range in.Ops {
+			if o < 0 || int(o) >= n {
+				return fmt.Errorf("datapath: instance %d references unknown operation %d", ii, o)
+			}
+			if bound[o] >= 0 {
+				return fmt.Errorf("datapath: operation %d bound twice (instances %d and %d)", o, bound[o], ii)
+			}
+			bound[o] = ii
+			if dp.InstOf[o] != ii {
+				return fmt.Errorf("datapath: InstOf[%d] = %d but operation listed on instance %d", o, dp.InstOf[o], ii)
+			}
+			spec := d.Op(o).Spec
+			if !in.Kind.Covers(spec.Type, spec.Sig) {
+				return fmt.Errorf("datapath: instance %d kind %v cannot execute operation %d (%s %v)",
+					ii, in.Kind, o, spec.Type, spec.Sig)
+			}
+		}
+		// Pairwise disjoint execution on the shared instance.
+		l := lib.Latency(in.Kind)
+		ops := append([]dfg.OpID(nil), in.Ops...)
+		sort.Slice(ops, func(a, b int) bool { return dp.Start[ops[a]] < dp.Start[ops[b]] })
+		for i := 1; i < len(ops); i++ {
+			prev, cur := ops[i-1], ops[i]
+			if dp.Start[prev]+l > dp.Start[cur] {
+				return fmt.Errorf("datapath: operations %d and %d overlap on instance %d (%v, latency %d)",
+					prev, cur, ii, in.Kind, l)
+			}
+		}
+	}
+	for o := 0; o < n; o++ {
+		if bound[o] < 0 {
+			return fmt.Errorf("datapath: operation %d not bound to any instance", o)
+		}
+		if dp.Start[o] < 0 {
+			return fmt.Errorf("datapath: operation %d starts at negative step %d", o, dp.Start[o])
+		}
+		for _, p := range d.Pred(dfg.OpID(o)) {
+			if dp.Start[p]+dp.BoundLatency(lib, p) > dp.Start[o] {
+				return fmt.Errorf("datapath: dependency %d->%d violated (%d+%d > %d)",
+					p, o, dp.Start[p], dp.BoundLatency(lib, p), dp.Start[o])
+			}
+		}
+	}
+	if lambda >= 0 {
+		if ms := dp.Makespan(lib); ms > lambda {
+			return fmt.Errorf("datapath: makespan %d exceeds latency constraint %d", ms, lambda)
+		}
+	}
+	return nil
+}
+
+// Render returns a human-readable report of the datapath: one line per
+// instance with its bound operations and schedule.
+func (dp *Datapath) Render(d *dfg.Graph, lib *model.Library) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "area %d, latency %d, %d resources\n",
+		dp.Area(lib), dp.Makespan(lib), len(dp.Instances))
+	for ii, in := range dp.Instances {
+		fmt.Fprintf(&sb, "  [%d] %-10s :", ii, in.Kind)
+		ops := append([]dfg.OpID(nil), in.Ops...)
+		sort.Slice(ops, func(a, b int) bool { return dp.Start[ops[a]] < dp.Start[ops[b]] })
+		for _, o := range ops {
+			name := d.Op(o).Name
+			if name == "" {
+				name = fmt.Sprintf("op%d", o)
+			}
+			fmt.Fprintf(&sb, " %s(%v)@%d", name, d.Op(o).Spec.Sig, dp.Start[o])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

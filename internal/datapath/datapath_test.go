@@ -1,0 +1,159 @@
+package datapath
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dfg"
+	"repro/internal/model"
+)
+
+// legalDP builds a two-op chain and a legal datapath for it.
+func legalDP(t *testing.T) (*dfg.Graph, *model.Library, *Datapath) {
+	t.Helper()
+	d := dfg.New()
+	a := d.AddOp("a", model.Mul, model.Sig(8, 8)) // 2 cycles
+	b := d.AddOp("b", model.Mul, model.Sig(8, 8))
+	if err := d.AddDep(a, b); err != nil {
+		t.Fatal(err)
+	}
+	lib := model.Default()
+	dp := &Datapath{
+		Start: []int{0, 2},
+		Instances: []Instance{
+			{Kind: model.Kind{Class: model.Mul, Sig: model.Sig(8, 8)}, Ops: []dfg.OpID{a, b}},
+		},
+		InstOf: []int{0, 0},
+	}
+	return d, lib, dp
+}
+
+func TestVerifyLegal(t *testing.T) {
+	d, lib, dp := legalDP(t)
+	if err := dp.Verify(d, lib, 4); err != nil {
+		t.Fatalf("legal datapath rejected: %v", err)
+	}
+	if dp.Area(lib) != 64 {
+		t.Errorf("area = %d", dp.Area(lib))
+	}
+	if dp.Makespan(lib) != 4 {
+		t.Errorf("makespan = %d", dp.Makespan(lib))
+	}
+	if dp.BoundLatency(lib, 0) != 2 {
+		t.Errorf("bound latency = %d", dp.BoundLatency(lib, 0))
+	}
+}
+
+func TestVerifyLambdaViolation(t *testing.T) {
+	d, lib, dp := legalDP(t)
+	if err := dp.Verify(d, lib, 3); err == nil {
+		t.Fatal("λ violation accepted")
+	}
+	// lambda < 0 skips the deadline check.
+	if err := dp.Verify(d, lib, -1); err != nil {
+		t.Fatalf("deadline-free verify failed: %v", err)
+	}
+}
+
+// Mutation tests: every corruption must be caught.
+
+func TestVerifyCatchesOverlap(t *testing.T) {
+	d, lib, dp := legalDP(t)
+	dp.Start[1] = 1 // overlaps op 0 on the shared instance
+	if err := dp.Verify(d, lib, 10); err == nil {
+		t.Fatal("overlap on shared instance accepted")
+	}
+}
+
+func TestVerifyCatchesPrecedence(t *testing.T) {
+	d, lib, dp := legalDP(t)
+	dp.Instances = []Instance{
+		{Kind: model.Kind{Class: model.Mul, Sig: model.Sig(8, 8)}, Ops: []dfg.OpID{0}},
+		{Kind: model.Kind{Class: model.Mul, Sig: model.Sig(8, 8)}, Ops: []dfg.OpID{1}},
+	}
+	dp.InstOf = []int{0, 1}
+	dp.Start[1] = 1 // starts before its predecessor finishes
+	if err := dp.Verify(d, lib, 10); err == nil {
+		t.Fatal("precedence violation accepted")
+	}
+}
+
+func TestVerifyCatchesWrongKind(t *testing.T) {
+	d, lib, dp := legalDP(t)
+	dp.Instances[0].Kind = model.Kind{Class: model.Mul, Sig: model.Sig(8, 4)} // too narrow
+	if err := dp.Verify(d, lib, 10); err == nil {
+		t.Fatal("undersized kind accepted")
+	}
+	dp.Instances[0].Kind = model.Kind{Class: model.Add, Sig: model.AddSig(32)} // wrong class
+	if err := dp.Verify(d, lib, 10); err == nil {
+		t.Fatal("wrong-class kind accepted")
+	}
+}
+
+func TestVerifyCatchesUnbound(t *testing.T) {
+	d, lib, dp := legalDP(t)
+	dp.Instances[0].Ops = []dfg.OpID{0}
+	if err := dp.Verify(d, lib, 10); err == nil {
+		t.Fatal("unbound operation accepted")
+	}
+}
+
+func TestVerifyCatchesDoubleBound(t *testing.T) {
+	d, lib, dp := legalDP(t)
+	dp.Instances = append(dp.Instances, Instance{
+		Kind: model.Kind{Class: model.Mul, Sig: model.Sig(8, 8)}, Ops: []dfg.OpID{1},
+	})
+	if err := dp.Verify(d, lib, 10); err == nil {
+		t.Fatal("doubly bound operation accepted")
+	}
+}
+
+func TestVerifyCatchesInconsistentInstOf(t *testing.T) {
+	d, lib, dp := legalDP(t)
+	dp.InstOf[1] = 5
+	if err := dp.Verify(d, lib, 10); err == nil {
+		t.Fatal("inconsistent InstOf accepted")
+	}
+}
+
+func TestVerifyCatchesNegativeStart(t *testing.T) {
+	d, lib, dp := legalDP(t)
+	dp.Start[0] = -1
+	if err := dp.Verify(d, lib, 10); err == nil {
+		t.Fatal("negative start accepted")
+	}
+}
+
+func TestVerifyCatchesEmptyInstance(t *testing.T) {
+	d, lib, dp := legalDP(t)
+	dp.Instances = append(dp.Instances, Instance{Kind: dp.Instances[0].Kind})
+	if err := dp.Verify(d, lib, 10); err == nil {
+		t.Fatal("empty instance accepted")
+	}
+}
+
+func TestVerifyCatchesSizeMismatch(t *testing.T) {
+	d, lib, dp := legalDP(t)
+	dp.Start = dp.Start[:1]
+	if err := dp.Verify(d, lib, 10); err == nil {
+		t.Fatal("short Start accepted")
+	}
+}
+
+func TestVerifyCatchesUnknownOp(t *testing.T) {
+	d, lib, dp := legalDP(t)
+	dp.Instances[0].Ops = []dfg.OpID{0, 7}
+	if err := dp.Verify(d, lib, 10); err == nil {
+		t.Fatal("unknown op reference accepted")
+	}
+}
+
+func TestRender(t *testing.T) {
+	d, lib, dp := legalDP(t)
+	out := dp.Render(d, lib)
+	for _, want := range []string{"area 64", "latency 4", "1 resources", "mul 8x8", "a(8x8)@0", "b(8x8)@2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+// Package descend implements the second literature baseline sketched in
+// the paper's introduction: modifying a standard clique-partitioning
+// resource binder to "select cliques by sorting nodes in descending order
+// of wordlength" (Kum and Sung, SiPS'98, reference [14] of the paper).
+//
+// On top of the same wordlength-blind schedule as the two-stage baseline,
+// operations are bound constructively in descending order of their
+// dedicated-resource area, each joining the first compatible clique
+// (same hardware class, same native latency band so the schedule stays
+// legal, time-disjoint) or opening a new one. This is the greedy
+// counterpart of the optimal branch-and-bound binding in package
+// twostage; it shares the same structural limitation — no cross-band
+// sharing — plus the greed.
+package descend
+
+import (
+	"fmt"
+
+	"repro/internal/datapath"
+	"repro/internal/dfg"
+	"repro/internal/model"
+	"repro/internal/twostage"
+)
+
+// Allocate runs the descending-wordlength baseline.
+func Allocate(d *dfg.Graph, lib *model.Library, lambda int) (*datapath.Datapath, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if d.N() == 0 {
+		return &datapath.Datapath{}, nil
+	}
+	start, err := twostage.WordlengthBlindSchedule(d, lib, lambda)
+	if err != nil {
+		return nil, err
+	}
+	dp := twostage.GreedyPartition(d, lib, start)
+	if err := dp.Verify(d, lib, lambda); err != nil {
+		return nil, fmt.Errorf("descend: internal error, illegal datapath: %w", err)
+	}
+	return dp, nil
+}

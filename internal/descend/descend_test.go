@@ -1,0 +1,82 @@
+package descend
+
+import (
+	"testing"
+
+	"repro/internal/dfg"
+	"repro/internal/model"
+	"repro/internal/tgff"
+	"repro/internal/twostage"
+)
+
+func TestAllocateEmpty(t *testing.T) {
+	dp, err := Allocate(dfg.New(), model.Default(), 0)
+	if err != nil || len(dp.Instances) != 0 {
+		t.Fatalf("%v %v", dp, err)
+	}
+}
+
+func TestLegalOnRandomGraphs(t *testing.T) {
+	lib := model.Default()
+	for seed := int64(0); seed < 50; seed++ {
+		g, err := tgff.Generate(tgff.Config{N: 12, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lmin, err := g.MinMakespan(lib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lambda := lmin + lmin/5
+		dp, err := Allocate(g, lib, lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dp.Verify(g, lib, lambda); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestNeverBeatsOptimalTwoStage(t *testing.T) {
+	// The greedy must be no better than the optimal B&B on the same
+	// schedule family (both use the same stage 1, which is
+	// deterministic).
+	lib := model.Default()
+	for seed := int64(0); seed < 40; seed++ {
+		g, err := tgff.Generate(tgff.Config{N: 10, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lmin, err := g.MinMakespan(lib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lambda := lmin + lmin/4
+		greedy, err := Allocate(g, lib, lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, stats, err := twostage.Allocate(g, lib, lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Capped {
+			continue // not a proven optimum; skip the comparison
+		}
+		if greedy.Area(lib) < opt.Area(lib) {
+			t.Fatalf("seed %d: greedy area %d beats optimal %d", seed, greedy.Area(lib), opt.Area(lib))
+		}
+	}
+}
+
+func TestCyclicRejected(t *testing.T) {
+	d := dfg.New()
+	a := d.AddOp("", model.Add, model.AddSig(8))
+	b := d.AddOp("", model.Add, model.AddSig(8))
+	d.AddDep(a, b)
+	d.AddDep(b, a)
+	if _, err := Allocate(d, model.Default(), 10); err == nil {
+		t.Fatal("cyclic graph accepted")
+	}
+}

@@ -1,0 +1,303 @@
+package dfg
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// chain builds a -> b -> c with given types.
+func chain(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	a := g.AddOp("a", model.Mul, model.Sig(8, 8))
+	b := g.AddOp("b", model.Add, model.AddSig(16))
+	c := g.AddOp("c", model.Mul, model.Sig(16, 4))
+	if err := g.AddDep(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddDep(b, c); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestAddOpAndAccessors(t *testing.T) {
+	g := chain(t)
+	if g.N() != 3 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if g.Op(1).Name != "b" || g.Op(1).Spec.Type != model.Add {
+		t.Errorf("Op(1) = %+v", g.Op(1))
+	}
+	if len(g.Succ(0)) != 1 || g.Succ(0)[0] != 1 {
+		t.Errorf("Succ(0) = %v", g.Succ(0))
+	}
+	if len(g.Pred(2)) != 1 || g.Pred(2)[0] != 1 {
+		t.Errorf("Pred(2) = %v", g.Pred(2))
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("NumEdges = %d", g.NumEdges())
+	}
+	specs := g.Specs()
+	if len(specs) != 3 || specs[0].Type != model.Mul {
+		t.Errorf("Specs = %v", specs)
+	}
+}
+
+func TestAddDepErrors(t *testing.T) {
+	g := New()
+	a := g.AddOp("a", model.Add, model.AddSig(8))
+	if err := g.AddDep(a, a); err == nil {
+		t.Error("self dependency accepted")
+	}
+	if err := g.AddDep(a, OpID(5)); err == nil {
+		t.Error("unknown target accepted")
+	}
+	if err := g.AddDep(OpID(-1), a); err == nil {
+		t.Error("negative source accepted")
+	}
+	b := g.AddOp("b", model.Add, model.AddSig(8))
+	if err := g.AddDep(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddDep(a, b); err != nil {
+		t.Fatal("duplicate edge must be a no-op, got", err)
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("duplicate edge stored: %d edges", g.NumEdges())
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	g := chain(t)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[OpID]int)
+	for i, id := range order {
+		pos[id] = i
+	}
+	for from, ss := range g.succ {
+		for _, to := range ss {
+			if pos[OpID(from)] >= pos[to] {
+				t.Errorf("topo order violates edge %d->%d", from, to)
+			}
+		}
+	}
+}
+
+func TestTopoOrderCycle(t *testing.T) {
+	g := New()
+	a := g.AddOp("a", model.Add, model.AddSig(8))
+	b := g.AddOp("b", model.Add, model.AddSig(8))
+	g.AddDep(a, b)
+	g.AddDep(b, a)
+	if _, err := g.TopoOrder(); err != ErrCyclic {
+		t.Errorf("want ErrCyclic, got %v", err)
+	}
+	if err := g.Validate(); err != ErrCyclic {
+		t.Errorf("Validate want ErrCyclic, got %v", err)
+	}
+}
+
+func TestValidateBadSignature(t *testing.T) {
+	g := New()
+	g.AddOp("bad", model.Add, model.Signature{Hi: 0, Lo: 0})
+	if err := g.Validate(); err == nil {
+		t.Error("invalid signature accepted")
+	}
+}
+
+func TestASAPChain(t *testing.T) {
+	g := chain(t)
+	lib := model.Default()
+	start, ms, err := g.ASAP(g.MinLatencies(lib))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mul 8x8 = 2 cycles, add = 2 cycles, mul 16x4 = ceil(20/8) = 3.
+	want := []int{0, 2, 4}
+	for i, w := range want {
+		if start[i] != w {
+			t.Errorf("start[%d] = %d, want %d", i, start[i], w)
+		}
+	}
+	if ms != 7 {
+		t.Errorf("makespan = %d, want 7", ms)
+	}
+}
+
+func TestALAP(t *testing.T) {
+	g := chain(t)
+	lib := model.Default()
+	lat := g.MinLatencies(lib)
+	alap, err := g.ALAP(lat, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 5, 7}
+	for i, w := range want {
+		if alap[i] != w {
+			t.Errorf("alap[%d] = %d, want %d", i, alap[i], w)
+		}
+	}
+	if _, err := g.ALAP(lat, 6); err == nil {
+		t.Error("infeasible deadline accepted")
+	}
+}
+
+func TestMinMakespanAndCritical(t *testing.T) {
+	// Diamond: a feeds b and c; d joins them. b is slower than c.
+	g := New()
+	lib := model.Default()
+	a := g.AddOp("a", model.Add, model.AddSig(8))
+	b := g.AddOp("b", model.Mul, model.Sig(16, 16)) // 4 cycles
+	c := g.AddOp("c", model.Add, model.AddSig(8))   // 2 cycles
+	d := g.AddOp("d", model.Add, model.AddSig(8))
+	for _, e := range [][2]OpID{{a, b}, {a, c}, {b, d}, {c, d}} {
+		if err := g.AddDep(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ms, err := g.MinMakespan(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms != 8 { // 2 + 4 + 2
+		t.Fatalf("λ_min = %d, want 8", ms)
+	}
+	crit, err := g.CriticalOps(g.MinLatencies(lib))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[OpID]bool{a: true, b: true, d: true}
+	if len(crit) != 3 {
+		t.Fatalf("critical = %v", crit)
+	}
+	for _, id := range crit {
+		if !want[id] {
+			t.Errorf("unexpected critical op %d", id)
+		}
+	}
+}
+
+func TestASAPALAPConsistencyRandom(t *testing.T) {
+	lib := model.Default()
+	rnd := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		g := randomDAG(rnd, 1+rnd.Intn(20))
+		lat := g.MinLatencies(lib)
+		asap, ms, err := g.ASAP(lat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alap, err := g.ALAP(lat, ms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range asap {
+			if asap[i] > alap[i] {
+				t.Fatalf("asap[%d]=%d > alap[%d]=%d", i, asap[i], i, alap[i])
+			}
+			// Precedence feasibility of both schedules.
+			for _, p := range g.Pred(OpID(i)) {
+				if asap[p]+lat(p) > asap[i] {
+					t.Fatalf("ASAP violates precedence %d->%d", p, i)
+				}
+				if alap[p]+lat(p) > alap[i] {
+					t.Fatalf("ALAP violates precedence %d->%d", p, i)
+				}
+			}
+		}
+		// At least one op must be critical.
+		crit, err := g.CriticalOps(lat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.N() > 0 && len(crit) == 0 {
+			t.Fatal("no critical operations")
+		}
+	}
+}
+
+// randomDAG builds a random DAG with edges from lower to higher IDs.
+func randomDAG(rnd *rand.Rand, n int) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		if rnd.Intn(2) == 0 {
+			g.AddOp("", model.Add, model.AddSig(1+rnd.Intn(24)))
+		} else {
+			g.AddOp("", model.Mul, model.Sig(1+rnd.Intn(24), 1+rnd.Intn(24)))
+		}
+	}
+	for i := 1; i < n; i++ {
+		for k := 0; k < 2; k++ {
+			if rnd.Intn(3) == 0 {
+				g.AddDep(OpID(rnd.Intn(i)), OpID(i))
+			}
+		}
+	}
+	return g
+}
+
+func TestClone(t *testing.T) {
+	g := chain(t)
+	c := g.Clone()
+	c.AddOp("extra", model.Add, model.AddSig(4))
+	c.AddDep(0, 3)
+	if g.N() != 3 || c.N() != 4 {
+		t.Errorf("clone not independent: g.N=%d c.N=%d", g.N(), c.N())
+	}
+	if len(g.Succ(0)) != 1 {
+		t.Errorf("clone mutated original succ: %v", g.Succ(0))
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := chain(t)
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Graph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != g.N() || back.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip mismatch: %d ops %d edges", back.N(), back.NumEdges())
+	}
+	for i := range g.ops {
+		if back.ops[i].Spec != g.ops[i].Spec || back.ops[i].Name != g.ops[i].Name {
+			t.Errorf("op %d mismatch: %+v vs %+v", i, back.ops[i], g.ops[i])
+		}
+	}
+}
+
+func TestJSONErrors(t *testing.T) {
+	var g Graph
+	if err := json.Unmarshal([]byte(`{"ops":[{"type":"div","hi":8}]}`), &g); err == nil {
+		t.Error("unknown op type accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"ops":[{"type":"add","hi":8}],"deps":[[0,5]]}`), &g); err == nil {
+		t.Error("bad dep accepted")
+	}
+	if err := json.Unmarshal([]byte(`{bad json`), &g); err == nil {
+		t.Error("malformed json accepted")
+	}
+	// Cycle must be rejected by the embedded Validate.
+	cyc := `{"ops":[{"type":"add","hi":8},{"type":"add","hi":8}],"deps":[[0,1],[1,0]]}`
+	if err := json.Unmarshal([]byte(cyc), &g); err == nil {
+		t.Error("cyclic graph accepted")
+	}
+	// Lo defaulting.
+	if err := json.Unmarshal([]byte(`{"ops":[{"type":"mul","hi":8}]}`), &g); err != nil {
+		t.Fatal(err)
+	}
+	if g.Op(0).Spec.Sig != model.Sig(8, 8) {
+		t.Errorf("lo defaulting broken: %v", g.Op(0).Spec.Sig)
+	}
+}

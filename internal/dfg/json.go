@@ -1,0 +1,72 @@
+package dfg
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// jsonGraph is the on-disk interchange format used by the cmd tools.
+type jsonGraph struct {
+	Ops  []jsonOp `json:"ops"`
+	Deps [][2]int `json:"deps"`
+}
+
+type jsonOp struct {
+	Name string `json:"name,omitempty"`
+	Type string `json:"type"`         // "add", "sub" or "mul"
+	Hi   int    `json:"hi"`           // larger operand width
+	Lo   int    `json:"lo,omitempty"` // smaller operand width; defaults to hi
+}
+
+// MarshalJSON encodes the graph in the interchange format.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{Ops: make([]jsonOp, len(g.ops))}
+	for i, o := range g.ops {
+		jg.Ops[i] = jsonOp{Name: o.Name, Type: o.Spec.Type.String(), Hi: o.Spec.Sig.Hi, Lo: o.Spec.Sig.Lo}
+	}
+	for from, ss := range g.succ {
+		for _, to := range ss {
+			jg.Deps = append(jg.Deps, [2]int{from, int(to)})
+		}
+	}
+	return json.Marshal(jg)
+}
+
+// UnmarshalJSON decodes a graph from the interchange format and validates it.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return err
+	}
+	ng := New()
+	for i, jo := range jg.Ops {
+		var typ model.OpType
+		switch jo.Type {
+		case "add":
+			typ = model.Add
+		case "sub":
+			typ = model.Sub
+		case "mul":
+			typ = model.Mul
+		default:
+			return fmt.Errorf("dfg: op %d has unknown type %q", i, jo.Type)
+		}
+		lo := jo.Lo
+		if lo == 0 {
+			lo = jo.Hi
+		}
+		ng.AddOp(jo.Name, typ, model.Sig(jo.Hi, lo))
+	}
+	for _, d := range jg.Deps {
+		if err := ng.AddDep(OpID(d[0]), OpID(d[1])); err != nil {
+			return err
+		}
+	}
+	if err := ng.Validate(); err != nil {
+		return err
+	}
+	*g = *ng
+	return nil
+}

@@ -1,0 +1,144 @@
+package dfg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+// buildRandomDAG constructs a DAG from raw bytes: op i gets a type and
+// width from raw, and an edge i->j (i < j) exists when the corresponding
+// bit is set. Construction order guarantees acyclicity.
+func buildRandomDAG(raw []byte) *Graph {
+	n := len(raw)
+	if n > 10 {
+		n = 10
+	}
+	g := New()
+	for i := 0; i < n; i++ {
+		w := 2 + int(raw[i]%16)
+		if raw[i]%3 == 0 {
+			g.AddOp("", model.Mul, model.Sig(w, 2+int(raw[i]%7)))
+		} else {
+			g.AddOp("", model.Add, model.AddSig(w))
+		}
+	}
+	bit := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b := raw[bit%len(raw)]
+			if (b>>(uint(bit)%8))&1 == 1 {
+				_ = g.AddDep(OpID(i), OpID(j))
+			}
+			bit++
+		}
+	}
+	return g
+}
+
+// TestDAGPropertiesQuick: for arbitrary DAGs, the structural analyses
+// must agree with one another:
+//
+//   - TopoOrder places every producer before its consumers;
+//   - ASAP starts respect dependencies with exact tightness at the
+//     binding predecessor;
+//   - ALAP at the ASAP makespan never precedes ASAP (non-negative slack);
+//   - the critical path is non-empty and its ops have zero slack.
+func TestDAGPropertiesQuick(t *testing.T) {
+	lib := model.Default()
+	f := func(raw []byte) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		g := buildRandomDAG(raw)
+		if g.N() == 0 {
+			return true
+		}
+		order, err := g.TopoOrder()
+		if err != nil {
+			return false
+		}
+		pos := make([]int, g.N())
+		for i, id := range order {
+			pos[id] = i
+		}
+		for _, o := range g.Ops() {
+			for _, s := range g.Succ(o.ID) {
+				if pos[o.ID] >= pos[s] {
+					t.Logf("topo violation %d -> %d", o.ID, s)
+					return false
+				}
+			}
+		}
+		lat := g.MinLatencies(lib)
+		asap, ms, err := g.ASAP(lat)
+		if err != nil {
+			return false
+		}
+		alap, err := g.ALAP(lat, ms)
+		if err != nil {
+			return false
+		}
+		for i := range asap {
+			id := OpID(i)
+			// Dependencies respected, and tight at some predecessor (or 0).
+			tight := asap[i] == 0
+			for _, p := range g.Pred(id) {
+				if asap[p]+lat(p) > asap[i] {
+					return false
+				}
+				if asap[p]+lat(p) == asap[i] {
+					tight = true
+				}
+			}
+			if !tight {
+				t.Logf("op %d ASAP %d not tight", i, asap[i])
+				return false
+			}
+			if alap[i] < asap[i] {
+				t.Logf("op %d negative slack: ASAP %d ALAP %d", i, asap[i], alap[i])
+				return false
+			}
+			if alap[i]+lat(id) > ms {
+				return false
+			}
+		}
+		crit, err := g.CriticalOps(lat)
+		if err != nil || len(crit) == 0 {
+			return false
+		}
+		for _, c := range crit {
+			if asap[c] != alap[c] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCloneIndependenceQuick: mutating a clone must never affect the
+// original's structure.
+func TestCloneIndependenceQuick(t *testing.T) {
+	f := func(raw []byte) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		g := buildRandomDAG(raw)
+		if g.N() < 2 {
+			return true
+		}
+		edges := g.NumEdges()
+		c := g.Clone()
+		// Mutate the clone: add an op and an edge.
+		id := c.AddOp("extra", model.Add, model.AddSig(4))
+		_ = c.AddDep(OpID(0), id)
+		return g.N() == c.N()-1 && g.NumEdges() == edges
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,345 @@
+// Package errspec derives operation wordlengths from an output-error
+// specification — the paper's stated future work ("investigation of the
+// interaction between high-level synthesis of multiple wordlength
+// systems and the derivation of wordlength information from output-error
+// specifications", in the spirit of the authors' Synoptix tool [3, 6]).
+//
+// The user authors a sequencing graph at full precision; Optimize
+// searches for the cheapest per-operation wordlengths whose truncation
+// distortion, measured at the graph's sink outputs, stays within a
+// user-supplied absolute error budget. The trimmed graph then feeds the
+// allocation heuristic, closing the loop from error spec to datapath.
+//
+// Signal model. Every signal is a non-negative binary fraction: a w-bit
+// operand holds w fractional bits, value k/2^w for integer k. An
+// operation quantizes each operand to its slot width and its result to
+// its result width by truncation (dropping low-order fractional bits),
+// the hardware-cheap rounding mode whose distortion the paper's
+// tradition analyses. Addition is exact before requantization;
+// multiplication of hi- and lo-bit fractions has exactly hi+lo
+// fractional bits (initially lossless). Arithmetic is exact rational
+// (math/big), so measured errors are free of floating-point artefacts;
+// overflow is not modelled — as in the classical truncation-noise
+// setting, magnitude scaling is the designer's responsibility and
+// wordlength buys precision.
+//
+// The optimizer is steepest feasible descent: repeatedly apply the
+// single one-bit width reduction that saves the most dedicated-resource
+// area while keeping the Monte-Carlo maximum absolute sink error within
+// budget, until no reduction is feasible. Inputs are drawn once per run
+// from a seeded generator, so results are deterministic.
+package errspec
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"math/rand"
+
+	"repro/internal/dfg"
+	"repro/internal/model"
+)
+
+// Config parameterises Optimize.
+type Config struct {
+	// MaxAbsError is the error budget: the largest tolerated absolute
+	// deviation of any sink output over the sampled input vectors, in
+	// the fraction domain (e.g. 1.0/1024 for "10 good fractional bits").
+	// Required, > 0.
+	MaxAbsError float64
+	// Vectors is the number of Monte-Carlo input vectors; default 32.
+	Vectors int
+	// Seed feeds the input generator; same seed, same result.
+	Seed int64
+	// MinWidth floors every trimmed operand width; default 2.
+	MinWidth int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if !(c.MaxAbsError > 0) {
+		return c, errors.New("errspec: MaxAbsError must be positive")
+	}
+	if c.Vectors == 0 {
+		c.Vectors = 32
+	}
+	if c.Vectors < 1 {
+		return c, fmt.Errorf("errspec: Vectors %d < 1", c.Vectors)
+	}
+	if c.MinWidth == 0 {
+		c.MinWidth = 2
+	}
+	if c.MinWidth < 1 {
+		return c, fmt.Errorf("errspec: MinWidth %d < 1", c.MinWidth)
+	}
+	return c, nil
+}
+
+// Trim records one accepted width reduction.
+type Trim struct {
+	Op   dfg.OpID
+	From model.Signature
+	To   model.Signature
+}
+
+// Result reports an optimization run.
+type Result struct {
+	// Graph is the trimmed copy; the input graph is never modified.
+	Graph *dfg.Graph
+	// Trims lists the accepted reductions in application order.
+	Trims []Trim
+	// MeasuredError is the final maximum absolute sink error.
+	MeasuredError float64
+	// AreaBefore and AreaAfter are the dedicated-resource areas (every
+	// operation on its own minimal kind) before and after trimming: the
+	// optimizer's internal objective. The real saving is realised by
+	// running the allocator on Result.Graph.
+	AreaBefore, AreaAfter int64
+}
+
+// Optimize searches for cheaper wordlengths meeting the error budget.
+func Optimize(g *dfg.Graph, lib *model.Library, cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.N()
+	res := &Result{AreaBefore: dedicatedArea(g.Specs(), lib)}
+	if n == 0 {
+		res.Graph = dfg.New()
+		res.AreaAfter = 0
+		return res, nil
+	}
+
+	// Fixed input vectors at the original slot widths.
+	rnd := rand.New(rand.NewSource(cfg.Seed))
+	vectors := sampleInputs(g, rnd, cfg.Vectors)
+
+	// Reference sink values at full precision.
+	sigs := make([]model.Signature, n)
+	for i, o := range g.Ops() {
+		sigs[i] = o.Spec.Sig
+	}
+	ref := make([][]*big.Rat, cfg.Vectors)
+	for v, in := range vectors {
+		ref[v] = evaluate(g, sigs, in)
+	}
+	sinks := sinkOps(g)
+
+	cur := append([]model.Signature(nil), sigs...)
+	for {
+		type move struct {
+			op     dfg.OpID
+			sig    model.Signature
+			saving int64
+			err    float64
+		}
+		var best *move
+		for o := 0; o < n; o++ {
+			spec := g.Op(dfg.OpID(o)).Spec
+			for _, cand := range shrinkCandidates(spec.Type, cur[o], cfg.MinWidth) {
+				trial := append([]model.Signature(nil), cur...)
+				trial[o] = cand
+				e := maxSinkError(g, trial, vectors, ref, sinks)
+				if e > cfg.MaxAbsError {
+					continue
+				}
+				saving := kindArea(spec.Type, cur[o], lib) - kindArea(spec.Type, cand, lib)
+				if best == nil || saving > best.saving ||
+					(saving == best.saving && e < best.err) ||
+					(saving == best.saving && e == best.err && dfg.OpID(o) < best.op) {
+					best = &move{op: dfg.OpID(o), sig: cand, saving: saving, err: e}
+				}
+			}
+		}
+		if best == nil {
+			break
+		}
+		res.Trims = append(res.Trims, Trim{Op: best.op, From: cur[best.op], To: best.sig})
+		cur[best.op] = best.sig
+		res.MeasuredError = best.err
+	}
+
+	res.Graph = rebuild(g, cur)
+	res.AreaAfter = dedicatedArea(res.Graph.Specs(), lib)
+	// The final error must be re-measured when no trim was accepted.
+	if len(res.Trims) == 0 {
+		res.MeasuredError = maxSinkError(g, cur, vectors, ref, sinks)
+	}
+	return res, nil
+}
+
+// shrinkCandidates lists the one-bit reductions of a signature legal for
+// the operation type: adders shrink their single width; multipliers
+// shrink either operand width (kept canonical Hi >= Lo).
+func shrinkCandidates(t model.OpType, s model.Signature, minW int) []model.Signature {
+	var out []model.Signature
+	if t.HardwareClass() == model.Add {
+		if s.Hi > minW {
+			out = append(out, model.AddSig(s.Hi-1))
+		}
+		return out
+	}
+	if s.Hi > minW && s.Hi > s.Lo { // shrinking Hi keeps canonical form
+		out = append(out, model.Sig(s.Hi-1, s.Lo))
+	}
+	if s.Lo > minW { // for squares (Hi == Lo) this is the single legal move
+		out = append(out, model.Sig(s.Hi, s.Lo-1))
+	}
+	return out
+}
+
+func kindArea(t model.OpType, s model.Signature, lib *model.Library) int64 {
+	return lib.Area(model.Kind{Class: t.HardwareClass(), Sig: s})
+}
+
+func dedicatedArea(specs []model.OpSpec, lib *model.Library) int64 {
+	var a int64
+	for _, s := range specs {
+		a += lib.Area(s.MinKind())
+	}
+	return a
+}
+
+// sampleInputs draws the primary-input fractions for every vector. Each
+// unconnected operand slot receives a fraction quantized to the slot's
+// original width, so the reference uses exactly representable stimuli.
+func sampleInputs(g *dfg.Graph, rnd *rand.Rand, vectors int) []map[dfg.OpID][2]*big.Rat {
+	out := make([]map[dfg.OpID][2]*big.Rat, vectors)
+	for v := range out {
+		in := make(map[dfg.OpID][2]*big.Rat)
+		for _, o := range g.Ops() {
+			widths := slotWidths(o.Spec)
+			var slots [2]*big.Rat
+			for slot := len(g.Pred(o.ID)); slot < 2; slot++ {
+				w := widths[slot]
+				k := rnd.Int63n(1 << uint(w))
+				slots[slot] = new(big.Rat).SetFrac64(k, 1<<uint(w))
+			}
+			in[o.ID] = slots
+		}
+		out[v] = in
+	}
+	return out
+}
+
+// slotWidths mirrors the fxsim operand model: multiplies have (Hi, Lo)
+// slots, adds two equal-width slots.
+func slotWidths(spec model.OpSpec) [2]int {
+	if spec.Type.HardwareClass() == model.Mul {
+		return [2]int{spec.Sig.Hi, spec.Sig.Lo}
+	}
+	return [2]int{spec.Sig.Hi, spec.Sig.Hi}
+}
+
+// resultFracBits is the number of fractional bits an operation's result
+// keeps under trial signature s.
+func resultFracBits(t model.OpType, s model.Signature) int {
+	if t.HardwareClass() == model.Mul {
+		return s.Hi + s.Lo
+	}
+	return s.Hi
+}
+
+// truncFrac truncates x to w fractional bits (toward zero; all signals
+// here are non-negative).
+func truncFrac(x *big.Rat, w int) *big.Rat {
+	scale := new(big.Int).Lsh(big.NewInt(1), uint(w))
+	num := new(big.Int).Mul(x.Num(), scale)
+	num.Quo(num, x.Denom())
+	return new(big.Rat).SetFrac(num, scale)
+}
+
+// evaluate runs the fraction-domain semantics over one input vector
+// under trial signatures, returning every operation's result.
+func evaluate(g *dfg.Graph, sigs []model.Signature, in map[dfg.OpID][2]*big.Rat) []*big.Rat {
+	order, err := g.TopoOrder()
+	if err != nil {
+		panic(fmt.Sprintf("errspec: validated graph failed topo: %v", err))
+	}
+	results := make([]*big.Rat, g.N())
+	for _, id := range order {
+		spec := g.Op(id).Spec
+		trialSpec := model.OpSpec{Type: spec.Type, Sig: sigs[id]}
+		widths := slotWidths(trialSpec)
+		var vals [2]*big.Rat
+		preds := g.Pred(id)
+		ext := in[id]
+		for slot := 0; slot < 2; slot++ {
+			var raw *big.Rat
+			if slot < len(preds) {
+				raw = results[preds[slot]]
+			} else if ext[slot] != nil {
+				raw = ext[slot]
+			} else {
+				raw = new(big.Rat)
+			}
+			vals[slot] = truncFrac(raw, widths[slot])
+		}
+		var r *big.Rat
+		switch spec.Type {
+		case model.Add:
+			r = new(big.Rat).Add(vals[0], vals[1])
+		case model.Sub:
+			r = new(big.Rat).Sub(vals[0], vals[1])
+			if r.Sign() < 0 { // magnitude model: |a-b|, keeping signals non-negative
+				r.Neg(r)
+			}
+		case model.Mul:
+			r = new(big.Rat).Mul(vals[0], vals[1])
+		default:
+			panic(fmt.Sprintf("errspec: unknown op type %v", spec.Type))
+		}
+		results[id] = truncFrac(r, resultFracBits(spec.Type, sigs[id]))
+	}
+	return results
+}
+
+// maxSinkError measures the worst absolute sink deviation from the
+// reference over all vectors.
+func maxSinkError(g *dfg.Graph, sigs []model.Signature, vectors []map[dfg.OpID][2]*big.Rat, ref [][]*big.Rat, sinks []dfg.OpID) float64 {
+	worst := new(big.Rat)
+	for v, in := range vectors {
+		got := evaluate(g, sigs, in)
+		for _, s := range sinks {
+			d := new(big.Rat).Sub(got[s], ref[v][s])
+			if d.Sign() < 0 {
+				d.Neg(d)
+			}
+			if d.Cmp(worst) > 0 {
+				worst = d
+			}
+		}
+	}
+	f, _ := worst.Float64()
+	return f
+}
+
+func sinkOps(g *dfg.Graph) []dfg.OpID {
+	var sinks []dfg.OpID
+	for _, o := range g.Ops() {
+		if len(g.Succ(o.ID)) == 0 {
+			sinks = append(sinks, o.ID)
+		}
+	}
+	return sinks
+}
+
+// rebuild copies the graph with new signatures, preserving operand slot
+// order (predecessor edge insertion order).
+func rebuild(g *dfg.Graph, sigs []model.Signature) *dfg.Graph {
+	out := dfg.New()
+	for _, o := range g.Ops() {
+		out.AddOp(o.Name, o.Spec.Type, sigs[o.ID])
+	}
+	for _, o := range g.Ops() {
+		for _, p := range g.Pred(o.ID) {
+			if err := out.AddDep(p, o.ID); err != nil {
+				panic(fmt.Sprintf("errspec: rebuild edge %d->%d: %v", p, o.ID, err))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,299 @@
+package errspec
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dfg"
+	"repro/internal/model"
+	"repro/internal/tgff"
+)
+
+func TestTruncFrac(t *testing.T) {
+	cases := []struct {
+		num, den int64
+		w        int
+		want     string
+	}{
+		{3, 4, 2, "3/4"},  // exactly representable
+		{3, 4, 1, "1/2"},  // 0.75 -> 0.5 at one fractional bit
+		{5, 8, 2, "1/2"},  // 0.101 -> 0.10
+		{1, 3, 4, "5/16"}, // 0.0101(01..) -> 0.0101
+		{7, 8, 0, "0/1"},  // zero fractional bits
+		{9, 8, 3, "9/8"},  // > 1 is preserved when representable
+	}
+	for _, c := range cases {
+		got := truncFrac(big.NewRat(c.num, c.den), c.w)
+		if got.RatString() != c.want && got.String() != c.want {
+			t.Errorf("trunc(%d/%d, %d) = %s, want %s", c.num, c.den, c.w, got.RatString(), c.want)
+		}
+	}
+}
+
+func TestShrinkCandidates(t *testing.T) {
+	adds := shrinkCandidates(model.Add, model.AddSig(8), 2)
+	if len(adds) != 1 || adds[0] != model.AddSig(7) {
+		t.Fatalf("add candidates %v", adds)
+	}
+	if got := shrinkCandidates(model.Add, model.AddSig(2), 2); got != nil {
+		t.Fatalf("floored add still shrinks: %v", got)
+	}
+	muls := shrinkCandidates(model.Mul, model.Sig(8, 6), 2)
+	if len(muls) != 2 || muls[0] != model.Sig(7, 6) || muls[1] != model.Sig(8, 5) {
+		t.Fatalf("mul candidates %v", muls)
+	}
+	square := shrinkCandidates(model.Mul, model.Sig(6, 6), 2)
+	if len(square) != 1 || square[0] != model.Sig(6, 5) {
+		t.Fatalf("square mul candidates %v", square)
+	}
+}
+
+// TestEvaluateHandComputed pins the fraction semantics on a two-op graph:
+// (a*b) with 4x4 bits then an add at 6 bits.
+func TestEvaluateHandComputed(t *testing.T) {
+	g := dfg.New()
+	m := g.AddOp("m", model.Mul, model.Sig(4, 4))
+	a := g.AddOp("a", model.Add, model.AddSig(6))
+	if err := g.AddDep(m, a); err != nil {
+		t.Fatal(err)
+	}
+	sigs := []model.Signature{model.Sig(4, 4), model.AddSig(6)}
+	in := map[dfg.OpID][2]*big.Rat{
+		m: {big.NewRat(3, 4), big.NewRat(5, 16)}, // 0.75 * 0.3125
+		a: {nil, big.NewRat(1, 4)},               // + 0.25
+	}
+	res := evaluate(g, sigs, in)
+	// m: 0.75*0.3125 = 0.234375 = 15/64, exactly 8 fractional bits -> kept.
+	if res[m].Cmp(big.NewRat(15, 64)) != 0 {
+		t.Fatalf("mul = %s, want 15/64", res[m].RatString())
+	}
+	// a: operand truncated to 6 bits: 15/64 -> 14/64 = 7/32? 15/64 needs
+	// 6 fractional bits: 15/64 = 0.001111b, exactly 6 bits -> kept.
+	// 0.234375 + 0.25 = 0.484375 = 31/64 at 6 bits -> kept exactly.
+	if res[a].Cmp(big.NewRat(31, 64)) != 0 {
+		t.Fatalf("add = %s, want 31/64", res[a].RatString())
+	}
+}
+
+func TestOptimizeRejectsBadConfig(t *testing.T) {
+	g := dfg.New()
+	g.AddOp("x", model.Add, model.AddSig(8))
+	lib := model.Default()
+	if _, err := Optimize(g, lib, Config{}); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, err := Optimize(g, lib, Config{MaxAbsError: 0.1, Vectors: -1}); err == nil {
+		t.Error("negative vectors accepted")
+	}
+	if _, err := Optimize(g, lib, Config{MaxAbsError: 0.1, MinWidth: -2}); err == nil {
+		t.Error("negative min width accepted")
+	}
+}
+
+// TestOptimizeGenerousBudget: with a budget of 1.0 (any distortion is
+// fine) everything shrinks to the floor.
+func TestOptimizeGenerousBudget(t *testing.T) {
+	lib := model.Default()
+	g := dfg.New()
+	m := g.AddOp("m", model.Mul, model.Sig(10, 8))
+	a := g.AddOp("a", model.Add, model.AddSig(12))
+	if err := g.AddDep(m, a); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Optimize(g, lib, Config{MaxAbsError: 1.0, Seed: 4, Vectors: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Graph.Op(m).Spec.Sig; got != model.Sig(2, 2) {
+		t.Errorf("mul trimmed to %v, want 2x2", got)
+	}
+	if got := res.Graph.Op(a).Spec.Sig; got != model.AddSig(2) {
+		t.Errorf("add trimmed to %v, want 2", got)
+	}
+	if res.AreaAfter >= res.AreaBefore {
+		t.Errorf("area did not fall: %d -> %d", res.AreaBefore, res.AreaAfter)
+	}
+}
+
+// TestOptimizeTinyBudget: a budget below one ulp of any signal blocks
+// every trim and the graph survives unchanged.
+func TestOptimizeTinyBudget(t *testing.T) {
+	lib := model.Default()
+	g := dfg.New()
+	m := g.AddOp("m", model.Mul, model.Sig(6, 6))
+	a := g.AddOp("a", model.Add, model.AddSig(8))
+	if err := g.AddDep(m, a); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Optimize(g, lib, Config{MaxAbsError: 1e-12, Seed: 4, Vectors: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trims with measured error zero on the sampled vectors are possible
+	// (the dropped bits may be zero in every sample), but any trim that
+	// introduces real distortion must be rejected.
+	if res.MeasuredError > 1e-12 {
+		t.Fatalf("budget violated: %g", res.MeasuredError)
+	}
+	if res.AreaAfter > res.AreaBefore {
+		t.Fatalf("area grew: %d -> %d", res.AreaBefore, res.AreaAfter)
+	}
+}
+
+// TestOptimizeBudgetRespected: across random graphs and budgets, the
+// final measured error never exceeds the budget, area never grows, and
+// the trimmed graph still validates and allocates.
+func TestOptimizeBudgetRespected(t *testing.T) {
+	lib := model.Default()
+	budgets := []float64{1.0 / 4096, 1.0 / 256, 1.0 / 16}
+	for _, n := range []int{2, 5, 8} {
+		graphs, err := tgff.Batch(n, 3, 6100, tgff.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for gi, g := range graphs {
+			for _, budget := range budgets {
+				res, err := Optimize(g, lib, Config{MaxAbsError: budget, Seed: 9, Vectors: 12})
+				if err != nil {
+					t.Fatalf("n=%d g=%d budget=%g: %v", n, gi, budget, err)
+				}
+				if res.MeasuredError > budget {
+					t.Fatalf("n=%d g=%d: error %g exceeds budget %g", n, gi, res.MeasuredError, budget)
+				}
+				if res.AreaAfter > res.AreaBefore {
+					t.Fatalf("n=%d g=%d: area grew %d -> %d", n, gi, res.AreaBefore, res.AreaAfter)
+				}
+				if err := res.Graph.Validate(); err != nil {
+					t.Fatalf("n=%d g=%d: trimmed graph invalid: %v", n, gi, err)
+				}
+				lmin, err := res.Graph.MinMakespan(lib)
+				if err != nil {
+					t.Fatal(err)
+				}
+				dp, _, err := core.Allocate(res.Graph, lib, lmin+2, core.Options{})
+				if err != nil {
+					t.Fatalf("n=%d g=%d: trimmed graph failed allocation: %v", n, gi, err)
+				}
+				if err := dp.Verify(res.Graph, lib, lmin+2); err != nil {
+					t.Fatalf("n=%d g=%d: %v", n, gi, err)
+				}
+			}
+		}
+	}
+}
+
+// TestOptimizeLooserBudgetNeverCostsMore: a strictly looser budget can
+// only allow more trimming under the same sampled inputs.
+func TestOptimizeLooserBudgetNeverCostsMore(t *testing.T) {
+	lib := model.Default()
+	g, err := tgff.Generate(tgff.Config{N: 6, Seed: 777})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev int64 = -1
+	for _, budget := range []float64{1.0 / 65536, 1.0 / 1024, 1.0 / 64, 1.0 / 8} {
+		res, err := Optimize(g, lib, Config{MaxAbsError: budget, Seed: 5, Vectors: 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 && res.AreaAfter > prev {
+			t.Fatalf("looser budget %g produced larger area %d > %d", budget, res.AreaAfter, prev)
+		}
+		prev = res.AreaAfter
+	}
+}
+
+// TestOptimizeDeterministic: identical configs give identical results.
+func TestOptimizeDeterministic(t *testing.T) {
+	lib := model.Default()
+	g, err := tgff.Generate(tgff.Config{N: 7, Seed: 2020})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{MaxAbsError: 1.0 / 128, Seed: 31, Vectors: 10}
+	a, err := Optimize(g, lib, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Optimize(g, lib, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AreaAfter != b.AreaAfter || len(a.Trims) != len(b.Trims) || a.MeasuredError != b.MeasuredError {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+	for i := range a.Trims {
+		if a.Trims[i] != b.Trims[i] {
+			t.Fatalf("trim %d differs: %+v vs %+v", i, a.Trims[i], b.Trims[i])
+		}
+	}
+}
+
+// TestRebuildPreservesSlots: operand order (edge insertion order) must
+// survive the rebuild, or operands would swap on non-commutative ops.
+func TestRebuildPreservesSlots(t *testing.T) {
+	g := dfg.New()
+	x := g.AddOp("x", model.Add, model.AddSig(8))
+	y := g.AddOp("y", model.Add, model.AddSig(8))
+	s := g.AddOp("s", model.Sub, model.AddSig(8))
+	if err := g.AddDep(x, s); err != nil { // slot 0: minuend
+		t.Fatal(err)
+	}
+	if err := g.AddDep(y, s); err != nil { // slot 1: subtrahend
+		t.Fatal(err)
+	}
+	out := rebuild(g, []model.Signature{model.AddSig(8), model.AddSig(8), model.AddSig(8)})
+	preds := out.Pred(s)
+	if len(preds) != 2 || preds[0] != x || preds[1] != y {
+		t.Fatalf("slot order lost: %v", preds)
+	}
+}
+
+// TestTrimsOnlyShrink: every trimmed signature must be covered by the
+// original (pointwise no wider), each accepted trim must shrink exactly
+// one operation by exactly one bit, and no width may fall below the
+// floor.
+func TestTrimsOnlyShrink(t *testing.T) {
+	lib := model.Default()
+	g, err := tgff.Generate(tgff.Config{N: 9, Seed: 515})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Optimize(g, lib, Config{MaxAbsError: 1.0 / 64, Seed: 2, Vectors: 10, MinWidth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range g.Ops() {
+		orig, trimmed := o.Spec.Sig, res.Graph.Op(o.ID).Spec.Sig
+		if !orig.Covers(trimmed) {
+			t.Errorf("op %d grew: %v -> %v", o.ID, orig, trimmed)
+		}
+		if trimmed.Lo < 3 {
+			t.Errorf("op %d below floor: %v", o.ID, trimmed)
+		}
+	}
+	for i, tr := range res.Trims {
+		shrink := (tr.From.Hi - tr.To.Hi) + (tr.From.Lo - tr.To.Lo)
+		// Adder signatures store Hi == Lo, so one width step moves both.
+		if g.Op(tr.Op).Spec.Type.HardwareClass() == model.Add {
+			if tr.From.Hi-tr.To.Hi != 1 || tr.From.Lo != tr.From.Hi || tr.To.Lo != tr.To.Hi {
+				t.Errorf("trim %d is not one adder width step: %+v", i, tr)
+			}
+			continue
+		}
+		if shrink != 1 {
+			t.Errorf("trim %d removes %d bits, want 1: %+v", i, shrink, tr)
+		}
+	}
+}
+
+func TestOptimizeEmptyGraph(t *testing.T) {
+	res, err := Optimize(dfg.New(), model.Default(), Config{MaxAbsError: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph.N() != 0 || len(res.Trims) != 0 {
+		t.Fatalf("unexpected result %+v", res)
+	}
+}

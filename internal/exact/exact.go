@@ -1,0 +1,292 @@
+// Package exact computes the true optimum of the combined scheduling,
+// resource binding and wordlength selection problem by exhaustive
+// branch-and-bound over (start step, resource kind) assignments. It is
+// independent of the LP-based ILP solver in internal/ilp and exists to
+// cross-check it, and to provide the paper's "optimum [5]" reference for
+// small problem sizes (Fig. 4) where full enumeration is tractable.
+//
+// The cost of an assignment counts, for every kind, the maximum number of
+// simultaneously executing operations bound to that kind — interval
+// graphs are perfect, so that many instances are also sufficient, and the
+// datapath is materialised by greedy interval colouring.
+package exact
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/datapath"
+	"repro/internal/dfg"
+	"repro/internal/model"
+)
+
+// ErrInfeasible is returned when λ is below λ_min.
+var ErrInfeasible = errors.New("exact: latency constraint infeasible")
+
+// ErrTooLarge guards against accidentally running the exponential search
+// on big inputs.
+var ErrTooLarge = errors.New("exact: problem too large for exhaustive search")
+
+// MaxOps bounds the accepted problem size.
+const MaxOps = 12
+
+// Options configures the search.
+type Options struct {
+	// UpperBound primes the incumbent with a known feasible area
+	// (e.g. the heuristic's); 0 means none.
+	UpperBound int64
+	// NodeLimit caps search nodes; 0 means unlimited.
+	NodeLimit int64
+}
+
+// Stats reports the search effort.
+type Stats struct {
+	Nodes  int64
+	Capped bool
+}
+
+// Allocate returns an area-optimal datapath meeting λ.
+func Allocate(d *dfg.Graph, lib *model.Library, lambda int, opt Options) (*datapath.Datapath, Stats, error) {
+	var stats Stats
+	if err := d.Validate(); err != nil {
+		return nil, stats, err
+	}
+	n := d.N()
+	if n == 0 {
+		return &datapath.Datapath{}, stats, nil
+	}
+	if n > MaxOps {
+		return nil, stats, fmt.Errorf("%w: %d operations (max %d)", ErrTooLarge, n, MaxOps)
+	}
+	lmin, err := d.MinMakespan(lib)
+	if err != nil {
+		return nil, stats, err
+	}
+	if lambda < lmin {
+		return nil, stats, fmt.Errorf("%w: λ=%d < λ_min=%d", ErrInfeasible, lambda, lmin)
+	}
+
+	kinds := model.ExtractKinds(d.Specs(), lib)
+	s := &search{
+		d: d, lib: lib, lambda: lambda, kinds: kinds,
+		best:  math.MaxInt64,
+		limit: opt.NodeLimit,
+		stats: &stats,
+	}
+	if opt.UpperBound > 0 {
+		s.best = opt.UpperBound + 1 // strict improvement required; +1 keeps equal-cost solutions reachable
+	}
+	s.prepare()
+	s.dfs(0)
+	if s.bestStart == nil {
+		return nil, stats, fmt.Errorf("exact: no solution found (λ=%d, bound %d)", lambda, opt.UpperBound)
+	}
+	dp := s.materialize()
+	if err := dp.Verify(d, lib, lambda); err != nil {
+		return nil, stats, fmt.Errorf("exact: internal error, illegal datapath: %w", err)
+	}
+	return dp, stats, nil
+}
+
+type search struct {
+	d      *dfg.Graph
+	lib    *model.Library
+	lambda int
+	kinds  []model.Kind
+	limit  int64
+	stats  *Stats
+
+	order  []dfg.OpID // topological assignment order
+	compat [][]int    // compatible kind indices per op, area ascending
+	klat   []int
+	karea  []int64
+	tail   []int // longest min-latency path to sink, excluding own latency
+	minLat []int
+
+	// search state
+	start []int
+	kind  []int
+	ivs   [][]ivl // per kind: intervals of assigned ops
+	conc  []int   // per kind: current max concurrency
+	cost  int64
+
+	best      int64
+	bestStart []int
+	bestKind  []int
+}
+
+type ivl struct{ s, e int }
+
+func (s *search) prepare() {
+	d := s.d
+	n := d.N()
+	s.order, _ = d.TopoOrder()
+	s.klat = make([]int, len(s.kinds))
+	s.karea = make([]int64, len(s.kinds))
+	for ki, k := range s.kinds {
+		s.klat[ki] = s.lib.Latency(k)
+		s.karea[ki] = s.lib.Area(k)
+	}
+	s.compat = make([][]int, n)
+	for i := 0; i < n; i++ {
+		spec := d.Op(dfg.OpID(i)).Spec
+		for ki, k := range s.kinds {
+			if k.Covers(spec.Type, spec.Sig) {
+				s.compat[i] = append(s.compat[i], ki)
+			}
+		}
+		// Kinds are already sorted by (class, area) at extraction; the
+		// filtered list inherits area order within the class.
+		sort.Slice(s.compat[i], func(a, b int) bool {
+			return s.karea[s.compat[i][a]] < s.karea[s.compat[i][b]]
+		})
+	}
+	s.minLat = make([]int, n)
+	for i := 0; i < n; i++ {
+		s.minLat[i] = model.MinLatency(d.Op(dfg.OpID(i)).Spec, s.lib)
+	}
+	s.tail = make([]int, n)
+	for i := len(s.order) - 1; i >= 0; i-- {
+		id := s.order[i]
+		for _, succ := range d.Succ(id) {
+			if v := s.minLat[succ] + s.tail[succ]; v > s.tail[id] {
+				s.tail[id] = v
+			}
+		}
+	}
+	s.start = make([]int, n)
+	s.kind = make([]int, n)
+	s.ivs = make([][]ivl, len(s.kinds))
+	s.conc = make([]int, len(s.kinds))
+}
+
+func (s *search) dfs(idx int) {
+	if s.cost >= s.best {
+		return
+	}
+	s.stats.Nodes++
+	if s.limit > 0 && s.stats.Nodes > s.limit {
+		s.stats.Capped = true
+		return
+	}
+	if idx == len(s.order) {
+		s.best = s.cost
+		s.bestStart = append(s.bestStart[:0], s.start...)
+		s.bestKind = append(s.bestKind[:0], s.kind...)
+		return
+	}
+	o := s.order[idx]
+	est := 0
+	for _, p := range s.d.Pred(o) {
+		if f := s.start[p] + s.klat[s.kind[p]]; f > est {
+			est = f
+		}
+	}
+	for _, ki := range s.compat[o] {
+		l := s.klat[ki]
+		lst := s.lambda - l - s.tail[o]
+		if lst < est {
+			continue
+		}
+		for t := est; t <= lst; t++ {
+			s.place(o, ki, t)
+			s.dfs(idx + 1)
+			s.unplace(o, ki)
+			if s.stats.Capped {
+				return
+			}
+		}
+	}
+}
+
+func (s *search) place(o dfg.OpID, ki, t int) {
+	s.start[o] = t
+	s.kind[o] = ki
+	s.ivs[ki] = append(s.ivs[ki], ivl{t, t + s.klat[ki]})
+	old := s.conc[ki]
+	nc := maxConcurrency(s.ivs[ki])
+	if nc > old {
+		s.conc[ki] = nc
+		s.cost += s.karea[ki] * int64(nc-old)
+	}
+	// Remember the previous concurrency in the interval entry? Cheaper:
+	// recompute on unplace.
+}
+
+func (s *search) unplace(o dfg.OpID, ki int) {
+	ivs := s.ivs[ki]
+	s.ivs[ki] = ivs[:len(ivs)-1]
+	nc := maxConcurrency(s.ivs[ki])
+	if nc < s.conc[ki] {
+		s.cost -= s.karea[ki] * int64(s.conc[ki]-nc)
+		s.conc[ki] = nc
+	}
+}
+
+// maxConcurrency sweeps the (short) interval list.
+func maxConcurrency(ivs []ivl) int {
+	best := 0
+	for _, a := range ivs {
+		c := 0
+		for _, b := range ivs {
+			if a.s >= b.s && a.s < b.e {
+				c++
+			}
+		}
+		if c > best {
+			best = c
+		}
+	}
+	return best
+}
+
+// materialize colours each kind's intervals greedily into instances.
+func (s *search) materialize() *datapath.Datapath {
+	n := s.d.N()
+	dp := &datapath.Datapath{
+		Start:  append([]int(nil), s.bestStart...),
+		InstOf: make([]int, n),
+	}
+	type slot struct {
+		kind int
+		free int // next free step
+		ops  []dfg.OpID
+	}
+	var slots []*slot
+	byStart := make([]dfg.OpID, n)
+	for i := range byStart {
+		byStart[i] = dfg.OpID(i)
+	}
+	sort.Slice(byStart, func(a, b int) bool {
+		if s.bestStart[byStart[a]] != s.bestStart[byStart[b]] {
+			return s.bestStart[byStart[a]] < s.bestStart[byStart[b]]
+		}
+		return byStart[a] < byStart[b]
+	})
+	slotIdx := make(map[*slot]int)
+	for _, o := range byStart {
+		ki := s.bestKind[o]
+		t := s.bestStart[o]
+		var chosen *slot
+		for _, sl := range slots {
+			if sl.kind == ki && sl.free <= t {
+				chosen = sl
+				break
+			}
+		}
+		if chosen == nil {
+			chosen = &slot{kind: ki}
+			slotIdx[chosen] = len(slots)
+			slots = append(slots, chosen)
+		}
+		chosen.ops = append(chosen.ops, o)
+		chosen.free = t + s.klat[ki]
+		dp.InstOf[o] = slotIdx[chosen]
+	}
+	for _, sl := range slots {
+		dp.Instances = append(dp.Instances, datapath.Instance{Kind: s.kinds[sl.kind], Ops: sl.ops})
+	}
+	return dp
+}

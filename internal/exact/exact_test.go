@@ -1,0 +1,126 @@
+package exact
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dfg"
+	"repro/internal/model"
+	"repro/internal/tgff"
+)
+
+func TestAllocateEmptyAndGuards(t *testing.T) {
+	lib := model.Default()
+	dp, _, err := Allocate(dfg.New(), lib, 0, Options{})
+	if err != nil || len(dp.Instances) != 0 {
+		t.Fatalf("%v %v", dp, err)
+	}
+	big, err := tgff.Generate(tgff.Config{N: MaxOps + 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Allocate(big, lib, 100, Options{}); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized accepted: %v", err)
+	}
+	d := dfg.New()
+	d.AddOp("", model.Mul, model.Sig(8, 8))
+	if _, _, err := Allocate(d, lib, 1, Options{}); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("infeasible λ accepted: %v", err)
+	}
+}
+
+func TestOptimalSharing(t *testing.T) {
+	// Two independent multiplies 20x18 and 8x8 with λ=10: optimal is one
+	// shared 20x18 multiplier (area 360), found by serialising.
+	d := dfg.New()
+	d.AddOp("", model.Mul, model.Sig(20, 18))
+	d.AddOp("", model.Mul, model.Sig(8, 8))
+	lib := model.Default()
+	dp, _, err := Allocate(d, lib, 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp.Area(lib) != 360 {
+		t.Fatalf("area = %d, want 360", dp.Area(lib))
+	}
+	// λ=5: must parallelise, 424.
+	dp, _, err = Allocate(d, lib, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp.Area(lib) != 424 {
+		t.Fatalf("area = %d, want 424", dp.Area(lib))
+	}
+}
+
+func TestOptimumNeverWorseThanHeuristic(t *testing.T) {
+	lib := model.Default()
+	for seed := int64(0); seed < 60; seed++ {
+		g, err := tgff.Generate(tgff.Config{N: 6, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lmin, err := g.MinMakespan(lib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, lambda := range []int{lmin, lmin + lmin/4} {
+			h, _, err := core.Allocate(g, lib, lambda, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt, _, err := Allocate(g, lib, lambda, Options{UpperBound: h.Area(lib)})
+			if err != nil {
+				t.Fatalf("seed %d λ %d: %v", seed, lambda, err)
+			}
+			if err := opt.Verify(g, lib, lambda); err != nil {
+				t.Fatal(err)
+			}
+			if opt.Area(lib) > h.Area(lib) {
+				t.Fatalf("seed %d: optimum %d worse than heuristic %d", seed, opt.Area(lib), h.Area(lib))
+			}
+		}
+	}
+}
+
+func TestUpperBoundPrimingKeepsEqualSolutions(t *testing.T) {
+	// Priming with exactly the optimal area must still return a
+	// solution of that area.
+	d := dfg.New()
+	d.AddOp("", model.Mul, model.Sig(8, 8))
+	lib := model.Default()
+	dp, _, err := Allocate(d, lib, 2, Options{UpperBound: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp.Area(lib) != 64 {
+		t.Fatalf("area = %d", dp.Area(lib))
+	}
+}
+
+func TestNodeLimitCaps(t *testing.T) {
+	g, err := tgff.Generate(tgff.Config{N: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := model.Default()
+	lmin, err := g.MinMakespan(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := Allocate(g, lib, lmin+5, Options{NodeLimit: 10})
+	if err == nil && !stats.Capped {
+		t.Fatalf("node limit not reported: %+v", stats)
+	}
+}
+
+func TestMaxConcurrency(t *testing.T) {
+	if maxConcurrency(nil) != 0 {
+		t.Error("empty concurrency != 0")
+	}
+	ivs := []ivl{{0, 4}, {1, 3}, {2, 5}, {10, 12}}
+	if got := maxConcurrency(ivs); got != 3 {
+		t.Errorf("concurrency = %d, want 3", got)
+	}
+}

@@ -1,0 +1,96 @@
+package expt
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// CSV emitters for each experiment, one row per data point, for external
+// plotting of the figures (the ASCII writers are for the terminal).
+
+// WriteFig3CSV writes size,relax,penalty_pct,graphs rows.
+func WriteFig3CSV(w io.Writer, pts []Fig3Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"ops", "relax", "penalty_pct", "graphs"}); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if err := cw.Write([]string{
+			strconv.Itoa(p.N),
+			fmt.Sprintf("%.2f", p.Relax),
+			fmt.Sprintf("%.4f", p.MeanPenaltyPct),
+			strconv.Itoa(p.Graphs),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig4CSV writes size,premium_pct,graphs,capped rows.
+func WriteFig4CSV(w io.Writer, pts []Fig4Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"ops", "premium_pct", "graphs", "capped"}); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if err := cw.Write([]string{
+			strconv.Itoa(p.N),
+			fmt.Sprintf("%.4f", p.MeanPremiumPct),
+			strconv.Itoa(p.Graphs),
+			strconv.Itoa(p.Capped),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig5CSV writes size,heuristic_ms,ilp_ms,capped rows.
+func WriteFig5CSV(w io.Writer, pts []Fig5Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"ops", "heuristic_ms", "ilp_ms", "capped"}); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if err := cw.Write([]string{
+			strconv.Itoa(p.N),
+			ms(p.Heuristic),
+			ms(p.ILP),
+			strconv.Itoa(p.ILPCapped),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable2CSV writes lambda_ratio,heuristic_ms,ilp_ms,capped rows.
+func WriteTable2CSV(w io.Writer, rows []Table2Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"lambda_ratio", "heuristic_ms", "ilp_ms", "capped"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			fmt.Sprintf("%.2f", 1+r.Relax),
+			ms(r.Heuristic),
+			ms(r.ILP),
+			strconv.Itoa(r.ILPCapped),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.3f", float64(d)/float64(time.Millisecond))
+}

@@ -1,0 +1,93 @@
+package expt
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func parseCSV(t *testing.T, s string) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(strings.NewReader(s)).ReadAll()
+	if err != nil {
+		t.Fatalf("emitted CSV does not parse: %v", err)
+	}
+	return rows
+}
+
+func TestWriteFig3CSV(t *testing.T) {
+	var sb strings.Builder
+	pts := []Fig3Point{
+		{N: 4, Relax: 0, MeanPenaltyPct: 1.25, Graphs: 20},
+		{N: 4, Relax: 0.15, MeanPenaltyPct: 13.5, Graphs: 20},
+	}
+	if err := WriteFig3CSV(&sb, pts); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, sb.String())
+	if len(rows) != 3 || rows[0][0] != "ops" || rows[2][1] != "0.15" {
+		t.Fatalf("unexpected rows %v", rows)
+	}
+}
+
+func TestWriteFig4CSV(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteFig4CSV(&sb, []Fig4Point{{N: 5, MeanPremiumPct: 2.5, Graphs: 18, Capped: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, sb.String())
+	if len(rows) != 2 || rows[1][0] != "5" || rows[1][3] != "2" {
+		t.Fatalf("unexpected rows %v", rows)
+	}
+}
+
+func TestWriteFig5CSV(t *testing.T) {
+	var sb strings.Builder
+	pts := []Fig5Point{{N: 7, Heuristic: 9 * time.Millisecond, ILP: 5707 * time.Millisecond, ILPCapped: 1}}
+	if err := WriteFig5CSV(&sb, pts); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, sb.String())
+	if len(rows) != 2 || rows[1][1] != "9.000" || rows[1][2] != "5707.000" {
+		t.Fatalf("unexpected rows %v", rows)
+	}
+}
+
+// TestFig3FullArea: the full-area scoring variant must run and produce
+// finite penalties; with mux overhead counted, penalties are typically
+// smaller than the FU-only ones but remain defined on the same cells.
+func TestFig3FullArea(t *testing.T) {
+	base := Config{Graphs: 4, Seed: 909}
+	full := base
+	full.FullArea = true
+	fu, err := Fig3(base, []int{8}, []float64{0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, err := Fig3(full, []int{8}, []float64{0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fu) != 1 || len(fa) != 1 {
+		t.Fatalf("unexpected point counts %d, %d", len(fu), len(fa))
+	}
+	if fa[0].Graphs != fu[0].Graphs {
+		t.Fatalf("graph counts differ: %d vs %d", fa[0].Graphs, fu[0].Graphs)
+	}
+	if fa[0].MeanPenaltyPct == fu[0].MeanPenaltyPct {
+		t.Log("full-area penalty equals FU penalty (possible but unusual)")
+	}
+}
+
+func TestWriteTable2CSV(t *testing.T) {
+	var sb strings.Builder
+	rows2 := []Table2Row{{Relax: 0.10, Heuristic: 21 * time.Millisecond, ILP: 2 * time.Minute, ILPCapped: 8}}
+	if err := WriteTable2CSV(&sb, rows2); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, sb.String())
+	if len(rows) != 2 || rows[1][0] != "1.10" || rows[1][3] != "8" {
+		t.Fatalf("unexpected rows %v", rows)
+	}
+}

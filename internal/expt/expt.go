@@ -1,0 +1,380 @@
+// Package expt is the benchmark harness reproducing the paper's
+// evaluation (§3): Fig. 3 (area penalty of the two-stage approach [4]
+// over the heuristic, against problem size and latency relaxation),
+// Fig. 4 (area premium of the heuristic over the ILP optimum [5]),
+// Fig. 5 (execution time scaling of heuristic vs ILP with problem size)
+// and Table 2 (execution time scaling with the latency constraint).
+//
+// Workloads follow the paper: batches of random TGFF-style sequencing
+// graphs per problem size, each allocated under latency constraints
+// derived from that graph's λ_min relaxed by 0–30%. Quantities are means
+// over the batch. Absolute numbers differ from the paper's 2001 setup
+// (Pentium III, lp_solve); the reproduction targets the shapes: penalty
+// growing with slack and size, premium within ~0–16%, polynomial vs
+// exponential time, ILP time exploding with λ while the heuristic's does
+// not.
+package expt
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datapath"
+	"repro/internal/dfg"
+	"repro/internal/exact"
+	"repro/internal/ilp"
+	"repro/internal/model"
+	"repro/internal/regalloc"
+	"repro/internal/tgff"
+	"repro/internal/twostage"
+)
+
+// Config is shared by all experiments.
+type Config struct {
+	Graphs int         // graphs per configuration (paper: 200)
+	Seed   int64       // base seed; graph i uses Seed+i
+	TGFF   tgff.Config // generation parameters (N is overridden per size)
+	Lib    *model.Library
+	// FullArea scores datapaths by full register-transfer area
+	// (functional units + registers + muxes, via internal/regalloc)
+	// instead of the paper's functional-unit-only model. Fig. 3 only.
+	FullArea bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Graphs == 0 {
+		c.Graphs = 200
+	}
+	if c.Lib == nil {
+		c.Lib = model.Default()
+	}
+	return c
+}
+
+// Lambda derives the latency constraint for a relaxation fraction
+// (e.g. 0.15 for 15%) from λ_min, rounding to the nearest cycle.
+func Lambda(lmin int, relax float64) int {
+	return lmin + int(math.Round(float64(lmin)*relax))
+}
+
+// ---- Fig. 3 ----
+
+// Fig3Point is the mean area penalty of the two-stage baseline over the
+// heuristic for one (size, relaxation) cell.
+type Fig3Point struct {
+	N              int
+	Relax          float64
+	MeanPenaltyPct float64
+	Graphs         int
+}
+
+// Fig3 sweeps problem sizes × latency relaxations.
+func Fig3(cfg Config, sizes []int, relaxes []float64) ([]Fig3Point, error) {
+	cfg = cfg.withDefaults()
+	var out []Fig3Point
+	for _, n := range sizes {
+		graphs, err := tgff.Batch(n, cfg.Graphs, cfg.Seed, cfg.TGFF)
+		if err != nil {
+			return nil, err
+		}
+		for _, relax := range relaxes {
+			var sum float64
+			used := 0
+			for _, g := range graphs {
+				lmin, err := g.MinMakespan(cfg.Lib)
+				if err != nil {
+					return nil, err
+				}
+				lambda := Lambda(lmin, relax)
+				h, _, err := core.Allocate(g, cfg.Lib, lambda, core.Options{})
+				if err != nil {
+					return nil, fmt.Errorf("fig3 heuristic n=%d: %w", n, err)
+				}
+				ts, _, err := twostage.Allocate(g, cfg.Lib, lambda)
+				if err != nil {
+					return nil, fmt.Errorf("fig3 twostage n=%d: %w", n, err)
+				}
+				ha, ta := h.Area(cfg.Lib), ts.Area(cfg.Lib)
+				if cfg.FullArea {
+					hp, err := regalloc.Build(g, cfg.Lib, h, regalloc.Options{})
+					if err != nil {
+						return nil, fmt.Errorf("fig3 regalloc n=%d: %w", n, err)
+					}
+					tp, err := regalloc.Build(g, cfg.Lib, ts, regalloc.Options{})
+					if err != nil {
+						return nil, fmt.Errorf("fig3 regalloc n=%d: %w", n, err)
+					}
+					ha, ta = hp.TotalArea(), tp.TotalArea()
+				}
+				if ha <= 0 {
+					continue
+				}
+				sum += 100 * float64(ta-ha) / float64(ha)
+				used++
+			}
+			p := Fig3Point{N: n, Relax: relax, Graphs: used}
+			if used > 0 {
+				p.MeanPenaltyPct = sum / float64(used)
+			}
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// ---- Fig. 4 ----
+
+// Fig4Point is the mean area premium of the heuristic over the optimum
+// at λ = λ_min for one problem size.
+type Fig4Point struct {
+	N              int
+	MeanPremiumPct float64
+	Graphs         int // graphs with a proven optimum
+	Capped         int // graphs where the optimum search was capped (excluded)
+}
+
+// Fig4 compares the heuristic against the exact optimum at minimum
+// latency. exactNodeLimit caps the per-graph search (0 = unlimited);
+// capped graphs are excluded from the mean and counted.
+func Fig4(cfg Config, sizes []int, exactNodeLimit int64) ([]Fig4Point, error) {
+	cfg = cfg.withDefaults()
+	var out []Fig4Point
+	for _, n := range sizes {
+		if n > exact.MaxOps {
+			return nil, fmt.Errorf("fig4: size %d exceeds exact.MaxOps=%d", n, exact.MaxOps)
+		}
+		graphs, err := tgff.Batch(n, cfg.Graphs, cfg.Seed, cfg.TGFF)
+		if err != nil {
+			return nil, err
+		}
+		p := Fig4Point{N: n}
+		var sum float64
+		for _, g := range graphs {
+			lmin, err := g.MinMakespan(cfg.Lib)
+			if err != nil {
+				return nil, err
+			}
+			h, _, err := core.Allocate(g, cfg.Lib, lmin, core.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("fig4 heuristic n=%d: %w", n, err)
+			}
+			opt, st, err := exact.Allocate(g, cfg.Lib, lmin, exact.Options{
+				UpperBound: h.Area(cfg.Lib),
+				NodeLimit:  exactNodeLimit,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig4 exact n=%d: %w", n, err)
+			}
+			if st.Capped {
+				p.Capped++
+				continue
+			}
+			oa := opt.Area(cfg.Lib)
+			if oa <= 0 {
+				continue
+			}
+			sum += 100 * float64(h.Area(cfg.Lib)-oa) / float64(oa)
+			p.Graphs++
+		}
+		if p.Graphs > 0 {
+			p.MeanPremiumPct = sum / float64(p.Graphs)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// ---- Fig. 5 ----
+
+// Fig5Point is the total execution time over the batch for one size.
+type Fig5Point struct {
+	N         int
+	Heuristic time.Duration
+	ILP       time.Duration
+	ILPCapped int // graphs where the ILP hit its per-graph time limit
+}
+
+// Fig5 measures execution time scaling at λ = λ_min. ilpLimit caps each
+// individual ILP solve (0 = unlimited).
+func Fig5(cfg Config, sizes []int, ilpLimit time.Duration) ([]Fig5Point, error) {
+	cfg = cfg.withDefaults()
+	var out []Fig5Point
+	for _, n := range sizes {
+		graphs, err := tgff.Batch(n, cfg.Graphs, cfg.Seed, cfg.TGFF)
+		if err != nil {
+			return nil, err
+		}
+		p := Fig5Point{N: n}
+		for _, g := range graphs {
+			lmin, err := g.MinMakespan(cfg.Lib)
+			if err != nil {
+				return nil, err
+			}
+			t0 := time.Now()
+			h, _, err := core.Allocate(g, cfg.Lib, lmin, core.Options{})
+			p.Heuristic += time.Since(t0)
+			if err != nil {
+				return nil, fmt.Errorf("fig5 heuristic n=%d: %w", n, err)
+			}
+			t0 = time.Now()
+			r, err := ilp.Solve(g, cfg.Lib, lmin, ilp.Options{TimeLimit: ilpLimit, Incumbent: h})
+			p.ILP += time.Since(t0)
+			if err != nil {
+				return nil, fmt.Errorf("fig5 ilp n=%d: %w", n, err)
+			}
+			if r.TimedOut {
+				p.ILPCapped++
+			}
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// ---- Table 2 ----
+
+// Table2Row is the total execution time over the batch of 9-operation
+// graphs for one λ/λ_min ratio.
+type Table2Row struct {
+	Relax     float64
+	Heuristic time.Duration
+	ILP       time.Duration
+	ILPCapped int
+}
+
+// Table2 measures execution-time scaling with the latency constraint on
+// graphs of the paper's size (9 operations).
+func Table2(cfg Config, size int, relaxes []float64, ilpLimit time.Duration) ([]Table2Row, error) {
+	cfg = cfg.withDefaults()
+	graphs, err := tgff.Batch(size, cfg.Graphs, cfg.Seed, cfg.TGFF)
+	if err != nil {
+		return nil, err
+	}
+	var out []Table2Row
+	for _, relax := range relaxes {
+		row := Table2Row{Relax: relax}
+		for _, g := range graphs {
+			lmin, err := g.MinMakespan(cfg.Lib)
+			if err != nil {
+				return nil, err
+			}
+			lambda := Lambda(lmin, relax)
+			t0 := time.Now()
+			h, _, err := core.Allocate(g, cfg.Lib, lambda, core.Options{})
+			row.Heuristic += time.Since(t0)
+			if err != nil {
+				return nil, fmt.Errorf("table2 heuristic: %w", err)
+			}
+			t0 = time.Now()
+			r, err := ilp.Solve(g, cfg.Lib, lambda, ilp.Options{TimeLimit: ilpLimit, Incumbent: h})
+			row.ILP += time.Since(t0)
+			if err != nil {
+				return nil, fmt.Errorf("table2 ilp: %w", err)
+			}
+			if r.TimedOut {
+				row.ILPCapped++
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// ---- rendering ----
+
+// WriteFig3 renders the Fig. 3 sweep as a table: one row per size, one
+// column per relaxation.
+func WriteFig3(w io.Writer, pts []Fig3Point) {
+	if len(pts) == 0 {
+		return
+	}
+	var relaxes []float64
+	seen := map[float64]bool{}
+	for _, p := range pts {
+		if !seen[p.Relax] {
+			seen[p.Relax] = true
+			relaxes = append(relaxes, p.Relax)
+		}
+	}
+	fmt.Fprintf(w, "Fig. 3: mean area penalty %% of two-stage [4] over heuristic\n")
+	fmt.Fprintf(w, "%6s", "|O|")
+	for _, r := range relaxes {
+		fmt.Fprintf(w, " %8s", fmt.Sprintf("+%.0f%%", r*100))
+	}
+	fmt.Fprintln(w)
+	var lastN int = -1
+	for _, p := range pts {
+		if p.N != lastN {
+			if lastN >= 0 {
+				fmt.Fprintln(w)
+			}
+			fmt.Fprintf(w, "%6d", p.N)
+			lastN = p.N
+		}
+		fmt.Fprintf(w, " %8.2f", p.MeanPenaltyPct)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteFig4 renders the Fig. 4 series.
+func WriteFig4(w io.Writer, pts []Fig4Point) {
+	fmt.Fprintf(w, "Fig. 4: mean area premium %% of heuristic over optimum at λ_min\n")
+	fmt.Fprintf(w, "%6s %12s %8s %8s\n", "|O|", "premium %", "graphs", "capped")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%6d %12.2f %8d %8d\n", p.N, p.MeanPremiumPct, p.Graphs, p.Capped)
+	}
+}
+
+// WriteFig5 renders the Fig. 5 series.
+func WriteFig5(w io.Writer, pts []Fig5Point, graphs int) {
+	fmt.Fprintf(w, "Fig. 5: execution time for %d graphs per size (λ = λ_min)\n", graphs)
+	fmt.Fprintf(w, "%6s %14s %14s %8s\n", "|O|", "heuristic", "ILP", "capped")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%6d %14s %14s %8d\n", p.N, round(p.Heuristic), round(p.ILP), p.ILPCapped)
+	}
+}
+
+// WriteTable2 renders Table 2.
+func WriteTable2(w io.Writer, rows []Table2Row, graphs, size int) {
+	fmt.Fprintf(w, "Table 2: execution time for %d %d-op graphs vs λ/λ_min\n", graphs, size)
+	fmt.Fprintf(w, "%10s %14s %14s %8s\n", "λ/λ_min", "heuristic", "ILP", "capped")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%10.2f %14s %14s %8d\n", 1+r.Relax, round(r.Heuristic), round(r.ILP), r.ILPCapped)
+	}
+}
+
+func round(d time.Duration) time.Duration { return d.Round(time.Millisecond) }
+
+// CompareAll allocates one graph with every method at one λ and reports
+// the areas — the building block of the quickstart and the integration
+// tests.
+type CompareResult struct {
+	Heuristic *datapath.Datapath
+	TwoStage  *datapath.Datapath
+	Optimum   *datapath.Datapath // nil when the graph exceeds exact.MaxOps
+}
+
+// Compare runs heuristic, two-stage, and (for small graphs) the exact
+// optimum on one graph.
+func Compare(g *dfg.Graph, lib *model.Library, lambda int) (*CompareResult, error) {
+	h, _, err := core.Allocate(g, lib, lambda, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	ts, _, err := twostage.Allocate(g, lib, lambda)
+	if err != nil {
+		return nil, err
+	}
+	res := &CompareResult{Heuristic: h, TwoStage: ts}
+	if g.N() <= exact.MaxOps {
+		opt, _, err := exact.Allocate(g, lib, lambda, exact.Options{UpperBound: h.Area(lib)})
+		if err != nil {
+			return nil, err
+		}
+		res.Optimum = opt
+	}
+	return res, nil
+}

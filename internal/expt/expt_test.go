@@ -1,0 +1,175 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/tgff"
+)
+
+// Small configurations keep the suite fast; the full paper-scale sweep
+// runs through cmd/experiments.
+func smallCfg() Config {
+	return Config{Graphs: 8, Seed: 500}
+}
+
+func TestLambda(t *testing.T) {
+	cases := []struct {
+		lmin  int
+		relax float64
+		want  int
+	}{
+		{10, 0, 10},
+		{10, 0.15, 12}, // 1.5 rounds to 2
+		{10, 0.3, 13},
+		{7, 0.05, 7}, // 0.35 rounds to 0
+		{20, 0.05, 21},
+	}
+	for _, c := range cases {
+		if got := Lambda(c.lmin, c.relax); got != c.want {
+			t.Errorf("Lambda(%d, %v) = %d, want %d", c.lmin, c.relax, got, c.want)
+		}
+	}
+}
+
+func TestFig3ShapeAndRender(t *testing.T) {
+	pts, err := Fig3(smallCfg(), []int{4, 8}, []float64{0, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("%d points", len(pts))
+	}
+	// Penalty must never be negative on average... it can be slightly
+	// negative per-graph if the heuristic loses, but the relaxed column
+	// should dominate the tight column for the larger size.
+	byKey := map[[2]float64]float64{}
+	for _, p := range pts {
+		byKey[[2]float64{float64(p.N), p.Relax}] = p.MeanPenaltyPct
+		if p.Graphs == 0 {
+			t.Fatalf("cell (%d, %v) used no graphs", p.N, p.Relax)
+		}
+	}
+	if byKey[[2]float64{8, 0.3}] < byKey[[2]float64{8, 0}] {
+		t.Errorf("penalty at +30%% (%.2f) below +0%% (%.2f) for n=8",
+			byKey[[2]float64{8, 0.3}], byKey[[2]float64{8, 0}])
+	}
+	var buf bytes.Buffer
+	WriteFig3(&buf, pts)
+	if !strings.Contains(buf.String(), "Fig. 3") || !strings.Contains(buf.String(), "+30%") {
+		t.Errorf("render:\n%s", buf.String())
+	}
+}
+
+func TestFig4ShapeAndRender(t *testing.T) {
+	pts, err := Fig4(smallCfg(), []int{1, 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("%d points", len(pts))
+	}
+	// Size 1: the heuristic is trivially optimal.
+	if pts[0].MeanPremiumPct != 0 {
+		t.Errorf("premium at n=1 is %.2f, want 0", pts[0].MeanPremiumPct)
+	}
+	for _, p := range pts {
+		if p.MeanPremiumPct < 0 {
+			t.Errorf("negative premium %.2f at n=%d (heuristic beat the optimum?)", p.MeanPremiumPct, p.N)
+		}
+	}
+	var buf bytes.Buffer
+	WriteFig4(&buf, pts)
+	if !strings.Contains(buf.String(), "Fig. 4") {
+		t.Errorf("render:\n%s", buf.String())
+	}
+}
+
+func TestFig4RejectsOversize(t *testing.T) {
+	if _, err := Fig4(smallCfg(), []int{40}, 0); err == nil {
+		t.Fatal("oversize accepted")
+	}
+}
+
+func TestFig5AndRender(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Graphs = 4
+	pts, err := Fig5(cfg, []int{3, 5}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.Heuristic <= 0 || p.ILP <= 0 {
+			t.Errorf("non-positive times at n=%d: %+v", p.N, p)
+		}
+	}
+	var buf bytes.Buffer
+	WriteFig5(&buf, pts, cfg.Graphs)
+	if !strings.Contains(buf.String(), "Fig. 5") {
+		t.Errorf("render:\n%s", buf.String())
+	}
+}
+
+func TestTable2AndRender(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Graphs = 3
+	rows, err := Table2(cfg, 6, []float64{0, 0.15}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	var buf bytes.Buffer
+	WriteTable2(&buf, rows, cfg.Graphs, 6)
+	out := buf.String()
+	if !strings.Contains(out, "Table 2") || !strings.Contains(out, "1.15") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	// On every small graph: optimum ≤ heuristic ≤ ... and all verify.
+	cfg := smallCfg()
+	lib := cfg.withDefaults().Lib
+	graphs := []int{2, 5, 7}
+	for _, n := range graphs {
+		gs, err := tgff.Batch(n, 6, cfg.Seed, cfg.TGFF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, g := range gs {
+			lmin, err := g.MinMakespan(lib)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lambda := Lambda(lmin, 0.2)
+			res, err := Compare(g, lib, lambda)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Optimum == nil {
+				t.Fatal("optimum missing for small graph")
+			}
+			oa := res.Optimum.Area(lib)
+			ha := res.Heuristic.Area(lib)
+			if oa > ha {
+				t.Fatalf("n=%d: optimum %d > heuristic %d", n, oa, ha)
+			}
+			if err := res.Heuristic.Verify(g, lib, lambda); err != nil {
+				t.Fatal(err)
+			}
+			if err := res.TwoStage.Verify(g, lib, lambda); err != nil {
+				t.Fatal(err)
+			}
+			if err := res.Optimum.Verify(g, lib, lambda); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}

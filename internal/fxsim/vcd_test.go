@@ -1,0 +1,94 @@
+package fxsim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datapath"
+	"repro/internal/model"
+	"repro/internal/tgff"
+)
+
+func TestWriteVCD(t *testing.T) {
+	lib := model.Default()
+	g, err := tgff.Generate(tgff.Config{N: 8, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmin, err := g.MinMakespan(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, _, err := core.Allocate(g, lib, lmin+2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, traces, err := Run(g, lib, dp, Inputs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteVCD(&sb, g, lib, dp, traces); err != nil {
+		t.Fatal(err)
+	}
+	vcd := sb.String()
+
+	// Structural checks on the emitted dump.
+	for _, want := range []string{"$timescale", "$scope module datapath", "$enddefinitions", "$dumpvars"} {
+		if !strings.Contains(vcd, want) {
+			t.Fatalf("VCD missing %q:\n%s", want, vcd)
+		}
+	}
+	// One $var per operation and per instance.
+	if got, want := strings.Count(vcd, "$var wire"), g.N()+len(dp.Instances); got != want {
+		t.Fatalf("%d $var lines, want %d", got, want)
+	}
+	// Every operation's result variable appears by name.
+	for _, o := range g.Ops() {
+		if !strings.Contains(vcd, "r_"+o.Name) {
+			t.Fatalf("VCD missing variable for %s", o.Name)
+		}
+	}
+	// Timestamps are present and non-decreasing.
+	lastT := -1
+	for _, line := range strings.Split(vcd, "\n") {
+		if strings.HasPrefix(line, "#") {
+			var ts int
+			if _, err := fmtSscanf(line, &ts); err != nil {
+				t.Fatalf("bad timestamp line %q", line)
+			}
+			if ts < lastT {
+				t.Fatalf("timestamps regress: %d after %d", ts, lastT)
+			}
+			lastT = ts
+		}
+	}
+	if lastT != dp.Makespan(lib) {
+		t.Fatalf("last timestamp %d, want makespan %d", lastT, dp.Makespan(lib))
+	}
+}
+
+func fmtSscanf(line string, ts *int) (int, error) {
+	n := 0
+	for _, c := range line[1:] {
+		if c < '0' || c > '9' {
+			break
+		}
+		n = n*10 + int(c-'0')
+	}
+	*ts = n
+	return 1, nil
+}
+
+func TestWriteVCDShapeMismatch(t *testing.T) {
+	lib := model.Default()
+	g, err := tgff.Generate(tgff.Config{N: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteVCD(&sb, g, lib, &datapath.Datapath{}, nil); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}

@@ -1,0 +1,301 @@
+// Package ilp builds and solves the integer linear programming
+// formulation of the combined scheduling, resource binding and
+// wordlength selection problem introduced in Constantinides, Cheung and
+// Luk, "Optimal datapath allocation for multiple-wordlength systems"
+// (Electronics Letters 36(17), reference [5] of the paper) — the
+// optimal method the DATE 2001 heuristic is evaluated against.
+//
+// The model is time-indexed. For every operation o, compatible resource
+// kind r and feasible start step t there is a binary x_{o,r,t}; for every
+// kind r an instance count n_r:
+//
+//	min   Σ_r area(r)·n_r
+//	s.t.  Σ_{r,t} x_{o,r,t} = 1                        ∀o          (assignment)
+//	      Σ t·x_{o2} − Σ (t+ℓ(r))·x_{o1} ≥ 0           ∀(o1,o2)∈S  (precedence)
+//	      Σ_o Σ_{τ∈(t−ℓ(r), t]} x_{o,r,τ} ≤ n_r        ∀r, t        (usage)
+//
+// As the paper notes, the variable count scales with the latency
+// constraint λ (through the start-step windows), which is what makes the
+// ILP's execution time explode as λ relaxes (Table 2) while the
+// heuristic's does not. Instance counts n_r are left continuous: with
+// integral x the usage maxima are integral, so an optimal basic solution
+// has integral n_r.
+package ilp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/datapath"
+	"repro/internal/dfg"
+	"repro/internal/lp"
+	"repro/internal/model"
+)
+
+// ErrInfeasible is returned when λ is below λ_min.
+var ErrInfeasible = errors.New("ilp: latency constraint infeasible")
+
+// Options controls the solve.
+type Options struct {
+	// TimeLimit caps the branch-and-bound wall clock (the paper's
+	// Table 2 caps the ILP at 30 minutes). Zero means no limit.
+	TimeLimit time.Duration
+	// NodeLimit caps branch-and-bound nodes. Zero means no limit.
+	NodeLimit int
+	// Incumbent optionally primes the upper bound with a feasible
+	// datapath (e.g. the heuristic's), exactly like handing lp_solve a
+	// known solution.
+	Incumbent *datapath.Datapath
+}
+
+// Result of an ILP solve.
+type Result struct {
+	DP       *datapath.Datapath // optimal (or best-found under caps) datapath
+	Area     int64
+	Vars     int
+	Rows     int
+	Nodes    int
+	TimedOut bool // caps hit: Area/DP are the best found, not proven optimal
+}
+
+// Solve builds and solves the ILP for the graph under λ.
+func Solve(d *dfg.Graph, lib *model.Library, lambda int, opt Options) (*Result, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if d.N() == 0 {
+		return &Result{DP: &datapath.Datapath{}}, nil
+	}
+	lmin, err := d.MinMakespan(lib)
+	if err != nil {
+		return nil, err
+	}
+	if lambda < lmin {
+		return nil, fmt.Errorf("%w: λ=%d < λ_min=%d", ErrInfeasible, lambda, lmin)
+	}
+
+	m, vars, kinds, err := buildModel(d, lib, lambda)
+	if err != nil {
+		return nil, err
+	}
+
+	mopt := lp.MILPOptions{TimeLimit: opt.TimeLimit, NodeLimit: opt.NodeLimit}
+	if opt.Incumbent != nil {
+		mopt.Incumbent = float64(opt.Incumbent.Area(lib))
+		mopt.IncumbentSet = true
+	}
+	res, err := lp.SolveMILP(m, mopt)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Vars: m.NumVars, Rows: len(m.Cons), Nodes: res.Nodes, TimedOut: res.TimedOut}
+	switch {
+	case res.HasX:
+		dp, err := extract(d, lib, vars, kinds, res.X)
+		if err != nil {
+			return nil, err
+		}
+		if err := dp.Verify(d, lib, lambda); err != nil {
+			return nil, fmt.Errorf("ilp: solution fails verification: %w", err)
+		}
+		out.DP = dp
+		out.Area = dp.Area(lib)
+	case opt.Incumbent != nil && !math.IsInf(res.Obj, 1):
+		// The search never improved on the primed incumbent: the
+		// incumbent is optimal (or best known under caps).
+		out.DP = opt.Incumbent
+		out.Area = opt.Incumbent.Area(lib)
+	default:
+		return nil, fmt.Errorf("ilp: no feasible solution found (status %v, λ=%d)", res.Status, lambda)
+	}
+	return out, nil
+}
+
+// xvar identifies one x_{o,r,t} binary.
+type xvar struct {
+	op   dfg.OpID
+	kind int
+	t    int
+}
+
+// buildModel constructs the MILP.
+func buildModel(d *dfg.Graph, lib *model.Library, lambda int) (*lp.MILP, []xvar, []model.Kind, error) {
+	n := d.N()
+	kinds := model.ExtractKinds(d.Specs(), lib)
+	klat := make([]int, len(kinds))
+	for ki, k := range kinds {
+		klat[ki] = lib.Latency(k)
+	}
+
+	// Start-step windows: ASAP with minimum latencies to λ−ℓ(r)−tail,
+	// tail = downstream minimum-latency path (as in internal/exact).
+	minLat := d.MinLatencies(lib)
+	asap, _, err := d.ASAP(minLat)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	order, _ := d.TopoOrder()
+	tail := make([]int, n)
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		for _, s := range d.Succ(id) {
+			if v := minLat(s) + tail[s]; v > tail[id] {
+				tail[id] = v
+			}
+		}
+	}
+
+	var vars []xvar
+	varOf := make(map[xvar]int)
+	xOf := make([][]int, n) // variable indices per op
+	for o := 0; o < n; o++ {
+		spec := d.Op(dfg.OpID(o)).Spec
+		for ki, k := range kinds {
+			if !k.Covers(spec.Type, spec.Sig) {
+				continue
+			}
+			for t := asap[o]; t <= lambda-klat[ki]-tail[o]; t++ {
+				v := xvar{dfg.OpID(o), ki, t}
+				varOf[v] = len(vars)
+				xOf[o] = append(xOf[o], len(vars))
+				vars = append(vars, v)
+			}
+		}
+		if len(xOf[o]) == 0 {
+			return nil, nil, nil, fmt.Errorf("%w: operation %d has no feasible (kind, step)", ErrInfeasible, o)
+		}
+	}
+	nX := len(vars)
+	nVars := nX + len(kinds) // n_r follow the binaries
+
+	m := &lp.MILP{
+		Problem: lp.Problem{
+			NumVars:   nVars,
+			Objective: make([]float64, nVars),
+			Upper:     make([]float64, nVars),
+		},
+	}
+	for j := 0; j < nX; j++ {
+		m.Upper[j] = 1
+		m.Integer = append(m.Integer, j)
+	}
+	for ki := range kinds {
+		m.Objective[nX+ki] = float64(lib.Area(kinds[ki]))
+		m.Upper[nX+ki] = math.Inf(1)
+	}
+
+	// Assignment rows.
+	for o := 0; o < n; o++ {
+		c := lp.Constraint{Sense: lp.EQ, RHS: 1}
+		for _, j := range xOf[o] {
+			c.Idx = append(c.Idx, j)
+			c.Coef = append(c.Coef, 1)
+		}
+		m.Cons = append(m.Cons, c)
+	}
+	// Precedence rows.
+	for o1 := 0; o1 < n; o1++ {
+		for _, o2 := range d.Succ(dfg.OpID(o1)) {
+			c := lp.Constraint{Sense: lp.GE, RHS: 0}
+			for _, j := range xOf[o2] {
+				c.Idx = append(c.Idx, j)
+				c.Coef = append(c.Coef, float64(vars[j].t))
+			}
+			for _, j := range xOf[o1] {
+				c.Idx = append(c.Idx, j)
+				c.Coef = append(c.Coef, -float64(vars[j].t+klat[vars[j].kind]))
+			}
+			m.Cons = append(m.Cons, c)
+		}
+	}
+	// Usage rows: only for steps where some x could be active.
+	for ki := range kinds {
+		for t := 0; t < lambda; t++ {
+			var idx []int
+			for o := 0; o < n; o++ {
+				for _, j := range xOf[o] {
+					if vars[j].kind == ki && vars[j].t <= t && t < vars[j].t+klat[ki] {
+						idx = append(idx, j)
+					}
+				}
+			}
+			if len(idx) == 0 {
+				continue
+			}
+			c := lp.Constraint{Sense: lp.LE, RHS: 0}
+			for _, j := range idx {
+				c.Idx = append(c.Idx, j)
+				c.Coef = append(c.Coef, 1)
+			}
+			c.Idx = append(c.Idx, nX+ki)
+			c.Coef = append(c.Coef, -1)
+			m.Cons = append(m.Cons, c)
+		}
+	}
+	return m, vars, kinds, nil
+}
+
+// extract converts an integral solution vector into a datapath via greedy
+// interval colouring per kind.
+func extract(d *dfg.Graph, lib *model.Library, vars []xvar, kinds []model.Kind, x []float64) (*datapath.Datapath, error) {
+	n := d.N()
+	start := make([]int, n)
+	kindOf := make([]int, n)
+	seen := make([]bool, n)
+	for j, v := range vars {
+		if x[j] > 0.5 {
+			if seen[v.op] {
+				return nil, fmt.Errorf("ilp: operation %d assigned twice", v.op)
+			}
+			seen[v.op] = true
+			start[v.op] = v.t
+			kindOf[v.op] = v.kind
+		}
+	}
+	for o := 0; o < n; o++ {
+		if !seen[o] {
+			return nil, fmt.Errorf("ilp: operation %d unassigned", o)
+		}
+	}
+	dp := &datapath.Datapath{Start: start, InstOf: make([]int, n)}
+	type slot struct {
+		kind int
+		free int
+		ops  []dfg.OpID
+	}
+	var slots []*slot
+	byStart := make([]dfg.OpID, n)
+	for i := range byStart {
+		byStart[i] = dfg.OpID(i)
+	}
+	sort.Slice(byStart, func(a, b int) bool {
+		if start[byStart[a]] != start[byStart[b]] {
+			return start[byStart[a]] < start[byStart[b]]
+		}
+		return byStart[a] < byStart[b]
+	})
+	for _, o := range byStart {
+		ki := kindOf[o]
+		placed := false
+		for si, sl := range slots {
+			if sl.kind == ki && sl.free <= start[o] {
+				sl.ops = append(sl.ops, o)
+				sl.free = start[o] + lib.Latency(kinds[ki])
+				dp.InstOf[o] = si
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			slots = append(slots, &slot{kind: ki, free: start[o] + lib.Latency(kinds[ki]), ops: []dfg.OpID{o}})
+			dp.InstOf[o] = len(slots) - 1
+		}
+	}
+	for _, sl := range slots {
+		dp.Instances = append(dp.Instances, datapath.Instance{Kind: kinds[sl.kind], Ops: sl.ops})
+	}
+	return dp, nil
+}

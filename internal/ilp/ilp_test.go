@@ -1,0 +1,180 @@
+package ilp
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dfg"
+	"repro/internal/exact"
+	"repro/internal/model"
+	"repro/internal/tgff"
+)
+
+func TestSolveEmptyAndInfeasible(t *testing.T) {
+	lib := model.Default()
+	r, err := Solve(dfg.New(), lib, 0, Options{})
+	if err != nil || len(r.DP.Instances) != 0 {
+		t.Fatalf("%v %v", r, err)
+	}
+	d := dfg.New()
+	d.AddOp("", model.Mul, model.Sig(8, 8))
+	if _, err := Solve(d, lib, 1, Options{}); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestSolveSingleOp(t *testing.T) {
+	d := dfg.New()
+	d.AddOp("", model.Mul, model.Sig(8, 8))
+	lib := model.Default()
+	r, err := Solve(d, lib, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Area != 64 {
+		t.Fatalf("area = %d", r.Area)
+	}
+	if err := r.DP.Verify(d, lib, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveOptimalSharing(t *testing.T) {
+	// Same scenario as the exact test: λ=10 → 360, λ=5 → 424.
+	d := dfg.New()
+	d.AddOp("", model.Mul, model.Sig(20, 18))
+	d.AddOp("", model.Mul, model.Sig(8, 8))
+	lib := model.Default()
+	r, err := Solve(d, lib, 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Area != 360 {
+		t.Fatalf("λ=10 area = %d, want 360", r.Area)
+	}
+	r, err = Solve(d, lib, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Area != 424 {
+		t.Fatalf("λ=5 area = %d, want 424", r.Area)
+	}
+}
+
+// TestMatchesExactOptimum is the core cross-check: two independent
+// implementations of the optimum must agree on random instances.
+func TestMatchesExactOptimum(t *testing.T) {
+	lib := model.Default()
+	for seed := int64(0); seed < 25; seed++ {
+		g, err := tgff.Generate(tgff.Config{N: 5, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lmin, err := g.MinMakespan(lib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, lambda := range []int{lmin, lmin + 2} {
+			want, _, err := exact.Allocate(g, lib, lambda, exact.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Solve(g, lib, lambda, Options{})
+			if err != nil {
+				t.Fatalf("seed %d λ %d: %v", seed, lambda, err)
+			}
+			if got.TimedOut {
+				t.Fatalf("seed %d: unexpected cap", seed)
+			}
+			if got.Area != want.Area(lib) {
+				t.Fatalf("seed %d λ %d: ILP %d, exact %d", seed, lambda, got.Area, want.Area(lib))
+			}
+			if err := got.DP.Verify(g, lib, lambda); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestIncumbentPriming(t *testing.T) {
+	lib := model.Default()
+	g, err := tgff.Generate(tgff.Config{N: 6, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmin, err := g.MinMakespan(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _, err := core.Allocate(g, lib, lmin, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Solve(g, lib, lmin, Options{Incumbent: h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Area > h.Area(lib) {
+		t.Fatalf("ILP %d worse than its incumbent %d", r.Area, h.Area(lib))
+	}
+	// Cross-check against exact.
+	want, _, err := exact.Allocate(g, lib, lmin, exact.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Area != want.Area(lib) {
+		t.Fatalf("ILP-with-incumbent %d, exact %d", r.Area, want.Area(lib))
+	}
+}
+
+func TestTimeLimitReturnsIncumbent(t *testing.T) {
+	lib := model.Default()
+	g, err := tgff.Generate(tgff.Config{N: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmin, err := g.MinMakespan(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _, err := core.Allocate(g, lib, lmin+4, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Solve(g, lib, lmin+4, Options{Incumbent: h, TimeLimit: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.TimedOut {
+		t.Fatal("time limit not reported")
+	}
+	if r.DP == nil || r.Area != h.Area(lib) {
+		t.Fatalf("capped solve must return the incumbent: %+v", r)
+	}
+}
+
+func TestModelSizeScalesWithLambda(t *testing.T) {
+	// The paper's observation behind Table 2: variable count grows with λ.
+	lib := model.Default()
+	g, err := tgff.Generate(tgff.Config{N: 9, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmin, err := g.MinMakespan(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, _, _, err := buildModel(g, lib, lmin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _, _, err := buildModel(g, lib, lmin+lmin/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.NumVars <= m1.NumVars {
+		t.Fatalf("vars did not grow with λ: %d vs %d", m1.NumVars, m2.NumVars)
+	}
+}

@@ -1,0 +1,152 @@
+package lp
+
+import (
+	"math"
+	"time"
+)
+
+// MILP is a mixed-integer program: the base LP plus integrality
+// requirements on a subset of variables.
+type MILP struct {
+	Problem
+	Integer []int // variable indices required to take integral values
+}
+
+// MILPOptions controls the branch-and-bound search.
+type MILPOptions struct {
+	// TimeLimit stops the search when exceeded; the best incumbent (if
+	// any) is returned with TimedOut set. Zero means no limit.
+	TimeLimit time.Duration
+	// NodeLimit bounds the number of LP relaxations solved. Zero means
+	// no limit.
+	NodeLimit int
+	// Incumbent optionally warm-starts the upper bound with a known
+	// feasible objective value (e.g. from a heuristic). Use math.Inf(1)
+	// or leave zero-valued IncumbentSet to disable.
+	Incumbent    float64
+	IncumbentSet bool
+}
+
+// MILPResult reports the outcome of SolveMILP.
+type MILPResult struct {
+	Status   Status // Optimal means proven; see TimedOut for caps
+	X        []float64
+	Obj      float64
+	Nodes    int
+	TimedOut bool // the limit was hit; Obj/X hold the best incumbent
+	HasX     bool // an integral solution was found
+}
+
+const intEps = 1e-6
+
+// SolveMILP minimises the MILP by LP-based depth-first branch and bound,
+// branching on the most fractional integer variable.
+func SolveMILP(m *MILP, opt MILPOptions) (*MILPResult, error) {
+	res := &MILPResult{Status: Infeasible, Obj: math.Inf(1)}
+	if opt.IncumbentSet {
+		res.Obj = opt.Incumbent
+	}
+	deadline := time.Time{}
+	if opt.TimeLimit > 0 {
+		deadline = time.Now().Add(opt.TimeLimit)
+	}
+
+	isInt := make([]bool, m.NumVars)
+	for _, j := range m.Integer {
+		isInt[j] = true
+	}
+
+	// Node-local bounds start from the problem bounds.
+	lower := make([]float64, m.NumVars)
+	upper := make([]float64, m.NumVars)
+	for j := 0; j < m.NumVars; j++ {
+		if m.Lower != nil {
+			lower[j] = m.Lower[j]
+		}
+		if m.Upper != nil {
+			upper[j] = m.Upper[j]
+		} else {
+			upper[j] = math.Inf(1)
+		}
+	}
+
+	type node struct {
+		fixLo, fixHi []float64
+	}
+	stack := []node{{append([]float64(nil), lower...), append([]float64(nil), upper...)}}
+
+	for len(stack) > 0 {
+		if opt.NodeLimit > 0 && res.Nodes >= opt.NodeLimit {
+			res.TimedOut = true
+			break
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			res.TimedOut = true
+			break
+		}
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		res.Nodes++
+
+		sub := m.Problem
+		sub.Lower = nd.fixLo
+		sub.Upper = nd.fixHi
+		sol, err := Solve(&sub)
+		if err != nil {
+			return nil, err
+		}
+		if sol.Status == Infeasible {
+			continue
+		}
+		if sol.Status == Unbounded {
+			// With all-nonnegative bounded binaries this cannot happen
+			// for our models; report as unbounded overall.
+			res.Status = Unbounded
+			return res, nil
+		}
+		if sol.Obj >= res.Obj-1e-7 {
+			continue // bound: cannot beat the incumbent
+		}
+		// Find the most fractional integer variable.
+		branch, frac := -1, 0.0
+		for _, j := range m.Integer {
+			f := sol.X[j] - math.Floor(sol.X[j])
+			d := math.Min(f, 1-f)
+			if d > intEps && d > frac {
+				branch, frac = j, d
+			}
+		}
+		if branch < 0 {
+			// Integral: new incumbent.
+			res.Obj = sol.Obj
+			res.X = append(res.X[:0], sol.X...)
+			res.HasX = true
+			res.Status = Optimal
+			continue
+		}
+		lo := math.Floor(sol.X[branch])
+		// Down branch: x ≤ lo; up branch: x ≥ lo+1. Push the up branch
+		// first so the down branch (usually binding in 0/1 problems) is
+		// explored first.
+		up := node{append([]float64(nil), nd.fixLo...), append([]float64(nil), nd.fixHi...)}
+		up.fixLo[branch] = lo + 1
+		if up.fixLo[branch] <= up.fixHi[branch]+eps {
+			stack = append(stack, up)
+		}
+		down := node{append([]float64(nil), nd.fixLo...), append([]float64(nil), nd.fixHi...)}
+		down.fixHi[branch] = lo
+		if down.fixLo[branch] <= down.fixHi[branch]+eps {
+			stack = append(stack, down)
+		}
+	}
+
+	if !res.HasX && opt.IncumbentSet && !math.IsInf(res.Obj, 1) {
+		// The warm-start incumbent remains the best known objective but
+		// we never found (nor needed) its solution vector here.
+		res.Status = Optimal
+	}
+	if res.TimedOut && !res.HasX && !opt.IncumbentSet {
+		res.Status = Infeasible
+	}
+	return res, nil
+}

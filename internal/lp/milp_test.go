@@ -1,0 +1,224 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestMILPKnapsack(t *testing.T) {
+	// max 10a + 13b + 7c s.t. 3a + 4b + 2c ≤ 6, binary.
+	// Optimum: a=0, b=1, c=1 → 20. (a=1,c=1: 17; a=1,b=1: weight 7 ✗)
+	m := &MILP{
+		Problem: Problem{
+			NumVars:   3,
+			Objective: []float64{-10, -13, -7},
+			Cons:      []Constraint{{Idx: []int{0, 1, 2}, Coef: []float64{3, 4, 2}, Sense: LE, RHS: 6}},
+			Upper:     []float64{1, 1, 1},
+		},
+		Integer: []int{0, 1, 2},
+	}
+	r, err := SolveMILP(m, MILPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Optimal || !almost(r.Obj, -20) {
+		t.Fatalf("%+v", r)
+	}
+	if !almost(r.X[1], 1) || !almost(r.X[2], 1) || !almost(r.X[0], 0) {
+		t.Fatalf("x = %v", r.X)
+	}
+}
+
+func TestMILPIntegerRounding(t *testing.T) {
+	// min x s.t. 2x ≥ 3, x integer → x=2.
+	m := &MILP{
+		Problem: Problem{
+			NumVars:   1,
+			Objective: []float64{1},
+			Cons:      []Constraint{{Idx: []int{0}, Coef: []float64{2}, Sense: GE, RHS: 3}},
+		},
+		Integer: []int{0},
+	}
+	r, err := SolveMILP(m, MILPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Optimal || !almost(r.X[0], 2) {
+		t.Fatalf("%+v", r)
+	}
+}
+
+func TestMILPInfeasible(t *testing.T) {
+	// 0.4 ≤ x ≤ 0.6, x integer: LP feasible, no integral point.
+	m := &MILP{
+		Problem: Problem{
+			NumVars:   1,
+			Objective: []float64{1},
+			Lower:     []float64{0.4},
+			Upper:     []float64{0.6},
+		},
+		Integer: []int{0},
+	}
+	r, err := SolveMILP(m, MILPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Infeasible || r.HasX {
+		t.Fatalf("%+v", r)
+	}
+}
+
+func TestMILPWarmStartPrunes(t *testing.T) {
+	// With an incumbent equal to the optimum, the search proves
+	// optimality without necessarily producing X.
+	m := &MILP{
+		Problem: Problem{
+			NumVars:   2,
+			Objective: []float64{1, 1},
+			Cons:      []Constraint{{Idx: []int{0, 1}, Coef: []float64{1, 1}, Sense: GE, RHS: 2}},
+			Upper:     []float64{1, 1},
+		},
+		Integer: []int{0, 1},
+	}
+	r, err := SolveMILP(m, MILPOptions{Incumbent: 2, IncumbentSet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Optimal || r.Obj > 2+1e-9 {
+		t.Fatalf("%+v", r)
+	}
+}
+
+func TestMILPNodeLimit(t *testing.T) {
+	m := &MILP{
+		Problem: Problem{
+			NumVars:   6,
+			Objective: []float64{-1, -1, -1, -1, -1, -1},
+			Cons: []Constraint{
+				{Idx: []int{0, 1, 2, 3, 4, 5}, Coef: []float64{3, 5, 7, 9, 11, 13}, Sense: LE, RHS: 17},
+			},
+			Upper: []float64{1, 1, 1, 1, 1, 1},
+		},
+		Integer: []int{0, 1, 2, 3, 4, 5},
+	}
+	r, err := SolveMILP(m, MILPOptions{NodeLimit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.TimedOut {
+		t.Fatalf("node limit not honoured: %+v", r)
+	}
+}
+
+func TestMILPTimeLimit(t *testing.T) {
+	m := &MILP{
+		Problem: Problem{
+			NumVars:   1,
+			Objective: []float64{1},
+			Upper:     []float64{1},
+		},
+		Integer: []int{0},
+	}
+	// A 1ns budget elapses before the first node.
+	r, err := SolveMILP(m, MILPOptions{TimeLimit: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.TimedOut {
+		t.Fatalf("time limit not honoured: %+v", r)
+	}
+}
+
+// bruteBinary enumerates all 0/1 assignments.
+func bruteBinary(m *MILP) (float64, bool) {
+	n := m.NumVars
+	best, found := math.Inf(1), false
+	for mask := 0; mask < 1<<n; mask++ {
+		x := make([]float64, n)
+		for j := 0; j < n; j++ {
+			if mask&(1<<j) != 0 {
+				x[j] = 1
+			}
+		}
+		ok := true
+		for _, c := range m.Cons {
+			var lhs float64
+			for k, j := range c.Idx {
+				lhs += c.Coef[k] * x[j]
+			}
+			switch c.Sense {
+			case LE:
+				ok = ok && lhs <= c.RHS+1e-9
+			case GE:
+				ok = ok && lhs >= c.RHS-1e-9
+			case EQ:
+				ok = ok && math.Abs(lhs-c.RHS) <= 1e-9
+			}
+		}
+		if !ok {
+			continue
+		}
+		var obj float64
+		for j := range x {
+			obj += m.Objective[j] * x[j]
+		}
+		if obj < best {
+			best, found = obj, true
+		}
+	}
+	return best, found
+}
+
+func TestMILPMatchesBruteForce(t *testing.T) {
+	rnd := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 150; trial++ {
+		n := 1 + rnd.Intn(7)
+		m := &MILP{
+			Problem: Problem{
+				NumVars:   n,
+				Objective: make([]float64, n),
+				Upper:     make([]float64, n),
+			},
+		}
+		for j := 0; j < n; j++ {
+			m.Objective[j] = float64(rnd.Intn(21) - 10)
+			m.Upper[j] = 1
+			m.Integer = append(m.Integer, j)
+		}
+		rows := 1 + rnd.Intn(4)
+		for i := 0; i < rows; i++ {
+			var idx []int
+			var coef []float64
+			for j := 0; j < n; j++ {
+				if rnd.Intn(2) == 0 {
+					idx = append(idx, j)
+					coef = append(coef, float64(rnd.Intn(9)-4))
+				}
+			}
+			if len(idx) == 0 {
+				continue
+			}
+			sense := []Sense{LE, GE, EQ}[rnd.Intn(3)]
+			m.Cons = append(m.Cons, Constraint{idx, coef, sense, float64(rnd.Intn(7) - 3)})
+		}
+		want, feasible := bruteBinary(m)
+		r, err := SolveMILP(m, MILPOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !feasible {
+			if r.Status != Infeasible {
+				t.Fatalf("trial %d: want infeasible, got %+v", trial, r)
+			}
+			continue
+		}
+		if r.Status != Optimal || !r.HasX {
+			t.Fatalf("trial %d: status %v HasX %v, want optimal", trial, r.Status, r.HasX)
+		}
+		if math.Abs(r.Obj-want) > 1e-6 {
+			t.Fatalf("trial %d: obj %v, brute force %v", trial, r.Obj, want)
+		}
+	}
+}

@@ -1,0 +1,429 @@
+// Package lp is a self-contained linear and mixed-integer linear
+// programming solver: a dense two-phase primal simplex and a depth-first
+// branch-and-bound wrapper. It stands in for the lp_solve package
+// (reference [15]) the paper used to solve the ILP formulation of the
+// combined scheduling, binding and wordlength selection problem.
+//
+// The solver targets the modest, mostly 0/1 problems produced by
+// internal/ilp: hundreds of variables and rows. All variables are
+// non-negative; optional finite lower/upper bounds are handled as
+// explicit rows for simplicity and verifiability over speed.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense of a linear constraint.
+type Sense int8
+
+// Constraint senses.
+const (
+	LE Sense = iota // Σ a_j x_j ≤ b
+	GE              // Σ a_j x_j ≥ b
+	EQ              // Σ a_j x_j = b
+)
+
+// Constraint is one sparse row.
+type Constraint struct {
+	Idx   []int     // variable indices
+	Coef  []float64 // matching coefficients
+	Sense Sense
+	RHS   float64
+}
+
+// Problem is min cᵀx s.t. constraints, 0 ≤ Lower ≤ x ≤ Upper.
+// Nil Lower means all zeros; nil Upper means all +Inf.
+type Problem struct {
+	NumVars   int
+	Objective []float64 // length NumVars; minimised
+	Cons      []Constraint
+	Lower     []float64 // optional; entries must be ≥ 0
+	Upper     []float64 // optional; math.Inf(1) for unbounded
+}
+
+// Status of a solve.
+type Status int8
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int8(s))
+	}
+}
+
+// Solution of an LP.
+type Solution struct {
+	Status Status
+	X      []float64
+	Obj    float64
+	Iters  int
+}
+
+const (
+	eps     = 1e-9
+	feasEps = 1e-7
+)
+
+// ErrNumeric is returned when the simplex exceeds its iteration budget,
+// indicating numerical cycling beyond what Bland's rule resolves.
+var ErrNumeric = errors.New("lp: iteration budget exceeded")
+
+// Solve runs two-phase primal simplex.
+func Solve(p *Problem) (*Solution, error) {
+	if err := validate(p); err != nil {
+		return nil, err
+	}
+	rows := buildRows(p)
+	m := len(rows)
+	n := p.NumVars
+
+	// Layout: columns 0..n-1 structural, n..n+m-1 slack/surplus,
+	// then artificials as needed.
+	type rowInfo struct {
+		slack int // column of slack/surplus, -1 if none
+		art   int // column of artificial, -1 if none
+	}
+	info := make([]rowInfo, m)
+	cols := n
+	for i, r := range rows {
+		switch r.sense {
+		case LE:
+			info[i] = rowInfo{slack: cols, art: -1}
+			cols++
+		case GE:
+			info[i] = rowInfo{slack: cols, art: cols + 1}
+			cols += 2
+		case EQ:
+			info[i] = rowInfo{slack: -1, art: cols}
+			cols++
+		}
+	}
+
+	// Dense tableau: m rows × cols, plus RHS column.
+	t := newTableau(m, cols)
+	basis := make([]int, m)
+	for i, r := range rows {
+		for k, j := range r.idx {
+			t.a[i][j] = r.coef[k]
+		}
+		t.b[i] = r.rhs
+		switch {
+		case r.sense == LE:
+			t.a[i][info[i].slack] = 1
+			basis[i] = info[i].slack
+		case r.sense == GE:
+			t.a[i][info[i].slack] = -1
+			t.a[i][info[i].art] = 1
+			basis[i] = info[i].art
+		default:
+			t.a[i][info[i].art] = 1
+			basis[i] = info[i].art
+		}
+	}
+
+	isArt := make([]bool, cols)
+	haveArt := false
+	for i := range rows {
+		if info[i].art >= 0 {
+			isArt[info[i].art] = true
+			haveArt = true
+		}
+	}
+
+	var iters int
+	if haveArt {
+		// Phase 1: minimise the sum of artificials.
+		c1 := make([]float64, cols)
+		for j := range c1 {
+			if isArt[j] {
+				c1[j] = 1
+			}
+		}
+		it, st := t.iterate(c1, basis, nil)
+		iters += it
+		if st == stIterLimit {
+			return nil, ErrNumeric
+		}
+		obj1 := t.objValue(c1, basis)
+		if obj1 > feasEps {
+			return &Solution{Status: Infeasible, Iters: iters}, nil
+		}
+		// Pivot any artificial still basic (at zero) out if possible.
+		for i := 0; i < m; i++ {
+			if !isArt[basis[i]] {
+				continue
+			}
+			done := false
+			for j := 0; j < cols && !done; j++ {
+				if !isArt[j] && math.Abs(t.a[i][j]) > eps {
+					t.pivot(i, j)
+					basis[i] = j
+					done = true
+				}
+			}
+			// If the row is all zeros over non-artificials it is
+			// redundant; the artificial stays basic at value 0, which is
+			// harmless as long as its column is barred from re-entering.
+		}
+	}
+
+	// Phase 2.
+	c2 := make([]float64, cols)
+	copy(c2, p.Objective)
+	it, st := t.iterate(c2, basis, isArt)
+	iters += it
+	switch st {
+	case stIterLimit:
+		return nil, ErrNumeric
+	case stUnbounded:
+		return &Solution{Status: Unbounded, Iters: iters}, nil
+	}
+
+	x := make([]float64, p.NumVars)
+	for i, bj := range basis {
+		if bj < p.NumVars {
+			x[bj] = t.b[i]
+		}
+	}
+	var obj float64
+	for j, c := range p.Objective {
+		obj += c * x[j]
+	}
+	return &Solution{Status: Optimal, X: x, Obj: obj, Iters: iters}, nil
+}
+
+func validate(p *Problem) error {
+	if p.NumVars < 0 {
+		return fmt.Errorf("lp: negative variable count")
+	}
+	if len(p.Objective) != p.NumVars {
+		return fmt.Errorf("lp: objective has %d entries for %d variables", len(p.Objective), p.NumVars)
+	}
+	if p.Lower != nil && len(p.Lower) != p.NumVars {
+		return fmt.Errorf("lp: Lower has %d entries for %d variables", len(p.Lower), p.NumVars)
+	}
+	if p.Upper != nil && len(p.Upper) != p.NumVars {
+		return fmt.Errorf("lp: Upper has %d entries for %d variables", len(p.Upper), p.NumVars)
+	}
+	for ci, c := range p.Cons {
+		if len(c.Idx) != len(c.Coef) {
+			return fmt.Errorf("lp: constraint %d has %d indices, %d coefficients", ci, len(c.Idx), len(c.Coef))
+		}
+		for _, j := range c.Idx {
+			if j < 0 || j >= p.NumVars {
+				return fmt.Errorf("lp: constraint %d references variable %d", ci, j)
+			}
+		}
+	}
+	if p.Lower != nil {
+		for j, l := range p.Lower {
+			if l < 0 {
+				return fmt.Errorf("lp: variable %d has negative lower bound %g", j, l)
+			}
+			if p.Upper != nil && p.Upper[j] < l {
+				return fmt.Errorf("lp: variable %d has empty bound range [%g, %g]", j, l, p.Upper[j])
+			}
+		}
+	}
+	return nil
+}
+
+// denseRow is a normalised constraint with non-negative RHS.
+type denseRow struct {
+	idx   []int
+	coef  []float64
+	sense Sense
+	rhs   float64
+}
+
+// buildRows merges the constraint list with bound rows and normalises
+// RHS signs.
+func buildRows(p *Problem) []denseRow {
+	var rows []denseRow
+	add := func(idx []int, coef []float64, s Sense, rhs float64) {
+		if rhs < 0 {
+			c2 := make([]float64, len(coef))
+			for i, v := range coef {
+				c2[i] = -v
+			}
+			coef = c2
+			rhs = -rhs
+			switch s {
+			case LE:
+				s = GE
+			case GE:
+				s = LE
+			}
+		}
+		rows = append(rows, denseRow{idx: idx, coef: coef, sense: s, rhs: rhs})
+	}
+	for _, c := range p.Cons {
+		add(c.Idx, c.Coef, c.Sense, c.RHS)
+	}
+	if p.Upper != nil {
+		for j, u := range p.Upper {
+			if !math.IsInf(u, 1) {
+				add([]int{j}, []float64{1}, LE, u)
+			}
+		}
+	}
+	if p.Lower != nil {
+		for j, l := range p.Lower {
+			if l > 0 {
+				add([]int{j}, []float64{1}, GE, l)
+			}
+		}
+	}
+	return rows
+}
+
+// ---- dense tableau ----
+
+type tableau struct {
+	a [][]float64
+	b []float64
+}
+
+func newTableau(m, cols int) *tableau {
+	t := &tableau{a: make([][]float64, m), b: make([]float64, m)}
+	backing := make([]float64, m*cols)
+	for i := range t.a {
+		t.a[i] = backing[i*cols : (i+1)*cols]
+	}
+	return t
+}
+
+func (t *tableau) pivot(pr, pc int) {
+	piv := t.a[pr][pc]
+	row := t.a[pr]
+	inv := 1 / piv
+	for j := range row {
+		row[j] *= inv
+	}
+	t.b[pr] *= inv
+	for i := range t.a {
+		if i == pr {
+			continue
+		}
+		f := t.a[i][pc]
+		if f == 0 {
+			continue
+		}
+		ri := t.a[i]
+		for j := range ri {
+			ri[j] -= f * row[j]
+		}
+		t.b[i] -= f * t.b[pr]
+	}
+}
+
+type iterStatus int8
+
+const (
+	stOptimal iterStatus = iota
+	stUnbounded
+	stIterLimit
+)
+
+// objValue computes cᵀx for the current basic solution.
+func (t *tableau) objValue(c []float64, basis []int) float64 {
+	var v float64
+	for i, bj := range basis {
+		v += c[bj] * t.b[i]
+	}
+	return v
+}
+
+// iterate runs primal simplex on the tableau for objective c (minimise).
+// banned columns (nil allowed) may never enter the basis — used to keep
+// artificials out in phase 2. Dantzig pricing with a switch to Bland's
+// rule to guarantee termination.
+func (t *tableau) iterate(c []float64, basis []int, banned []bool) (int, iterStatus) {
+	m := len(t.a)
+	if m == 0 {
+		return 0, stOptimal
+	}
+	cols := len(t.a[0])
+	// Reduced costs require the objective row in reduced form:
+	// z_j - c_j = c_B B⁻¹ A_j - c_j; we maintain it explicitly.
+	z := make([]float64, cols)
+	computeZ := func() {
+		for j := 0; j < cols; j++ {
+			var v float64
+			for i, bj := range basis {
+				v += c[bj] * t.a[i][j]
+			}
+			z[j] = v - c[j]
+		}
+	}
+	computeZ()
+
+	limit := 200 * (m + cols)
+	blandAfter := 20 * (m + cols)
+	for iter := 0; iter < limit; iter++ {
+		// Entering column: most positive z_j (Dantzig), or first
+		// positive (Bland) once past the cycling threshold.
+		pc := -1
+		if iter < blandAfter {
+			best := eps
+			for j := 0; j < cols; j++ {
+				if banned != nil && banned[j] {
+					continue
+				}
+				if z[j] > best {
+					best = z[j]
+					pc = j
+				}
+			}
+		} else {
+			for j := 0; j < cols; j++ {
+				if banned != nil && banned[j] {
+					continue
+				}
+				if z[j] > eps {
+					pc = j
+					break
+				}
+			}
+		}
+		if pc < 0 {
+			return iter, stOptimal
+		}
+		// Ratio test; Bland tie-break on smallest basis variable.
+		pr := -1
+		var bestRatio float64
+		for i := 0; i < m; i++ {
+			if t.a[i][pc] > eps {
+				r := t.b[i] / t.a[i][pc]
+				if pr < 0 || r < bestRatio-eps ||
+					(r < bestRatio+eps && basis[i] < basis[pr]) {
+					pr = i
+					bestRatio = r
+				}
+			}
+		}
+		if pr < 0 {
+			return iter, stUnbounded
+		}
+		t.pivot(pr, pc)
+		basis[pr] = pc
+		computeZ()
+	}
+	return limit, stIterLimit
+}

@@ -1,0 +1,264 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSolveTextbook(t *testing.T) {
+	// max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18  (Dantzig's example)
+	// → min -3x -5y; optimum x=2, y=6, obj=-36.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{-3, -5},
+		Cons: []Constraint{
+			{Idx: []int{0}, Coef: []float64{1}, Sense: LE, RHS: 4},
+			{Idx: []int{1}, Coef: []float64{2}, Sense: LE, RHS: 12},
+			{Idx: []int{0, 1}, Coef: []float64{3, 2}, Sense: LE, RHS: 18},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !almost(s.Obj, -36) {
+		t.Fatalf("status %v obj %v", s.Status, s.Obj)
+	}
+	if !almost(s.X[0], 2) || !almost(s.X[1], 6) {
+		t.Fatalf("x = %v", s.X)
+	}
+}
+
+func TestSolveEqualityAndGE(t *testing.T) {
+	// min x + 2y s.t. x + y = 10, x ≥ 3, y ≥ 2 → x=8, y=2, obj=12.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 2},
+		Cons: []Constraint{
+			{Idx: []int{0, 1}, Coef: []float64{1, 1}, Sense: EQ, RHS: 10},
+			{Idx: []int{0}, Coef: []float64{1}, Sense: GE, RHS: 3},
+			{Idx: []int{1}, Coef: []float64{1}, Sense: GE, RHS: 2},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !almost(s.Obj, 12) || !almost(s.X[0], 8) || !almost(s.X[1], 2) {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	p := &Problem{
+		NumVars:   1,
+		Objective: []float64{1},
+		Cons: []Constraint{
+			{Idx: []int{0}, Coef: []float64{1}, Sense: LE, RHS: 1},
+			{Idx: []int{0}, Coef: []float64{1}, Sense: GE, RHS: 2},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Infeasible {
+		t.Fatalf("status %v", s.Status)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	p := &Problem{
+		NumVars:   1,
+		Objective: []float64{-1}, // max x, no upper bound
+		Cons:      []Constraint{{Idx: []int{0}, Coef: []float64{1}, Sense: GE, RHS: 0}},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Unbounded {
+		t.Fatalf("status %v", s.Status)
+	}
+}
+
+func TestSolveWithBounds(t *testing.T) {
+	// min -x - y with x ≤ 2.5 (upper), y ∈ [1, 3].
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{-1, -1},
+		Lower:     []float64{0, 1},
+		Upper:     []float64{2.5, 3},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !almost(s.Obj, -5.5) {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestSolveNegativeRHS(t *testing.T) {
+	// -x ≤ -2 ⇔ x ≥ 2; min x → 2.
+	p := &Problem{
+		NumVars:   1,
+		Objective: []float64{1},
+		Cons:      []Constraint{{Idx: []int{0}, Coef: []float64{-1}, Sense: LE, RHS: -2}},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !almost(s.X[0], 2) {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestSolveDegenerate(t *testing.T) {
+	// A classic degenerate LP (Beale's cycling example shape) must still
+	// terminate thanks to the Bland fallback.
+	p := &Problem{
+		NumVars:   4,
+		Objective: []float64{-0.75, 150, -0.02, 6},
+		Cons: []Constraint{
+			{Idx: []int{0, 1, 2, 3}, Coef: []float64{0.25, -60, -0.04, 9}, Sense: LE, RHS: 0},
+			{Idx: []int{0, 1, 2, 3}, Coef: []float64{0.5, -90, -0.02, 3}, Sense: LE, RHS: 0},
+			{Idx: []int{2}, Coef: []float64{1}, Sense: LE, RHS: 1},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !almost(s.Obj, -0.05) {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []*Problem{
+		{NumVars: 1, Objective: []float64{1, 2}},
+		{NumVars: 1, Objective: []float64{1}, Cons: []Constraint{{Idx: []int{3}, Coef: []float64{1}}}},
+		{NumVars: 1, Objective: []float64{1}, Cons: []Constraint{{Idx: []int{0}, Coef: []float64{1, 2}}}},
+		{NumVars: 1, Objective: []float64{1}, Lower: []float64{-1}},
+		{NumVars: 1, Objective: []float64{1}, Lower: []float64{2}, Upper: []float64{1}},
+	}
+	for i, p := range bad {
+		if _, err := Solve(p); err == nil {
+			t.Errorf("bad problem %d accepted", i)
+		}
+	}
+}
+
+// TestRandomFeasible: build LPs around a known feasible point; the
+// solver must return a feasible solution at least as good.
+func TestRandomFeasible(t *testing.T) {
+	rnd := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rnd.Intn(8)
+		mRows := 1 + rnd.Intn(8)
+		x0 := make([]float64, n)
+		for j := range x0 {
+			x0[j] = float64(rnd.Intn(5))
+		}
+		p := &Problem{NumVars: n, Objective: make([]float64, n)}
+		for j := range p.Objective {
+			p.Objective[j] = float64(rnd.Intn(11)) // nonneg objective → bounded below by 0
+		}
+		for i := 0; i < mRows; i++ {
+			idx := []int{}
+			coef := []float64{}
+			var lhs float64
+			for j := 0; j < n; j++ {
+				if rnd.Intn(2) == 0 {
+					c := float64(1 + rnd.Intn(4))
+					idx = append(idx, j)
+					coef = append(coef, c)
+					lhs += c * x0[j]
+				}
+			}
+			if len(idx) == 0 {
+				continue
+			}
+			// x0 satisfies lhs ≤ lhs + slack and lhs ≥ lhs - slack.
+			if rnd.Intn(2) == 0 {
+				p.Cons = append(p.Cons, Constraint{idx, coef, LE, lhs + float64(rnd.Intn(3))})
+			} else {
+				p.Cons = append(p.Cons, Constraint{idx, coef, GE, lhs - float64(rnd.Intn(3))})
+			}
+		}
+		s, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Status != Optimal {
+			t.Fatalf("trial %d: status %v for feasible problem", trial, s.Status)
+		}
+		var objAtX0 float64
+		for j := range x0 {
+			objAtX0 += p.Objective[j] * x0[j]
+		}
+		if s.Obj > objAtX0+1e-6 {
+			t.Fatalf("trial %d: solver obj %v worse than feasible %v", trial, s.Obj, objAtX0)
+		}
+		checkFeasible(t, p, s.X)
+	}
+}
+
+func checkFeasible(t *testing.T, p *Problem, x []float64) {
+	t.Helper()
+	for j, v := range x {
+		lo := 0.0
+		if p.Lower != nil {
+			lo = p.Lower[j]
+		}
+		hi := math.Inf(1)
+		if p.Upper != nil {
+			hi = p.Upper[j]
+		}
+		if v < lo-1e-6 || v > hi+1e-6 {
+			t.Fatalf("x[%d]=%v outside [%v,%v]", j, v, lo, hi)
+		}
+	}
+	for ci, c := range p.Cons {
+		var lhs float64
+		for k, j := range c.Idx {
+			lhs += c.Coef[k] * x[j]
+		}
+		switch c.Sense {
+		case LE:
+			if lhs > c.RHS+1e-6 {
+				t.Fatalf("constraint %d violated: %v > %v", ci, lhs, c.RHS)
+			}
+		case GE:
+			if lhs < c.RHS-1e-6 {
+				t.Fatalf("constraint %d violated: %v < %v", ci, lhs, c.RHS)
+			}
+		case EQ:
+			if math.Abs(lhs-c.RHS) > 1e-6 {
+				t.Fatalf("constraint %d violated: %v != %v", ci, lhs, c.RHS)
+			}
+		}
+	}
+}
+
+func TestEmptyProblem(t *testing.T) {
+	s, err := Solve(&Problem{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || s.Obj != 0 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" ||
+		Unbounded.String() != "unbounded" || Status(9).String() == "" {
+		t.Error("status strings broken")
+	}
+}

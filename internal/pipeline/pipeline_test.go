@@ -1,0 +1,289 @@
+package pipeline
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datapath"
+	"repro/internal/dfg"
+	"repro/internal/fxsim"
+	"repro/internal/model"
+	"repro/internal/tgff"
+)
+
+func TestArcOverlaps(t *testing.T) {
+	cases := []struct {
+		a, b arc
+		ii   int
+		want bool
+	}{
+		{arc{0, 2}, arc{2, 2}, 4, false}, // {0,1} vs {2,3}
+		{arc{0, 2}, arc{0, 2}, 4, true},  // identical
+		{arc{0, 2}, arc{1, 1}, 4, true},  // b inside a
+		{arc{3, 2}, arc{0, 1}, 4, true},  // a wraps onto b
+		{arc{3, 1}, arc{0, 3}, 4, false}, // {3} vs {0,1,2}
+		{arc{1, 4}, arc{0, 1}, 4, true},  // a covers the whole period
+		{arc{2, 1}, arc{1, 1}, 3, false}, // singletons apart
+		{arc{2, 2}, arc{1, 1}, 3, true},  // a wraps {2,0}, b {1}? {2,0} vs {1}: disjoint!
+	}
+	// Correct the last case by brute force below rather than by eye.
+	for i, c := range cases {
+		got := c.a.overlaps(c.b, c.ii)
+		want := bruteOverlap(c.a, c.b, c.ii)
+		if got != want {
+			t.Errorf("case %d: overlaps(%+v, %+v, %d) = %v, brute force %v", i, c.a, c.b, c.ii, got, want)
+		}
+	}
+}
+
+// TestArcOverlapsExhaustive checks the closed form against brute force
+// over every arc pair for small periods.
+func TestArcOverlapsExhaustive(t *testing.T) {
+	for ii := 1; ii <= 6; ii++ {
+		for s1 := 0; s1 < ii; s1++ {
+			for l1 := 1; l1 <= ii; l1++ {
+				for s2 := 0; s2 < ii; s2++ {
+					for l2 := 1; l2 <= ii; l2++ {
+						a, b := arc{s1, l1}, arc{s2, l2}
+						if got, want := a.overlaps(b, ii), bruteOverlap(a, b, ii); got != want {
+							t.Fatalf("ii=%d %+v %+v: closed form %v, brute %v", ii, a, b, got, want)
+						}
+						// Symmetry.
+						if a.overlaps(b, ii) != b.overlaps(a, ii) {
+							t.Fatalf("ii=%d %+v %+v: asymmetric", ii, a, b)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func bruteOverlap(a, b arc, ii int) bool {
+	occ := make([]bool, ii)
+	for k := 0; k < a.l; k++ {
+		occ[(a.s+k)%ii] = true
+	}
+	for k := 0; k < b.l; k++ {
+		if occ[(b.s+k)%ii] {
+			return true
+		}
+	}
+	return false
+}
+
+// TestVerifyCatchesModuloCollision: two additions on one adder at starts
+// 0 and 4 are legal for a single iteration but collide at II = 4 (both
+// occupy cycles {0,1} mod 4).
+func TestVerifyCatchesModuloCollision(t *testing.T) {
+	lib := model.Default()
+	g := dfg.New()
+	x := g.AddOp("x", model.Add, model.AddSig(8))
+	y := g.AddOp("y", model.Add, model.AddSig(8))
+	dp := &datapath.Datapath{
+		Start:  []int{0, 4},
+		InstOf: []int{0, 0},
+		Instances: []datapath.Instance{
+			{Kind: model.Kind{Class: model.Add, Sig: model.AddSig(8)}, Ops: []dfg.OpID{x, y}},
+		},
+	}
+	if err := dp.Verify(g, lib, 6); err != nil {
+		t.Fatalf("single-iteration legality should hold: %v", err)
+	}
+	if err := Verify(g, lib, dp, 6, 4); err == nil {
+		t.Fatal("modulo collision not caught")
+	}
+	// At II = 6 the arcs are {0,1} and {4,5}: legal.
+	if err := Verify(g, lib, dp, 6, 6); err != nil {
+		t.Fatalf("II=6 should be legal: %v", err)
+	}
+	// At II = 5 arcs {0,1} and {4,0}: collide on 0.
+	if err := Verify(g, lib, dp, 6, 5); err == nil {
+		t.Fatal("II=5 wraparound collision not caught")
+	}
+}
+
+func TestVerifyRejectsSlowInstance(t *testing.T) {
+	lib := model.Default()
+	g := dfg.New()
+	m := g.AddOp("m", model.Mul, model.Sig(16, 16)) // latency 4
+	dp := &datapath.Datapath{
+		Start:  []int{0},
+		InstOf: []int{0},
+		Instances: []datapath.Instance{
+			{Kind: model.Kind{Class: model.Mul, Sig: model.Sig(16, 16)}, Ops: []dfg.OpID{m}},
+		},
+	}
+	if err := Verify(g, lib, dp, 4, 3); err == nil {
+		t.Fatal("latency 4 unit accepted at II=3")
+	}
+	if err := Verify(g, lib, dp, 4, 4); err != nil {
+		t.Fatalf("latency 4 unit at II=4 should pass: %v", err)
+	}
+}
+
+func TestMinII(t *testing.T) {
+	lib := model.Default()
+	g := dfg.New()
+	g.AddOp("a", model.Add, model.AddSig(8))   // lat 2
+	g.AddOp("m", model.Mul, model.Sig(16, 16)) // lat 4
+	if got := MinII(g, lib); got != 4 {
+		t.Fatalf("MinII = %d, want 4", got)
+	}
+	if got := MinII(dfg.New(), lib); got != 1 {
+		t.Fatalf("MinII(empty) = %d, want 1", got)
+	}
+}
+
+func TestAllocateInfeasibleII(t *testing.T) {
+	lib := model.Default()
+	g := dfg.New()
+	g.AddOp("m", model.Mul, model.Sig(16, 16)) // fastest latency 4
+	lmin, err := g.MinMakespan(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Allocate(g, lib, lmin, 3, Options{})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("II below MinII: got %v, want ErrInfeasible", err)
+	}
+}
+
+func TestAllocateLambdaInfeasible(t *testing.T) {
+	lib := model.Default()
+	g, err := tgff.Generate(tgff.Config{N: 8, Seed: 3, Shape: tgff.ShapeChain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmin, err := g.MinMakespan(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Allocate(g, lib, lmin-1, lmin, Options{})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("λ below λ_min: got %v, want ErrInfeasible", err)
+	}
+}
+
+// TestAllocateLegalAcrossII: sweeping II from MinII upward must always
+// produce pipelined-legal, functionally correct datapaths, and a larger
+// II (more sharing freedom) must not produce a larger total area in
+// aggregate.
+func TestAllocateLegalAcrossII(t *testing.T) {
+	lib := model.Default()
+	for _, n := range []int{4, 8, 12} {
+		graphs, err := tgff.Batch(n, 6, 8800, tgff.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var prevSum int64 = -1
+		for _, f := range []float64{1.0, 1.5, 2.0} {
+			var sum int64
+			for gi, g := range graphs {
+				lmin, err := g.MinMakespan(lib)
+				if err != nil {
+					t.Fatal(err)
+				}
+				minII := MinII(g, lib)
+				ii := int(float64(minII) * f)
+				if ii < minII {
+					ii = minII
+				}
+				lambda := lmin + lmin/2
+				dp, stats, err := Allocate(g, lib, lambda, ii, Options{})
+				if err != nil {
+					t.Fatalf("n=%d g=%d ii=%d: %v", n, gi, ii, err)
+				}
+				if err := Verify(g, lib, dp, lambda, ii); err != nil {
+					t.Fatalf("n=%d g=%d ii=%d: %v", n, gi, ii, err)
+				}
+				if stats.Iterations < 1 {
+					t.Fatal("no iterations recorded")
+				}
+				if err := fxsim.CheckEquivalence(g, lib, dp, fxsim.Inputs{}); err != nil {
+					t.Fatalf("n=%d g=%d ii=%d: %v", n, gi, ii, err)
+				}
+				sum += dp.Area(lib)
+			}
+			if prevSum >= 0 && sum > prevSum+prevSum/10 {
+				t.Errorf("n=%d: aggregate area grew sharply as II relaxed: %d -> %d", n, prevSum, sum)
+			}
+			prevSum = sum
+		}
+	}
+}
+
+// TestPipelineCostsAreaVersusUnpipelined: at an II far below λ, the
+// pipelined datapath generally needs at least as much area as the
+// unpipelined allocation of the same graph, since overlap restricts
+// sharing.
+func TestPipelineCostsAreaVersusUnpipelined(t *testing.T) {
+	lib := model.Default()
+	graphs, err := tgff.Batch(10, 8, 9900, tgff.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pipelined, unpipelined int64
+	for _, g := range graphs {
+		lmin, err := g.MinMakespan(lib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lambda := lmin + lmin/2
+		dp, _, err := core.Allocate(g, lib, lambda, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		unpipelined += dp.Area(lib)
+		pdp, _, err := Allocate(g, lib, lambda, MinII(g, lib), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pipelined += pdp.Area(lib)
+	}
+	if pipelined < unpipelined {
+		t.Fatalf("aggregate pipelined area %d below unpipelined %d: sharing accounting is suspect",
+			pipelined, unpipelined)
+	}
+}
+
+// TestLargeIIMatchesPlainSharing: when II is at least λ, modulo
+// occupancy coincides with absolute occupancy, so the pipelined binder
+// must find real sharing (fewer instances than operations) on graphs
+// with slack.
+func TestLargeIIMatchesPlainSharing(t *testing.T) {
+	lib := model.Default()
+	g, err := tgff.Generate(tgff.Config{N: 10, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmin, err := g.MinMakespan(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda := lmin + lmin/2
+	dp, _, err := Allocate(g, lib, lambda, lambda, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dp.Instances) >= g.N() {
+		t.Fatalf("no sharing at II=λ: %d instances for %d ops", len(dp.Instances), g.N())
+	}
+}
+
+func TestAllocateEmptyAndBadInputs(t *testing.T) {
+	lib := model.Default()
+	dp, _, err := Allocate(dfg.New(), lib, 5, 2, Options{})
+	if err != nil || len(dp.Start) != 0 {
+		t.Fatalf("empty graph: %v %+v", err, dp)
+	}
+	g := dfg.New()
+	g.AddOp("a", model.Add, model.AddSig(8))
+	if _, _, err := Allocate(g, lib, 5, 0, Options{}); err == nil {
+		t.Fatal("II=0 accepted")
+	}
+	if err := Verify(g, lib, &datapath.Datapath{}, 5, 0); err == nil {
+		t.Fatal("Verify II=0 accepted")
+	}
+}

@@ -1,0 +1,216 @@
+// Package refine implements the paper's §2.4: refining wordlength
+// information when a schedule violates the user latency constraint λ.
+//
+// The refinement target is chosen from the *bound critical path* Q_b: the
+// sequencing graph is augmented with edges S_b linking operations that
+// execute back-to-back on the same bound resource, and Q_b is the set of
+// operations with equal ASAP and ALAP times in the augmented graph under
+// the bound resource latencies ℓ(o). Within the candidate subset
+// W = {o ∈ Q_b : start(o) + L_o ≤ λ}, the victim is the operation that
+// loses the smallest proportion of H edges among those incident on kinds
+// compatible with it; ties favour operations currently bound to a
+// resource faster than their upper bound. The victim's maximum-latency
+// H edges are then deleted, lowering L_o before rescheduling.
+package refine
+
+import (
+	"repro/internal/bind"
+	"repro/internal/dfg"
+	"repro/internal/wcg"
+)
+
+// BoundCriticalPath returns Q_b for the given schedule and binding: the
+// operations critical in the sequencing graph augmented with
+// same-resource adjacency edges (Eqn. 7), evaluated with bound latencies.
+func BoundCriticalPath(g *wcg.Graph, start []int, b *bind.Binding) []dfg.OpID {
+	d := g.D
+	n := d.N()
+	if n == 0 {
+		return nil
+	}
+	ell := make([]int, n)
+	for o := 0; o < n; o++ {
+		ell[o] = b.BoundLatency(g, dfg.OpID(o))
+	}
+
+	succ := make([][]dfg.OpID, n)
+	for o := 0; o < n; o++ {
+		succ[o] = append(succ[o], d.Succ(dfg.OpID(o))...)
+	}
+	// S_b: for each clique, link consecutive operations with no slack:
+	// start(o1) + ℓ(o1) == start(o2).
+	for _, k := range b.Cliques {
+		for _, o1 := range k.Ops {
+			for _, o2 := range k.Ops {
+				if o1 != o2 && start[o1]+ell[o1] == start[o2] {
+					succ[o1] = append(succ[o1], o2)
+				}
+			}
+		}
+	}
+
+	// All augmented edges strictly increase start (latencies are >= 1 and
+	// schedules respect precedence with L_o >= ℓ(o)), so the augmented
+	// graph is acyclic and any start-ascending order is topological.
+	order := make([]dfg.OpID, n)
+	for i := range order {
+		order[i] = dfg.OpID(i)
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && start[order[j]] < start[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+
+	asap := make([]int, n)
+	for _, o := range order {
+		for _, s := range succ[o] {
+			if v := asap[o] + ell[o]; v > asap[s] {
+				asap[s] = v
+			}
+		}
+	}
+	makespan := 0
+	for o := 0; o < n; o++ {
+		if f := asap[o] + ell[o]; f > makespan {
+			makespan = f
+		}
+	}
+	alap := make([]int, n)
+	for o := range alap {
+		alap[o] = makespan - ell[o]
+	}
+	for i := n - 1; i >= 0; i-- {
+		o := order[i]
+		for _, s := range succ[o] {
+			if v := alap[s] - ell[o]; v < alap[o] {
+				alap[o] = v
+			}
+		}
+	}
+
+	var crit []dfg.OpID
+	for o := 0; o < n; o++ {
+		if asap[o] == alap[o] {
+			crit = append(crit, dfg.OpID(o))
+		}
+	}
+	return crit
+}
+
+// Candidates returns W: the members of the bound critical path that
+// complete before the latency constraint even at their upper-bound
+// latency. At least one member of W must be refined for the constraint
+// to become satisfiable.
+func Candidates(g *wcg.Graph, start []int, qb []dfg.OpID, lambda int) []dfg.OpID {
+	var w []dfg.OpID
+	for _, o := range qb {
+		if start[o]+g.UpperLatency(o) <= lambda {
+			w = append(w, o)
+		}
+	}
+	return w
+}
+
+// ChooseVictim selects the operation to refine from the candidate set
+// using the paper's metric, considering only reducible operations
+// (those whose L_o would strictly decrease while keeping at least one
+// kind). Returns false if no candidate is reducible.
+func ChooseVictim(g *wcg.Graph, b *bind.Binding, cands []dfg.OpID) (dfg.OpID, bool) {
+	// Precompute |O(r)| per kind once.
+	edgeCount := make([]int, len(g.Kinds))
+	for o := 0; o < g.D.N(); o++ {
+		for _, ki := range g.CompatKinds(dfg.OpID(o)) {
+			edgeCount[ki]++
+		}
+	}
+	best := dfg.OpID(-1)
+	var bestDel, bestDen int
+	var bestFavoured bool
+	for _, o := range cands {
+		if !g.Reducible(o) {
+			continue
+		}
+		lmax := g.UpperLatency(o)
+		del, den := 0, 0
+		for _, ki := range g.CompatKinds(o) {
+			den += edgeCount[ki]
+			if g.KindLatency(ki) == lmax {
+				del++
+			}
+		}
+		favoured := b != nil && b.BoundLatency(g, o) < lmax
+		if best < 0 || lessProportion(del, den, favoured, bestDel, bestDen, bestFavoured) {
+			best, bestDel, bestDen, bestFavoured = o, del, den, favoured
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// lessProportion reports whether (del1/den1, favoured1) is a strictly
+// better victim than (del2/den2, favoured2): smaller proportion first,
+// then bound-below-upper-bound operations. Exact cross multiplication.
+func lessProportion(del1, den1 int, fav1 bool, del2, den2 int, fav2 bool) bool {
+	l := del1 * den2
+	r := del2 * den1
+	if l != r {
+		return l < r
+	}
+	return fav1 && !fav2
+}
+
+// Policy selects a victim among candidate operations; implementations
+// must only return reducible operations. The paper's metric is
+// ChooseVictim; FirstReducible exists for the ablation benches.
+type Policy func(g *wcg.Graph, b *bind.Binding, cands []dfg.OpID) (dfg.OpID, bool)
+
+// FirstReducible is the naive victim policy: the lowest-ID reducible
+// candidate. Used by the victim-policy ablation.
+func FirstReducible(g *wcg.Graph, _ *bind.Binding, cands []dfg.OpID) (dfg.OpID, bool) {
+	best := dfg.OpID(-1)
+	for _, o := range cands {
+		if g.Reducible(o) && (best < 0 || o < best) {
+			best = o
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// Step performs one refinement: find Q_b, W, choose a victim and delete
+// its maximum-latency H edges. It falls back from W to Q_b to the whole
+// operation set when the preferred sets contain no reducible operation
+// ("reducing the latency of operations that are not members of this set
+// may be necessary"). Returns the refined operation and true, or false
+// when no operation anywhere can be refined (the problem is infeasible
+// for this λ).
+func Step(g *wcg.Graph, start []int, b *bind.Binding, lambda int) (dfg.OpID, bool) {
+	return StepWithPolicy(g, start, b, lambda, ChooseVictim)
+}
+
+// StepWithPolicy is Step with an explicit victim-selection policy.
+func StepWithPolicy(g *wcg.Graph, start []int, b *bind.Binding, lambda int, pick Policy) (dfg.OpID, bool) {
+	qb := BoundCriticalPath(g, start, b)
+	if o, ok := pick(g, b, Candidates(g, start, qb, lambda)); ok {
+		g.DeleteMaxLatencyEdges(o)
+		return o, true
+	}
+	if o, ok := pick(g, b, qb); ok {
+		g.DeleteMaxLatencyEdges(o)
+		return o, true
+	}
+	all := make([]dfg.OpID, g.D.N())
+	for i := range all {
+		all[i] = dfg.OpID(i)
+	}
+	if o, ok := pick(g, b, all); ok {
+		g.DeleteMaxLatencyEdges(o)
+		return o, true
+	}
+	return 0, false
+}

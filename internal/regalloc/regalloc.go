@@ -1,0 +1,303 @@
+// Package regalloc completes an allocated datapath down to the register-
+// transfer level: it binds every operation's result value to a storage
+// register by the left-edge algorithm over value lifetimes, counts the
+// multiplexing the resource sharing implies, and extends the paper's
+// functional-unit area model with register and interconnect area. The
+// paper's evaluation compares methods on functional-unit area alone; this
+// layer makes the comparison honest at the full-datapath level, and the
+// ablation benches use it to check that DPAlloc's area advantage survives
+// storage and steering overheads.
+//
+// Model (documented so the numbers are interpretable):
+//
+//   - Every operation's result is captured into a register at the end of
+//     its execution (matching the generated RTL of internal/rtl) and must
+//     be held until its last consumer has started, or, for sink
+//     operations, until the iteration completes.
+//   - Two values may share one register iff their occupancy intervals are
+//     disjoint. Registers are as wide as the widest value they hold.
+//   - A k-input multiplexer on a w-bit signal costs (k-1)·w·MuxBitArea:
+//     a k:1 mux decomposes into k-1 two-input muxes. Functional-unit
+//     operand ports and register write ports are both muxed.
+//   - A register costs Width·RegBitArea.
+//
+// The default unit costs (1 area unit per register bit, 1 per 2:1 mux
+// bit) are on the same half-LUT-flavoured scale as the paper's adder
+// area (width) and multiplier area (product of widths).
+package regalloc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/datapath"
+	"repro/internal/dfg"
+	"repro/internal/model"
+)
+
+// Options sets the storage and interconnect unit costs. Zero fields take
+// the documented defaults.
+type Options struct {
+	RegBitArea int64 // area of one register bit; default 1
+	MuxBitArea int64 // area of one 2:1 mux bit; default 1
+}
+
+func (o Options) withDefaults() Options {
+	if o.RegBitArea == 0 {
+		o.RegBitArea = 1
+	}
+	if o.MuxBitArea == 0 {
+		o.MuxBitArea = 1
+	}
+	return o
+}
+
+// Lifetime is the occupancy interval of one operation's result value:
+// [Birth, Death), at least one control step long.
+type Lifetime struct {
+	Op    dfg.OpID
+	Birth int // completion step of the producing operation
+	Death int // step after which the value is no longer needed
+	Width int // result width in bits
+}
+
+// Register is one allocated storage register and the values it holds.
+type Register struct {
+	Width  int
+	Values []dfg.OpID
+}
+
+// Plan is the completed register and interconnect allocation.
+type Plan struct {
+	Registers []Register
+	RegOf     []int // per operation: index of the register holding its result
+
+	FUArea  int64 // functional units, the paper's area model
+	RegArea int64
+	MuxArea int64
+
+	FUMuxInputs  int // total mux fan-in over all functional-unit operand ports
+	RegMuxInputs int // total mux fan-in over all register write ports
+}
+
+// TotalArea is the full-datapath area: functional units plus registers
+// plus multiplexing.
+func (p *Plan) TotalArea() int64 { return p.FUArea + p.RegArea + p.MuxArea }
+
+// Lifetimes computes every operation's value lifetime under the
+// datapath's schedule and binding. The result is sorted by birth step,
+// then operation ID.
+func Lifetimes(d *dfg.Graph, lib *model.Library, dp *datapath.Datapath) ([]Lifetime, error) {
+	n := d.N()
+	if len(dp.Start) != n || len(dp.InstOf) != n {
+		return nil, fmt.Errorf("regalloc: datapath shape mismatch: %d starts for %d operations", len(dp.Start), n)
+	}
+	makespan := dp.Makespan(lib)
+	ls := make([]Lifetime, 0, n)
+	for o := 0; o < n; o++ {
+		id := dfg.OpID(o)
+		birth := dp.Start[o] + dp.BoundLatency(lib, id)
+		death := birth
+		if succs := d.Succ(id); len(succs) == 0 {
+			death = makespan // sink: hold for the module output
+		} else {
+			for _, s := range succs {
+				if dp.Start[s] > death {
+					death = dp.Start[s]
+				}
+			}
+		}
+		if death <= birth {
+			// A value consumed the instant it is produced still exists in
+			// hardware for one cycle (it is registered); charge one step.
+			death = birth + 1
+		}
+		ls = append(ls, Lifetime{Op: id, Birth: birth, Death: death, Width: resultWidth(d.Op(id).Spec)})
+	}
+	sort.Slice(ls, func(a, b int) bool {
+		if ls[a].Birth != ls[b].Birth {
+			return ls[a].Birth < ls[b].Birth
+		}
+		return ls[a].Op < ls[b].Op
+	})
+	return ls, nil
+}
+
+// Build runs the full register and interconnect allocation for a legal
+// datapath.
+func Build(d *dfg.Graph, lib *model.Library, dp *datapath.Datapath, opt Options) (*Plan, error) {
+	opt = opt.withDefaults()
+	if err := dp.Verify(d, lib, -1); err != nil {
+		return nil, fmt.Errorf("regalloc: illegal datapath: %w", err)
+	}
+	ls, err := Lifetimes(d, lib, dp)
+	if err != nil {
+		return nil, err
+	}
+
+	plan := &Plan{RegOf: make([]int, d.N())}
+
+	// Left-edge register binding: process values in birth order and place
+	// each in the first register (lowest index) whose current occupant
+	// has died; open a new register when none is free. For interval
+	// conflict graphs this uses the minimum possible number of registers.
+	type regState struct {
+		freeAt int
+		width  int
+		values []dfg.OpID
+	}
+	var regs []*regState
+	for _, l := range ls {
+		placed := -1
+		for ri, r := range regs {
+			if r.freeAt <= l.Birth {
+				placed = ri
+				break
+			}
+		}
+		if placed < 0 {
+			regs = append(regs, &regState{width: l.Width})
+			placed = len(regs) - 1
+		}
+		r := regs[placed]
+		r.freeAt = l.Death
+		if l.Width > r.width {
+			r.width = l.Width
+		}
+		r.values = append(r.values, l.Op)
+		plan.RegOf[l.Op] = placed
+	}
+	for _, r := range regs {
+		plan.Registers = append(plan.Registers, Register{Width: r.width, Values: r.values})
+		plan.RegArea += int64(r.width) * opt.RegBitArea
+	}
+
+	// Functional-unit area: the paper's model.
+	for _, in := range dp.Instances {
+		plan.FUArea += lib.Area(in.Kind)
+	}
+
+	// Interconnect. Operand-port muxes: for each instance and slot, the
+	// distinct sources steering into that port. A source is the register
+	// of a predecessor's value, or a dedicated primary input (each
+	// unconnected operand slot is its own source).
+	for _, in := range dp.Instances {
+		hi, lo := unitPortWidths(in.Kind)
+		for slot := 0; slot < 2; slot++ {
+			srcs := make(map[string]bool)
+			for _, o := range in.Ops {
+				preds := d.Pred(o)
+				if slot < len(preds) {
+					srcs[fmt.Sprintf("r%d", plan.RegOf[preds[slot]])] = true
+				} else {
+					srcs[fmt.Sprintf("in%d_%d", o, slot)] = true
+				}
+			}
+			width := hi
+			if slot == 1 {
+				width = lo
+			}
+			if k := len(srcs); k > 1 {
+				plan.FUMuxInputs += k
+				plan.MuxArea += int64(k-1) * int64(width) * opt.MuxBitArea
+			}
+		}
+	}
+	// Register write-port muxes: distinct producing instances per register.
+	for _, r := range plan.Registers {
+		prods := make(map[int]bool)
+		for _, o := range r.Values {
+			prods[dp.InstOf[o]] = true
+		}
+		if k := len(prods); k > 1 {
+			plan.RegMuxInputs += k
+			plan.MuxArea += int64(k-1) * int64(r.Width) * opt.MuxBitArea
+		}
+	}
+	return plan, nil
+}
+
+// Check validates the plan's internal invariants against its datapath:
+// every operation in exactly one register, lifetimes disjoint within a
+// register, register wide enough for every value.
+func (p *Plan) Check(d *dfg.Graph, lib *model.Library, dp *datapath.Datapath) error {
+	ls, err := Lifetimes(d, lib, dp)
+	if err != nil {
+		return err
+	}
+	byOp := make(map[dfg.OpID]Lifetime, len(ls))
+	for _, l := range ls {
+		byOp[l.Op] = l
+	}
+	seen := make(map[dfg.OpID]bool)
+	for ri, r := range p.Registers {
+		intervals := make([]Lifetime, 0, len(r.Values))
+		for _, o := range r.Values {
+			if seen[o] {
+				return fmt.Errorf("regalloc: operation %d in two registers", o)
+			}
+			seen[o] = true
+			if p.RegOf[o] != ri {
+				return fmt.Errorf("regalloc: RegOf[%d] = %d, but value listed in register %d", o, p.RegOf[o], ri)
+			}
+			l := byOp[o]
+			if l.Width > r.Width {
+				return fmt.Errorf("regalloc: register %d width %d too narrow for value %d width %d", ri, r.Width, o, l.Width)
+			}
+			intervals = append(intervals, l)
+		}
+		sort.Slice(intervals, func(a, b int) bool { return intervals[a].Birth < intervals[b].Birth })
+		for i := 1; i < len(intervals); i++ {
+			if intervals[i-1].Death > intervals[i].Birth {
+				return fmt.Errorf("regalloc: register %d holds overlapping values %d and %d",
+					ri, intervals[i-1].Op, intervals[i].Op)
+			}
+		}
+	}
+	if len(seen) != d.N() {
+		return fmt.Errorf("regalloc: %d of %d values bound to registers", len(seen), d.N())
+	}
+	return nil
+}
+
+// MaxLive returns the maximum number of simultaneously live values: the
+// lower bound on the number of registers any binding needs. Left-edge
+// meets it exactly.
+func MaxLive(ls []Lifetime) int {
+	type ev struct {
+		t     int
+		delta int
+	}
+	var evs []ev
+	for _, l := range ls {
+		evs = append(evs, ev{l.Birth, +1}, ev{l.Death, -1})
+	}
+	sort.Slice(evs, func(a, b int) bool {
+		if evs[a].t != evs[b].t {
+			return evs[a].t < evs[b].t
+		}
+		return evs[a].delta < evs[b].delta // deaths before births at equal time
+	})
+	live, best := 0, 0
+	for _, e := range evs {
+		live += e.delta
+		if live > best {
+			best = live
+		}
+	}
+	return best
+}
+
+func resultWidth(spec model.OpSpec) int {
+	if spec.Type.HardwareClass() == model.Mul {
+		return spec.Sig.Hi + spec.Sig.Lo
+	}
+	return spec.Sig.Hi
+}
+
+func unitPortWidths(k model.Kind) (hi, lo int) {
+	if k.Class == model.Mul {
+		return k.Sig.Hi, k.Sig.Lo
+	}
+	return k.Sig.Hi, k.Sig.Hi
+}

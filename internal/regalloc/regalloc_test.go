@@ -1,0 +1,263 @@
+package regalloc
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datapath"
+	"repro/internal/dfg"
+	"repro/internal/model"
+	"repro/internal/tgff"
+	"repro/internal/twostage"
+)
+
+// chainGraph builds a three-operation dependent chain mul -> add -> add
+// with known widths, allocated on dedicated resources.
+func chainGraph(t *testing.T) (*dfg.Graph, *model.Library, *datapath.Datapath) {
+	t.Helper()
+	lib := model.Default()
+	g := dfg.New()
+	m := g.AddOp("m", model.Mul, model.Sig(8, 8)) // lat 2, result 16 bits
+	a := g.AddOp("a", model.Add, model.AddSig(12))
+	b := g.AddOp("b", model.Add, model.AddSig(12))
+	if err := g.AddDep(m, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddDep(a, b); err != nil {
+		t.Fatal(err)
+	}
+	dp := &datapath.Datapath{
+		Start:  []int{0, 2, 4},
+		InstOf: []int{0, 1, 1},
+		Instances: []datapath.Instance{
+			{Kind: model.Kind{Class: model.Mul, Sig: model.Sig(8, 8)}, Ops: []dfg.OpID{m}},
+			{Kind: model.Kind{Class: model.Add, Sig: model.AddSig(12)}, Ops: []dfg.OpID{a, b}},
+		},
+	}
+	if err := dp.Verify(g, lib, 6); err != nil {
+		t.Fatal(err)
+	}
+	return g, lib, dp
+}
+
+func TestLifetimesChain(t *testing.T) {
+	g, lib, dp := chainGraph(t)
+	ls, err := Lifetimes(g, lib, dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// m: born at 2, consumed by a at start 2 -> minimum one-step life [2,3).
+	// a: born at 4, consumed by b at start 4 -> [4,5).
+	// b: sink born at 6, held to makespan 6 -> [6,7).
+	want := map[dfg.OpID][2]int{0: {2, 3}, 1: {4, 5}, 2: {6, 7}}
+	for _, l := range ls {
+		w := want[l.Op]
+		if l.Birth != w[0] || l.Death != w[1] {
+			t.Errorf("op %d lifetime [%d,%d), want [%d,%d)", l.Op, l.Birth, l.Death, w[0], w[1])
+		}
+	}
+	if ls[0].Width != 16 || ls[1].Width != 12 {
+		t.Errorf("widths: %d, %d; want 16, 12", ls[0].Width, ls[1].Width)
+	}
+}
+
+func TestBuildChainSharesRegisters(t *testing.T) {
+	g, lib, dp := chainGraph(t)
+	plan, err := Build(g, lib, dp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Check(g, lib, dp); err != nil {
+		t.Fatal(err)
+	}
+	// All three lifetimes are pairwise disjoint, so one register suffices
+	// and it is as wide as the widest value (16 bits).
+	if len(plan.Registers) != 1 {
+		t.Fatalf("%d registers, want 1: %+v", len(plan.Registers), plan.Registers)
+	}
+	if plan.Registers[0].Width != 16 {
+		t.Fatalf("register width %d, want 16", plan.Registers[0].Width)
+	}
+	if plan.RegArea != 16 {
+		t.Fatalf("RegArea %d, want 16", plan.RegArea)
+	}
+	// FU area: 8*8 multiplier + 12 adder = 76.
+	if plan.FUArea != 76 {
+		t.Fatalf("FUArea %d, want 76", plan.FUArea)
+	}
+	// The single register is written by both instances: one 2:1 mux on
+	// 16 bits. The adder's port 0 sees the shared register both times
+	// (one source); port 1: a reads it... a has one pred (m) on slot 0,
+	// so slot 1 of both a and b are primary inputs -> two sources -> one
+	// 2:1 mux on 12 bits. b's slot 0 reads register too (same source as
+	// a's slot 0: the register) -> port 0 has one source, no mux.
+	wantMux := int64(16 + 12)
+	if plan.MuxArea != wantMux {
+		t.Fatalf("MuxArea %d, want %d", plan.MuxArea, wantMux)
+	}
+	if plan.TotalArea() != plan.FUArea+plan.RegArea+plan.MuxArea {
+		t.Fatal("TotalArea is not the sum of its parts")
+	}
+}
+
+func TestParallelValuesNeedDistinctRegisters(t *testing.T) {
+	lib := model.Default()
+	g := dfg.New()
+	x := g.AddOp("x", model.Add, model.AddSig(8))
+	y := g.AddOp("y", model.Add, model.AddSig(8))
+	z := g.AddOp("z", model.Add, model.AddSig(8))
+	if err := g.AddDep(x, z); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddDep(y, z); err != nil {
+		t.Fatal(err)
+	}
+	// x and y run in parallel on two adders; both values live until z.
+	dp := &datapath.Datapath{
+		Start:  []int{0, 0, 2},
+		InstOf: []int{0, 1, 0},
+		Instances: []datapath.Instance{
+			{Kind: model.Kind{Class: model.Add, Sig: model.AddSig(8)}, Ops: []dfg.OpID{x, z}},
+			{Kind: model.Kind{Class: model.Add, Sig: model.AddSig(8)}, Ops: []dfg.OpID{y}},
+		},
+	}
+	if err := dp.Verify(g, lib, 4); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Build(g, lib, dp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Check(g, lib, dp); err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Registers) != 2 {
+		t.Fatalf("%d registers, want 2 (x and y live simultaneously)", len(plan.Registers))
+	}
+}
+
+func TestCustomUnitCosts(t *testing.T) {
+	g, lib, dp := chainGraph(t)
+	base, err := Build(g, lib, dp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := Build(g, lib, dp, Options{RegBitArea: 3, MuxBitArea: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled.RegArea != 3*base.RegArea {
+		t.Errorf("RegArea %d, want %d", scaled.RegArea, 3*base.RegArea)
+	}
+	if scaled.MuxArea != 2*base.MuxArea {
+		t.Errorf("MuxArea %d, want %d", scaled.MuxArea, 2*base.MuxArea)
+	}
+	if scaled.FUArea != base.FUArea {
+		t.Errorf("FUArea changed: %d vs %d", scaled.FUArea, base.FUArea)
+	}
+}
+
+func TestBuildRejectsIllegalDatapath(t *testing.T) {
+	g, lib, dp := chainGraph(t)
+	dp.Start[2] = 0 // violates the dependency a -> b
+	if _, err := Build(g, lib, dp, Options{}); err == nil {
+		t.Fatal("illegal datapath accepted")
+	}
+}
+
+// TestLeftEdgeOptimalOnRandomDatapaths: the number of registers must
+// equal the maximum number of simultaneously live values (left-edge is
+// optimal for interval conflict graphs), and the plan invariants must
+// hold, across random graphs and two allocation methods.
+func TestLeftEdgeOptimalOnRandomDatapaths(t *testing.T) {
+	lib := model.Default()
+	for _, n := range []int{3, 6, 10, 16, 24} {
+		graphs, err := tgff.Batch(n, 6, 4400, tgff.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for gi, g := range graphs {
+			lmin, err := g.MinMakespan(lib)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lambda := lmin + lmin/5
+			dps := make(map[string]*datapath.Datapath)
+			if dp, _, err := core.Allocate(g, lib, lambda, core.Options{}); err == nil {
+				dps["heuristic"] = dp
+			} else {
+				t.Fatal(err)
+			}
+			if dp, _, err := twostage.Allocate(g, lib, lambda); err == nil {
+				dps["twostage"] = dp
+			} else {
+				t.Fatal(err)
+			}
+			for name, dp := range dps {
+				plan, err := Build(g, lib, dp, Options{})
+				if err != nil {
+					t.Fatalf("n=%d g=%d %s: %v", n, gi, name, err)
+				}
+				if err := plan.Check(g, lib, dp); err != nil {
+					t.Fatalf("n=%d g=%d %s: %v", n, gi, name, err)
+				}
+				ls, err := Lifetimes(g, lib, dp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got, want := len(plan.Registers), MaxLive(ls); got != want {
+					t.Fatalf("n=%d g=%d %s: %d registers, lower bound %d", n, gi, name, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestDeterminism: identical inputs must yield identical plans.
+func TestDeterminism(t *testing.T) {
+	lib := model.Default()
+	g, err := tgff.Generate(tgff.Config{N: 15, Seed: 321})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmin, err := g.MinMakespan(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, _, err := core.Allocate(g, lib, lmin+2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Build(g, lib, dp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(g, lib, dp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalArea() != b.TotalArea() || len(a.Registers) != len(b.Registers) {
+		t.Fatal("plans differ across identical runs")
+	}
+	for i := range a.RegOf {
+		if a.RegOf[i] != b.RegOf[i] {
+			t.Fatalf("RegOf[%d] differs", i)
+		}
+	}
+}
+
+// TestMaxLive sanity on hand-built lifetimes.
+func TestMaxLive(t *testing.T) {
+	ls := []Lifetime{
+		{Op: 0, Birth: 0, Death: 4},
+		{Op: 1, Birth: 1, Death: 3},
+		{Op: 2, Birth: 3, Death: 5}, // op 1 dies exactly as op 2 is born: no overlap
+		{Op: 3, Birth: 9, Death: 10},
+	}
+	if got := MaxLive(ls); got != 2 {
+		t.Fatalf("MaxLive = %d, want 2", got)
+	}
+	if got := MaxLive(nil); got != 0 {
+		t.Fatalf("MaxLive(nil) = %d, want 0", got)
+	}
+}

@@ -1,0 +1,131 @@
+package rtl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lint structurally checks generated Verilog: every identifier used in
+// an expression must be declared (as a port, reg or wire), module/
+// endmodule and begin/end must balance, and no line may reference a
+// negative bit index. It is not a Verilog parser — just enough of one
+// to catch generation bugs (undeclared registers, unbalanced blocks) in
+// tests without an external simulator.
+func Lint(src string) error {
+	declared := map[string]bool{}
+	keywords := map[string]bool{
+		"module": true, "endmodule": true, "input": true, "output": true,
+		"wire": true, "reg": true, "always": true, "posedge": true,
+		"begin": true, "end": true, "if": true, "else": true, "assign": true,
+	}
+
+	// Pass 1: declarations.
+	for _, line := range strings.Split(src, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if i := strings.Index(trimmed, "//"); i >= 0 {
+			trimmed = trimmed[:i]
+		}
+		words := identifiers(trimmed)
+		if len(words) == 0 {
+			continue
+		}
+		switch words[0] {
+		case "module":
+			if len(words) > 1 {
+				declared[words[1]] = true
+			}
+		case "input", "output", "reg", "wire":
+			// Forms: "input wire [..] name", "output reg name",
+			// "reg [..] name;", "wire [..] name = expr;". The declared
+			// identifier is the first non-keyword word.
+			for _, w := range words {
+				if !keywords[w] {
+					declared[w] = true
+					break
+				}
+			}
+		}
+	}
+
+	// Pass 2: usages.
+	depth := 0
+	beginDepth := 0
+	for ln, line := range strings.Split(src, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if i := strings.Index(trimmed, "//"); i >= 0 {
+			trimmed = trimmed[:i]
+		}
+		if strings.Contains(trimmed, "[-") {
+			return fmt.Errorf("rtl lint: line %d: negative bit index: %s", ln+1, trimmed)
+		}
+		for _, w := range identifiers(trimmed) {
+			if keywords[w] || declared[w] {
+				continue
+			}
+			return fmt.Errorf("rtl lint: line %d: undeclared identifier %q: %s", ln+1, w, trimmed)
+		}
+		depth += strings.Count(trimmed, "module") - strings.Count(trimmed, "endmodule")*2
+		beginDepth += countWord(trimmed, "begin") - countWord(trimmed, "end")
+	}
+	if beginDepth != 0 {
+		return fmt.Errorf("rtl lint: begin/end unbalanced by %d", beginDepth)
+	}
+	if !strings.Contains(src, "endmodule") {
+		return fmt.Errorf("rtl lint: missing endmodule")
+	}
+	return nil
+}
+
+// identifiers extracts identifier tokens, skipping sized literals such
+// as 5'd12 entirely.
+func identifiers(s string) []string {
+	var out []string
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9':
+			// Number, possibly a sized literal: consume digits, the
+			// optional 'd/'b/'h part, and its value.
+			j := i
+			for j < len(s) && isWordByte(s[j]) {
+				j++
+			}
+			if j < len(s) && s[j] == '\'' {
+				j++
+				for j < len(s) && isWordByte(s[j]) {
+					j++
+				}
+			}
+			i = j
+		case isIdentStart(c):
+			j := i
+			for j < len(s) && isWordByte(s[j]) {
+				j++
+			}
+			out = append(out, s[i:j])
+			i = j
+		default:
+			i++
+		}
+	}
+	return out
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isWordByte(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+func countWord(s, word string) int {
+	n := 0
+	for _, w := range identifiers(s) {
+		if w == word {
+			n++
+		}
+	}
+	return n
+}

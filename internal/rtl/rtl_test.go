@@ -1,0 +1,176 @@
+package rtl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datapath"
+	"repro/internal/dfg"
+	"repro/internal/model"
+	"repro/internal/tgff"
+	"repro/internal/workloads"
+)
+
+func allocate(t *testing.T, d *dfg.Graph, relaxNum, relaxDen int) (*model.Library, *datapath.Datapath) {
+	t.Helper()
+	lib := model.Default()
+	lmin, err := d.MinMakespan(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda := lmin + lmin*relaxNum/relaxDen
+	dp, _, err := core.Allocate(d, lib, lambda, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib, dp
+}
+
+func TestGenerateFig1(t *testing.T) {
+	g := workloads.Fig1()
+	lib, dp := allocate(t, g, 1, 2)
+	src, err := Generate("fig1_datapath", g, lib, dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Lint(src); err != nil {
+		t.Fatalf("%v\n%s", err, src)
+	}
+	for _, want := range []string{
+		"module fig1_datapath",
+		"input  wire clk",
+		"output reg  done",
+		"endmodule",
+		"u0_y",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// Sink op a3 must be an output.
+	if !strings.Contains(src, "out_a3") {
+		t.Error("missing sink output port out_a3")
+	}
+	// Shared units: fewer units than operations.
+	units := strings.Count(src, "_a;")
+	if units >= g.N() {
+		t.Errorf("no sharing visible: %d units for %d ops", units, g.N())
+	}
+}
+
+func TestGenerateRandomGraphsLint(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		g, err := tgff.Generate(tgff.Config{N: 12, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lib, dp := allocate(t, g, 1, 4)
+		src, err := Generate("dp", g, lib, dp)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := Lint(src); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	g := workloads.Fig1()
+	lib, dp := allocate(t, g, 1, 2)
+	a, err := Generate("m", g, lib, dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate("m", g, lib, dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("generation not deterministic")
+	}
+}
+
+func TestGenerateRejectsBadInput(t *testing.T) {
+	g := workloads.Fig1()
+	lib, dp := allocate(t, g, 1, 2)
+	if _, err := Generate("1bad", g, lib, dp); err == nil {
+		t.Error("invalid module name accepted")
+	}
+	// Corrupt the datapath: must refuse.
+	bad := *dp
+	bad.Start = append([]int(nil), dp.Start...)
+	bad.Start[0] = -1
+	if _, err := Generate("m", g, lib, &bad); err == nil {
+		t.Error("illegal datapath accepted")
+	}
+}
+
+func TestGenerateRejectsDuplicateLabels(t *testing.T) {
+	d := dfg.New()
+	d.AddOp("x", model.Add, model.AddSig(8))
+	d.AddOp("x", model.Add, model.AddSig(8))
+	lib, dp := allocate(t, d, 1, 1)
+	if _, err := Generate("m", d, lib, dp); err == nil {
+		t.Error("duplicate labels accepted")
+	}
+}
+
+func TestSubtractionUnits(t *testing.T) {
+	d := dfg.New()
+	d.AddOp("s", model.Sub, model.AddSig(8))
+	lib, dp := allocate(t, d, 0, 1)
+	src, err := Generate("m", d, lib, dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Lint(src); err != nil {
+		t.Fatalf("%v\n%s", err, src)
+	}
+	if !strings.Contains(src, "u0_sub <= 1'b1") {
+		t.Error("subtraction not driven")
+	}
+	if !strings.Contains(src, "? (u0_a - u0_b) : (u0_a + u0_b)") {
+		t.Error("add/sub unit body missing")
+	}
+}
+
+func TestLintCatchesUndeclared(t *testing.T) {
+	src := "module m (\n  input wire clk\n);\n  assign x = y;\nendmodule\n"
+	if err := Lint(src); err == nil {
+		t.Error("undeclared identifier accepted")
+	}
+}
+
+func TestLintCatchesUnbalancedBegin(t *testing.T) {
+	src := "module m (\n  input wire clk\n);\n  always @(posedge clk) begin\nendmodule\n"
+	if err := Lint(src); err == nil {
+		t.Error("unbalanced begin accepted")
+	}
+}
+
+func TestLintCatchesNegativeIndex(t *testing.T) {
+	src := "module m (\n  input wire [-1:0] x\n);\nendmodule\n"
+	if err := Lint(src); err == nil {
+		t.Error("negative index accepted")
+	}
+}
+
+func TestCounterWidth(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 2, 4: 3, 15: 4, 16: 5}
+	for ms, want := range cases {
+		if got := counterWidth(ms); got != want {
+			t.Errorf("counterWidth(%d) = %d, want %d", ms, got, want)
+		}
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if sanitize("s0.b0x") != "s0_b0x" {
+		t.Errorf("sanitize: %q", sanitize("s0.b0x"))
+	}
+	if sanitize("") != "x" {
+		t.Error("empty name")
+	}
+}

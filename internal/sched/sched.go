@@ -1,0 +1,424 @@
+// Package sched implements the paper's §2.2: resource-constrained list
+// scheduling of a sequencing graph using incomplete wordlength
+// information. Operations are scheduled with their latency *upper bounds*
+// L_o (so any later binding can never violate the schedule), and the
+// resource constraint is the reconstruction of the paper's Eqn. 3: with S
+// a minimum-cardinality scheduling set of resource kinds covering every
+// operation, and S(o) the members of S compatible with operation o,
+//
+//	∀y ∈ Y :  Σ_{s∈S_y}  max_{t∈T}  Σ_{o∈O(s)} e_{o,t} / |S(o)|  ≤  N_y
+//
+// Usage of an operation compatible with several scheduling-set members is
+// shared equally between them (the 1/|S(o)| division), the max over
+// control steps counts the peak per-kind demand, and the outer sum over
+// the scheduling set accounts for cross-step kind conflicts that the
+// classical constraint (Eqn. 2, per-step counting) misses. Shares are
+// kept in exact integer arithmetic scaled by the lcm of the |S(o)|.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/dfg"
+	"repro/internal/model"
+	"repro/internal/wcg"
+)
+
+// Limits is the per-hardware-class resource constraint N_y. A class
+// absent from the map is unconstrained. A nil Limits means fully
+// unconstrained scheduling (which reduces to ASAP).
+type Limits map[model.OpType]int
+
+// Result is a schedule of the sequencing graph.
+type Result struct {
+	Start    []int // start control step per operation
+	Makespan int   // completion step of the last operation under the scheduling latencies
+	SchedSet []int // kind indices of the scheduling set used for Eqn. 3
+}
+
+// ErrResourceInfeasible is returned when some ready operation cannot be
+// scheduled at any control step under Eqn. 3 — the signal for Algorithm
+// DPAlloc to refine wordlength information.
+var ErrResourceInfeasible = errors.New("sched: resource constraint unsatisfiable under Eqn. 3")
+
+// InfeasibleError reports the operation that could not be placed under
+// the resource constraint. It matches ErrResourceInfeasible via
+// errors.Is.
+type InfeasibleError struct {
+	Op dfg.OpID
+}
+
+func (e *InfeasibleError) Error() string {
+	return fmt.Sprintf("sched: operation %d cannot be placed under Eqn. 3", e.Op)
+}
+
+// Is reports whether target is ErrResourceInfeasible.
+func (e *InfeasibleError) Is(target error) bool { return target == ErrResourceInfeasible }
+
+// SchedulingSet computes a small subset S ⊆ R such that every operation
+// has an H edge to some member, preferring large cover then small area
+// (greedy set cover; minimum-cardinality covering is NP-hard, and the
+// greedy bound is the standard choice).
+func SchedulingSet(g *wcg.Graph) []int {
+	n := g.D.N()
+	covered := make([]bool, n)
+	remaining := n
+	var set []int
+	for remaining > 0 {
+		best, bestCover := -1, 0
+		var bestArea int64
+		for ki := range g.Kinds {
+			c := 0
+			for _, o := range g.CompatOps(ki) {
+				if !covered[o] {
+					c++
+				}
+			}
+			if c == 0 {
+				continue
+			}
+			a := g.Lib.Area(g.Kinds[ki])
+			if c > bestCover || (c == bestCover && a < bestArea) {
+				best, bestCover, bestArea = ki, c, a
+			}
+		}
+		if best < 0 {
+			// Build guarantees every op has an edge, so this cannot
+			// happen for a consistent graph.
+			panic("sched: operation with no compatible kind")
+		}
+		set = append(set, best)
+		for _, o := range g.CompatOps(best) {
+			if !covered[o] {
+				covered[o] = true
+				remaining--
+			}
+		}
+	}
+	sort.Ints(set)
+	return set
+}
+
+// constraintMode selects the resource-accounting rule.
+type constraintMode int
+
+const (
+	modeEqn3 constraintMode = iota // paper's constraint (default)
+	modeEqn2                       // classical per-step counting (ablation)
+)
+
+// List schedules the graph with latency upper bounds from the
+// compatibility graph under Eqn. 3. With nil or empty limits it reduces
+// to ASAP scheduling.
+func List(g *wcg.Graph, limits Limits) (Result, error) {
+	return list(g, limits, modeEqn3)
+}
+
+// ListEqn2 schedules with the classical Eqn. 2 constraint (resource usage
+// counted per step per class, ignoring wordlength information). Exposed
+// for the ablation benches; the paper shows this constraint is too weak
+// to guarantee bindability.
+func ListEqn2(g *wcg.Graph, limits Limits) (Result, error) {
+	return list(g, limits, modeEqn2)
+}
+
+func list(g *wcg.Graph, limits Limits, mode constraintMode) (Result, error) {
+	d := g.D
+	n := d.N()
+	L := g.UpperLatencies()
+	res := Result{Start: make([]int, n)}
+	if n == 0 {
+		return res, nil
+	}
+
+	order, err := d.TopoOrder()
+	if err != nil {
+		return Result{}, err
+	}
+	prio := priorities(d, order, L)
+
+	var acct accountant
+	if len(limits) > 0 {
+		switch mode {
+		case modeEqn3:
+			res.SchedSet = SchedulingSet(g)
+			acct = newEqn3Accountant(g, res.SchedSet, limits)
+		case modeEqn2:
+			acct = newEqn2Accountant(g, limits)
+		}
+	}
+
+	scheduled := make([]bool, n)
+	finish := make([]int, n) // valid once scheduled
+	nDone := 0
+	t := 0
+	horizonGuard := 0
+	for nDone < n {
+		// Ready operations: unscheduled, all predecessors finish by t.
+		var ready []dfg.OpID
+		for i := 0; i < n; i++ {
+			if scheduled[i] {
+				continue
+			}
+			ok := true
+			for _, p := range d.Pred(dfg.OpID(i)) {
+				if !scheduled[p] || finish[p] > t {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				ready = append(ready, dfg.OpID(i))
+			}
+		}
+		sort.Slice(ready, func(i, j int) bool {
+			a, b := ready[i], ready[j]
+			if prio[a] != prio[b] {
+				return prio[a] > prio[b]
+			}
+			return a < b
+		})
+		progress := false
+		for _, o := range ready {
+			if acct != nil && !acct.fits(o, t, L(o)) {
+				continue
+			}
+			if acct != nil {
+				acct.commit(o, t, L(o))
+			}
+			scheduled[o] = true
+			res.Start[o] = t
+			finish[o] = t + L(o)
+			if finish[o] > res.Makespan {
+				res.Makespan = finish[o]
+			}
+			nDone++
+			progress = true
+		}
+		if nDone == n {
+			break
+		}
+		// Advance to the next interesting step: the earliest finish time
+		// of a running operation, or t+1 if deferral was purely due to
+		// resource accounting.
+		next := -1
+		for i := 0; i < n; i++ {
+			if scheduled[i] && finish[i] > t && (next < 0 || finish[i] < next) {
+				next = finish[i]
+			}
+		}
+		if next < 0 {
+			if !progress && len(ready) > 0 {
+				// Idle machine, ready work, nothing fits: under peak
+				// accounting this cannot improve at a later step.
+				return Result{}, &InfeasibleError{Op: ready[0]}
+			}
+			next = t + 1
+		}
+		t = next
+		horizonGuard++
+		if max := 4 * (n + 2) * (maxLat(g) + 1); horizonGuard > max {
+			return Result{}, fmt.Errorf("%w: no progress within horizon", ErrResourceInfeasible)
+		}
+	}
+	return res, nil
+}
+
+func maxLat(g *wcg.Graph) int {
+	m := 1
+	for o := 0; o < g.D.N(); o++ {
+		if l := g.UpperLatency(dfg.OpID(o)); l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// priorities returns the standard list-scheduling priority: the longest
+// path (in cycles, inclusive of own latency) from each operation to any
+// sink. Most critical first.
+func priorities(d *dfg.Graph, order []dfg.OpID, L dfg.Latencies) []int {
+	prio := make([]int, d.N())
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		best := 0
+		for _, s := range d.Succ(id) {
+			if prio[s] > best {
+				best = prio[s]
+			}
+		}
+		prio[id] = best + L(id)
+	}
+	return prio
+}
+
+// accountant tracks resource usage and answers feasibility queries for
+// placing an operation over [t, t+l).
+type accountant interface {
+	fits(o dfg.OpID, t, l int) bool
+	commit(o dfg.OpID, t, l int)
+}
+
+// ---- Eqn. 3 accounting ----
+
+type eqn3Acct struct {
+	g        *wcg.Graph
+	limits   Limits
+	scale    int64   // lcm of |S(o)| over all operations
+	share    []int64 // scale / |S(o)| per op
+	sOf      [][]int // S(o): indices into set, per op
+	class    []model.OpType
+	slotKind []int // kind index per scheduling-set slot
+	// per scheduling-set member: load per step and current peak
+	load [][]int64
+	peak []int64
+	// members of the set per class
+	members map[model.OpType][]int
+}
+
+func newEqn3Accountant(g *wcg.Graph, set []int, limits Limits) *eqn3Acct {
+	n := g.D.N()
+	a := &eqn3Acct{
+		g:        g,
+		limits:   limits,
+		share:    make([]int64, n),
+		sOf:      make([][]int, n),
+		class:    make([]model.OpType, n),
+		slotKind: append([]int(nil), set...),
+		load:     make([][]int64, len(set)),
+		peak:     make([]int64, len(set)),
+		members:  make(map[model.OpType][]int),
+	}
+	for si, ki := range set {
+		a.members[g.Kinds[ki].Class] = append(a.members[g.Kinds[ki].Class], si)
+	}
+	a.scale = 1
+	for o := 0; o < n; o++ {
+		a.class[o] = g.D.Op(dfg.OpID(o)).Spec.Type.HardwareClass()
+		for si, ki := range set {
+			if g.Compatible(dfg.OpID(o), ki) {
+				a.sOf[o] = append(a.sOf[o], si)
+			}
+		}
+		if len(a.sOf[o]) == 0 {
+			panic("sched: scheduling set does not cover operation")
+		}
+		a.scale = lcm(a.scale, int64(len(a.sOf[o])))
+	}
+	for o := 0; o < n; o++ {
+		a.share[o] = a.scale / int64(len(a.sOf[o]))
+	}
+	return a
+}
+
+func (a *eqn3Acct) fits(o dfg.OpID, t, l int) bool {
+	y := a.class[o]
+	limit, ok := a.limits[y]
+	if !ok {
+		return true
+	}
+	// New Σ_{s∈S_y} peak_s if o occupies [t, t+l) with share w on each
+	// member of S(o).
+	var sum int64
+	bumped := make(map[int]int64, len(a.sOf[o]))
+	for _, si := range a.sOf[o] {
+		if a.g.Kinds[a.slotKind[si]].Class != y {
+			continue
+		}
+		p := a.peak[si]
+		for step := t; step < t+l; step++ {
+			if v := a.loadAt(si, step) + a.share[o]; v > p {
+				p = v
+			}
+		}
+		bumped[si] = p
+	}
+	for _, si := range a.members[y] {
+		if p, ok := bumped[si]; ok {
+			sum += p
+		} else {
+			sum += a.peak[si]
+		}
+	}
+	return sum <= int64(limit)*a.scale
+}
+
+func (a *eqn3Acct) commit(o dfg.OpID, t, l int) {
+	for _, si := range a.sOf[o] {
+		for step := t; step < t+l; step++ {
+			a.addLoad(si, step, a.share[o])
+			if v := a.loadAt(si, step); v > a.peak[si] {
+				a.peak[si] = v
+			}
+		}
+	}
+}
+
+func (a *eqn3Acct) loadAt(si, step int) int64 {
+	if step < len(a.load[si]) {
+		return a.load[si][step]
+	}
+	return 0
+}
+
+func (a *eqn3Acct) addLoad(si, step int, w int64) {
+	for step >= len(a.load[si]) {
+		a.load[si] = append(a.load[si], 0)
+	}
+	a.load[si][step] += w
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int64) int64 { return a / gcd(a, b) * b }
+
+// ---- Eqn. 2 accounting (ablation) ----
+
+type eqn2Acct struct {
+	limits Limits
+	class  []model.OpType
+	used   map[model.OpType][]int // per class: count per step
+}
+
+func newEqn2Accountant(g *wcg.Graph, limits Limits) *eqn2Acct {
+	n := g.D.N()
+	a := &eqn2Acct{limits: limits, class: make([]model.OpType, n), used: make(map[model.OpType][]int)}
+	for o := 0; o < n; o++ {
+		a.class[o] = g.D.Op(dfg.OpID(o)).Spec.Type.HardwareClass()
+	}
+	return a
+}
+
+func (a *eqn2Acct) fits(o dfg.OpID, t, l int) bool {
+	y := a.class[o]
+	limit, ok := a.limits[y]
+	if !ok {
+		return true
+	}
+	u := a.used[y]
+	for step := t; step < t+l; step++ {
+		if step < len(u) && u[step]+1 > limit {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *eqn2Acct) commit(o dfg.OpID, t, l int) {
+	y := a.class[o]
+	u := a.used[y]
+	for t+l > len(u) {
+		u = append(u, 0)
+	}
+	for step := t; step < t+l; step++ {
+		u[step]++
+	}
+	a.used[y] = u
+}

@@ -1,0 +1,274 @@
+// Package tgff generates pseudo-random sequencing graphs, adapting the
+// TGFF ("Task Graphs For Free", Dick/Rhodes/Wolf, reference [8] of the
+// paper) fan-in/fan-out growth method to dataflow graphs of binary
+// arithmetic operators: every operation has at most two predecessors
+// (its operand producers), fan-out is bounded, and operand wordlengths
+// are drawn i.i.d. uniform over a configurable range — the multiple-
+// wordlength workload of the paper's evaluation (200 random graphs per
+// problem size between 1 and 24 operations).
+//
+// Generation is fully deterministic for a given Config including Seed.
+package tgff
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dfg"
+	"repro/internal/model"
+)
+
+// Shape selects the macro-structure of generated graphs.
+type Shape uint8
+
+const (
+	// ShapeLayered is the default TGFF-style fan-in/fan-out growth:
+	// recency-biased operand wiring yields layered DAGs.
+	ShapeLayered Shape = iota
+	// ShapeChain generates a fully serial dependence chain — the worst
+	// case for resource sharing (no two operations are ever
+	// time-compatible at λ_min) and a scheduling stress test.
+	ShapeChain
+	// ShapeForkJoin grows series-parallel-like structure: operations
+	// either extend an open branch, fork a new branch, or join two
+	// branches — the shape of expression-tree DSP kernels.
+	ShapeForkJoin
+)
+
+// WidthDist selects the operand wordlength distribution.
+type WidthDist uint8
+
+const (
+	// WidthUniform draws widths i.i.d. uniform over [MinWidth, MaxWidth].
+	WidthUniform WidthDist = iota
+	// WidthBimodal mixes a narrow mode (data-path widths) and a wide
+	// mode (coefficient/accumulator widths) — the distribution multiple-
+	// wordlength synthesis targets.
+	WidthBimodal
+	// WidthClustered draws each graph's widths from three values fixed
+	// per seed, modelling designs quantised to a few precisions; it
+	// maximises signature reuse and stresses kind extraction the least.
+	WidthClustered
+)
+
+// Config parameterises graph generation. Zero fields take the defaults
+// documented on each field.
+type Config struct {
+	N    int   // number of operations (required, > 0)
+	Seed int64 // RNG seed; same seed, same graph
+
+	MulProb   float64 // probability an operation is a multiply; default 0.5
+	EdgeProb  float64 // probability of wiring each operand to an existing op; default 0.6
+	MaxFanout int     // maximum consumers of one operation; default 3
+
+	MinWidth int // minimum operand wordlength in bits; default 4
+	MaxWidth int // maximum operand wordlength in bits; default 24
+
+	Shape Shape     // macro-structure; default ShapeLayered
+	Dist  WidthDist // wordlength distribution; default WidthUniform
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.N < 0 {
+		return c, fmt.Errorf("tgff: negative size %d", c.N)
+	}
+	if c.MulProb == 0 {
+		c.MulProb = 0.5
+	}
+	if c.EdgeProb == 0 {
+		c.EdgeProb = 0.6
+	}
+	if c.MaxFanout == 0 {
+		c.MaxFanout = 3
+	}
+	if c.MinWidth == 0 {
+		c.MinWidth = 4
+	}
+	if c.MaxWidth == 0 {
+		c.MaxWidth = 24
+	}
+	if c.MinWidth < 1 || c.MaxWidth < c.MinWidth {
+		return c, fmt.Errorf("tgff: invalid width range [%d, %d]", c.MinWidth, c.MaxWidth)
+	}
+	if c.MulProb < 0 || c.MulProb > 1 || c.EdgeProb < 0 || c.EdgeProb > 1 {
+		return c, fmt.Errorf("tgff: probabilities must lie in [0, 1]")
+	}
+	if c.Shape > ShapeForkJoin {
+		return c, fmt.Errorf("tgff: unknown shape %d", c.Shape)
+	}
+	if c.Dist > WidthClustered {
+		return c, fmt.Errorf("tgff: unknown width distribution %d", c.Dist)
+	}
+	return c, nil
+}
+
+// widthSampler returns the operand-width generator for the configured
+// distribution, seeded from rnd (so clustered centres are per-graph).
+func widthSampler(cfg Config, rnd *rand.Rand) func() int {
+	span := cfg.MaxWidth - cfg.MinWidth + 1
+	uniform := func() int { return cfg.MinWidth + rnd.Intn(span) }
+	switch cfg.Dist {
+	case WidthBimodal:
+		if span < 3 {
+			return uniform
+		}
+		mode := span / 3 // each mode covers the lower/upper third
+		return func() int {
+			if rnd.Intn(2) == 0 {
+				return cfg.MinWidth + rnd.Intn(mode)
+			}
+			return cfg.MaxWidth - rnd.Intn(mode)
+		}
+	case WidthClustered:
+		centres := [3]int{uniform(), uniform(), uniform()}
+		return func() int { return centres[rnd.Intn(len(centres))] }
+	default:
+		return uniform
+	}
+}
+
+// Generate builds a random sequencing graph. Under the default layered
+// shape, operations are created in topological order and each operand of
+// a new operation connects, with probability EdgeProb, to a random
+// existing operation that still has fan-out budget (preferring recent
+// operations, which yields the layered shape of TGFF graphs); otherwise
+// the operand is a primary input. ShapeChain and ShapeForkJoin impose
+// serial and series-parallel macro-structure instead.
+func Generate(cfg Config) (*dfg.Graph, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	rnd := rand.New(rand.NewSource(cfg.Seed))
+	g := dfg.New()
+	width := widthSampler(cfg, rnd)
+
+	newOp := func(i int) dfg.OpID {
+		var typ model.OpType
+		var sig model.Signature
+		if rnd.Float64() < cfg.MulProb {
+			typ = model.Mul
+			sig = model.Sig(width(), width())
+		} else {
+			if rnd.Intn(4) == 0 {
+				typ = model.Sub
+			} else {
+				typ = model.Add
+			}
+			sig = model.AddSig(width())
+		}
+		return g.AddOp(fmt.Sprintf("n%d", i), typ, sig)
+	}
+
+	switch cfg.Shape {
+	case ShapeChain:
+		for i := 0; i < cfg.N; i++ {
+			id := newOp(i)
+			if i > 0 {
+				if err := g.AddDep(id-1, id); err != nil {
+					return nil, err
+				}
+			}
+		}
+
+	case ShapeForkJoin:
+		// frontier holds the open branch tails. Each new operation joins
+		// two branches (both operands from the frontier), extends one
+		// (one operand), or opens a fresh branch from primary inputs.
+		var frontier []dfg.OpID
+		take := func() dfg.OpID {
+			k := rnd.Intn(len(frontier))
+			id := frontier[k]
+			frontier[k] = frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+			return id
+		}
+		for i := 0; i < cfg.N; i++ {
+			id := newOp(i)
+			switch {
+			case len(frontier) >= 2 && rnd.Float64() < 0.4: // join
+				a, b := take(), take()
+				if err := g.AddDep(a, id); err != nil {
+					return nil, err
+				}
+				if err := g.AddDep(b, id); err != nil {
+					return nil, err
+				}
+			case len(frontier) >= 1 && rnd.Float64() < 0.75: // extend
+				if err := g.AddDep(take(), id); err != nil {
+					return nil, err
+				}
+			}
+			frontier = append(frontier, id)
+		}
+
+	default: // ShapeLayered
+		fanout := make([]int, 0, cfg.N)
+		for i := 0; i < cfg.N; i++ {
+			id := newOp(i)
+			fanout = append(fanout, 0)
+			for operand := 0; operand < 2 && i > 0; operand++ {
+				if rnd.Float64() >= cfg.EdgeProb {
+					continue // primary input
+				}
+				// Choose a producer among ops with fan-out budget, biased
+				// towards recent ones: sample twice, keep the later.
+				p := pickProducer(rnd, fanout, i, cfg.MaxFanout)
+				if p < 0 {
+					continue
+				}
+				if err := g.AddDep(dfg.OpID(p), id); err != nil {
+					return nil, err
+				}
+				fanout[p]++
+			}
+		}
+	}
+	return g, nil
+}
+
+// pickProducer returns an index < limit with fanout budget, biased to
+// recency, or -1 when none is available.
+func pickProducer(rnd *rand.Rand, fanout []int, limit, maxFanout int) int {
+	avail := 0
+	for i := 0; i < limit; i++ {
+		if fanout[i] < maxFanout {
+			avail++
+		}
+	}
+	if avail == 0 {
+		return -1
+	}
+	a := rnd.Intn(limit)
+	b := rnd.Intn(limit)
+	if b > a {
+		a = b
+	}
+	// Walk forward (wrapping) from the biased start to the next op with
+	// budget.
+	for k := 0; k < limit; k++ {
+		i := (a + k) % limit
+		if fanout[i] < maxFanout {
+			return i
+		}
+	}
+	return -1
+}
+
+// Batch generates count graphs of size n with seeds derived from base:
+// base, base+1, ... — the paper's "200 random sequencing graphs for each
+// problem size".
+func Batch(n, count int, base int64, cfg Config) ([]*dfg.Graph, error) {
+	graphs := make([]*dfg.Graph, 0, count)
+	for i := 0; i < count; i++ {
+		c := cfg
+		c.N = n
+		c.Seed = base + int64(i)
+		g, err := Generate(c)
+		if err != nil {
+			return nil, err
+		}
+		graphs = append(graphs, g)
+	}
+	return graphs, nil
+}

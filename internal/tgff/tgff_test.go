@@ -1,0 +1,180 @@
+package tgff
+
+import (
+	"testing"
+
+	"repro/internal/dfg"
+	"repro/internal/model"
+)
+
+func TestGenerateValidDAGs(t *testing.T) {
+	for n := 0; n <= 30; n++ {
+		for seed := int64(0); seed < 20; seed++ {
+			g, err := Generate(Config{N: n, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.N() != n {
+				t.Fatalf("size %d, want %d", g.N(), n)
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Config{N: 15, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{N: 15, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != b.N() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed, different graphs")
+	}
+	for i := 0; i < a.N(); i++ {
+		if a.Op(dfg.OpID(i)).Spec != b.Op(dfg.OpID(i)).Spec {
+			t.Fatalf("op %d differs", i)
+		}
+		sa, sb := a.Succ(dfg.OpID(i)), b.Succ(dfg.OpID(i))
+		if len(sa) != len(sb) {
+			t.Fatalf("succ %d differs", i)
+		}
+		for j := range sa {
+			if sa[j] != sb[j] {
+				t.Fatalf("succ %d differs", i)
+			}
+		}
+	}
+	c, err := Generate(Config{N: 15, Seed: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := a.NumEdges() == c.NumEdges()
+	if same {
+		for i := 0; i < a.N() && same; i++ {
+			if a.Op(dfg.OpID(i)).Spec != c.Op(dfg.OpID(i)).Spec {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs (suspicious)")
+	}
+}
+
+func TestDegreeAndFanoutBounds(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		g, err := Generate(Config{N: 24, Seed: seed, MaxFanout: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < g.N(); i++ {
+			if d := len(g.Pred(dfg.OpID(i))); d > 2 {
+				t.Fatalf("op %d has in-degree %d > 2", i, d)
+			}
+			if f := len(g.Succ(dfg.OpID(i))); f > 3 {
+				t.Fatalf("op %d has fan-out %d > 3", i, f)
+			}
+		}
+	}
+}
+
+func TestWidthRange(t *testing.T) {
+	g, err := Generate(Config{N: 50, Seed: 7, MinWidth: 6, MaxWidth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range g.Ops() {
+		s := o.Spec.Sig
+		if s.Lo < 6 || s.Hi > 10 {
+			t.Fatalf("widths %v outside [6, 10]", s)
+		}
+	}
+}
+
+func TestTypeMix(t *testing.T) {
+	g, err := Generate(Config{N: 200, Seed: 3, MulProb: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	muls := 0
+	for _, o := range g.Ops() {
+		if o.Spec.Type == model.Mul {
+			muls++
+		}
+	}
+	if muls < 60 || muls > 140 {
+		t.Fatalf("mul count %d/200 far from MulProb 0.5", muls)
+	}
+	// MulProb ~ 0: no multiplies.
+	g, err = Generate(Config{N: 50, Seed: 3, MulProb: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range g.Ops() {
+		if o.Spec.Type == model.Mul {
+			t.Fatal("multiply generated with MulProb ~ 0")
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Generate(Config{N: -1}); err == nil {
+		t.Error("negative size accepted")
+	}
+	if _, err := Generate(Config{N: 3, MinWidth: 8, MaxWidth: 4}); err == nil {
+		t.Error("inverted width range accepted")
+	}
+	if _, err := Generate(Config{N: 3, MulProb: 1.5}); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+	if _, err := Generate(Config{N: 3, EdgeProb: -0.5}); err == nil {
+		t.Error("negative probability accepted")
+	}
+}
+
+func TestGraphsAreConnectedEnough(t *testing.T) {
+	// Sanity: the default config should produce graphs with edges (not
+	// just isolated nodes), or λ-relaxation sweeps would be vacuous.
+	total := 0
+	for seed := int64(0); seed < 50; seed++ {
+		g, err := Generate(Config{N: 10, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += g.NumEdges()
+	}
+	if total < 100 { // 2 edges per graph on average is the bare minimum
+		t.Fatalf("graphs too sparse: %d edges across 50 graphs", total)
+	}
+}
+
+func TestBatch(t *testing.T) {
+	gs, err := Batch(9, 20, 1000, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 20 {
+		t.Fatalf("batch size %d", len(gs))
+	}
+	for _, g := range gs {
+		if g.N() != 9 {
+			t.Fatalf("graph size %d", g.N())
+		}
+	}
+	// Reproducible.
+	gs2, err := Batch(9, 20, 1000, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range gs {
+		if gs[i].NumEdges() != gs2[i].NumEdges() {
+			t.Fatal("batch not reproducible")
+		}
+	}
+}

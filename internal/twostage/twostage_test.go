@@ -1,0 +1,174 @@
+package twostage
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/dfg"
+	"repro/internal/model"
+	"repro/internal/tgff"
+)
+
+func TestAllocateEmpty(t *testing.T) {
+	dp, _, err := Allocate(dfg.New(), model.Default(), 0)
+	if err != nil || len(dp.Instances) != 0 {
+		t.Fatalf("%v %v", dp, err)
+	}
+}
+
+func TestAllocateChainSharesSameLatency(t *testing.T) {
+	// Three sequential adds of different widths: adders all have latency
+	// 2, so they group onto one adder of the maximum width.
+	d := dfg.New()
+	var prev dfg.OpID = -1
+	for _, w := range []int{8, 12, 6} {
+		o := d.AddOp("", model.Add, model.AddSig(w))
+		if prev >= 0 {
+			d.AddDep(prev, o)
+		}
+		prev = o
+	}
+	lib := model.Default()
+	dp, _, err := Allocate(d, lib, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dp.Verify(d, lib, 6); err != nil {
+		t.Fatal(err)
+	}
+	if len(dp.Instances) != 1 || dp.Area(lib) != 12 {
+		t.Fatalf("instances %d area %d, want 1/12", len(dp.Instances), dp.Area(lib))
+	}
+}
+
+func TestNoCrossBandSharing(t *testing.T) {
+	// A 20x18 multiply (5 cycles) followed by an 8x8 multiply (2
+	// cycles): DPAlloc can share them with slack, but the two-stage
+	// baseline must NOT (sharing would raise the small op's latency), so
+	// it pays for two multipliers regardless of λ.
+	d := dfg.New()
+	a := d.AddOp("", model.Mul, model.Sig(20, 18))
+	b := d.AddOp("", model.Mul, model.Sig(8, 8))
+	d.AddDep(a, b)
+	lib := model.Default()
+	dp, _, err := Allocate(d, lib, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dp.Verify(d, lib, 100); err != nil {
+		t.Fatal(err)
+	}
+	if len(dp.Instances) != 2 {
+		t.Fatalf("two-stage shared across latency bands: %d instances", len(dp.Instances))
+	}
+	if dp.Area(lib) != 360+64 {
+		t.Fatalf("area = %d, want 424", dp.Area(lib))
+	}
+}
+
+func TestSameBandMultiplySharing(t *testing.T) {
+	// 9x8 (latency 3) and 10x7 (latency 3): join 10x8 also latency 3 —
+	// the baseline may share them when sequential.
+	d := dfg.New()
+	a := d.AddOp("", model.Mul, model.Sig(9, 8))
+	b := d.AddOp("", model.Mul, model.Sig(10, 7))
+	d.AddDep(a, b)
+	lib := model.Default()
+	dp, _, err := Allocate(d, lib, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dp.Verify(d, lib, 6); err != nil {
+		t.Fatal(err)
+	}
+	if len(dp.Instances) != 1 {
+		t.Fatalf("same-band sequential multiplies not shared: %d instances", len(dp.Instances))
+	}
+	if dp.Area(lib) != 80 { // 10x8
+		t.Fatalf("area = %d, want 80", dp.Area(lib))
+	}
+}
+
+func TestInfeasibleLambda(t *testing.T) {
+	d := dfg.New()
+	d.AddOp("", model.Mul, model.Sig(8, 8))
+	if _, _, err := Allocate(d, model.Default(), 1); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestOptimalBeatsGreedyOrMatches(t *testing.T) {
+	// On random graphs the B&B result must never exceed the greedy
+	// incumbent, and all results must verify.
+	lib := model.Default()
+	for seed := int64(0); seed < 40; seed++ {
+		g, err := tgff.Generate(tgff.Config{N: 10, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lmin, err := g.MinMakespan(lib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lambda := lmin + lmin/4
+		dp, stats, err := Allocate(g, lib, lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dp.Verify(g, lib, lambda); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		lat := g.MinLatencies(lib)
+		start := dp.Start
+		greedyArea, _ := greedyIncumbent(g, lib, start, lat)
+		if dp.Area(lib) > greedyArea {
+			t.Fatalf("seed %d: B&B area %d worse than greedy %d", seed, dp.Area(lib), greedyArea)
+		}
+		if stats.Capped {
+			t.Logf("seed %d: node cap hit (%d nodes)", seed, stats.Nodes)
+		}
+	}
+}
+
+func TestLambdaInsensitiveAcrossBands(t *testing.T) {
+	// The defining weakness: for a fixed schedule shape, relaxing λ far
+	// beyond what serialization can use cannot buy cross-band sharing.
+	d := dfg.New()
+	a := d.AddOp("", model.Mul, model.Sig(20, 18))
+	b := d.AddOp("", model.Mul, model.Sig(8, 8))
+	d.AddDep(a, b)
+	lib := model.Default()
+	areas := make(map[int64]bool)
+	for _, lambda := range []int{8, 20, 50} {
+		dp, _, err := Allocate(d, lib, lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		areas[dp.Area(lib)] = true
+	}
+	if len(areas) != 1 {
+		t.Fatalf("areas vary with λ: %v", areas)
+	}
+}
+
+func TestStage1RespectsDependenciesUnderPressure(t *testing.T) {
+	lib := model.Default()
+	for seed := int64(100); seed < 130; seed++ {
+		g, err := tgff.Generate(tgff.Config{N: 14, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lmin, err := g.MinMakespan(lib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Exactly λ_min: stage 1 must still find a schedule.
+		dp, _, err := Allocate(g, lib, lmin)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := dp.Verify(g, lib, lmin); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,716 @@
+package vsim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ---- AST ----
+
+// Module is a parsed Verilog module.
+type Module struct {
+	Name    string
+	Ports   []Port
+	Regs    []Decl
+	Wires   []WireDef // wires with a defining expression (decl-init or assign)
+	Always  []Always
+	widths  map[string]int
+	isInput map[string]bool
+}
+
+// Port is one ANSI-style module port.
+type Port struct {
+	Name  string
+	Width int
+	Input bool
+	Reg   bool // declared "output reg"
+}
+
+// Decl is a named register with a width.
+type Decl struct {
+	Name  string
+	Width int
+}
+
+// WireDef is a combinationally driven net: a wire declaration with an
+// initialising expression, or the target of a continuous assign.
+type WireDef struct {
+	Name  string
+	Width int // 0 when the width comes from an earlier declaration
+	Expr  Expr
+}
+
+// Always is one `always @(posedge clk)` block.
+type Always struct {
+	Clock string
+	Body  []Stmt
+}
+
+// Stmt is a statement inside an always block.
+type Stmt interface{ stmt() }
+
+// NonBlocking is `target <= expr;`.
+type NonBlocking struct {
+	Target string
+	Expr   Expr
+	Line   int
+}
+
+// If is an if/else-if/else chain.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt // nil, a nested []Stmt, or a single If for else-if
+}
+
+func (NonBlocking) stmt() {}
+func (If) stmt()          {}
+
+// Expr is an expression tree node.
+type Expr interface{ expr() }
+
+// Num is a literal with an optional declared width (0 = unsized).
+type Num struct {
+	Val   uint64
+	Width int
+}
+
+// Ref reads a named signal.
+type Ref struct{ Name string }
+
+// Select is a bit or part select x[hi:lo] (single bit: Hi == Lo).
+type Select struct {
+	X      Expr
+	Hi, Lo int
+}
+
+// Unary applies !, ~ or - to an operand.
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+// Binary applies a binary operator.
+type Binary struct {
+	Op   string
+	X, Y Expr
+}
+
+// Ternary is cond ? a : b.
+type Ternary struct {
+	Cond, Then, Else Expr
+}
+
+// Concat is {a, b, ...}.
+type Concat struct{ Parts []Expr }
+
+func (Num) expr()     {}
+func (Ref) expr()     {}
+func (Select) expr()  {}
+func (Unary) expr()   {}
+func (Binary) expr()  {}
+func (Ternary) expr() {}
+func (Concat) expr()  {}
+
+// ---- parser ----
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse compiles Verilog source into a Module, rejecting anything
+// outside the supported synthesisable subset.
+func Parse(src string) (*Module, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	m, err := p.parseModule()
+	if err != nil {
+		return nil, err
+	}
+	if err := m.resolve(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) at(text string) bool {
+	t := p.peek()
+	return (t.kind == tokPunct || t.kind == tokKeyword) && t.text == text
+}
+
+func (p *parser) accept(text string) bool {
+	if p.at(text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		t := p.peek()
+		return fmt.Errorf("vsim: line %d: expected %q, found %q", t.line, text, t.text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("vsim: line %d: expected identifier, found %q", t.line, t.text)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+// width parses an optional `[msb:0]` range and returns msb+1, defaulting
+// to 1 bit. Only lsb == 0 ranges are accepted in declarations, matching
+// the generator.
+func (p *parser) width() (int, error) {
+	if !p.accept("[") {
+		return 1, nil
+	}
+	msb, err := p.constInt()
+	if err != nil {
+		return 0, err
+	}
+	if err := p.expect(":"); err != nil {
+		return 0, err
+	}
+	lsb, err := p.constInt()
+	if err != nil {
+		return 0, err
+	}
+	if lsb != 0 {
+		return 0, fmt.Errorf("vsim: declaration range [%d:%d] must end at 0", msb, lsb)
+	}
+	if err := p.expect("]"); err != nil {
+		return 0, err
+	}
+	if msb < 0 || msb > 63 {
+		return 0, fmt.Errorf("vsim: unsupported declaration width %d (max 64 bits)", msb+1)
+	}
+	return msb + 1, nil
+}
+
+func (p *parser) constInt() (int, error) {
+	t := p.peek()
+	if t.kind != tokNumber {
+		return 0, fmt.Errorf("vsim: line %d: expected integer, found %q", t.line, t.text)
+	}
+	p.pos++
+	v, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, fmt.Errorf("vsim: line %d: bad integer %q", t.line, t.text)
+	}
+	return v, nil
+}
+
+func (p *parser) parseModule() (*Module, error) {
+	if err := p.expect("module"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{Name: name}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	for !p.accept(")") {
+		port, err := p.parsePort()
+		if err != nil {
+			return nil, err
+		}
+		m.Ports = append(m.Ports, port)
+		if !p.accept(",") && !p.at(")") {
+			t := p.peek()
+			return nil, fmt.Errorf("vsim: line %d: expected ',' or ')' in port list, found %q", t.line, t.text)
+		}
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	for !p.accept("endmodule") {
+		if err := p.parseItem(m); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+func (p *parser) parsePort() (Port, error) {
+	var port Port
+	switch {
+	case p.accept("input"):
+		port.Input = true
+	case p.accept("output"):
+	default:
+		t := p.peek()
+		return port, fmt.Errorf("vsim: line %d: expected input/output, found %q", t.line, t.text)
+	}
+	if p.accept("reg") {
+		port.Reg = true
+	} else {
+		p.accept("wire") // optional
+	}
+	w, err := p.width()
+	if err != nil {
+		return port, err
+	}
+	port.Width = w
+	port.Name, err = p.ident()
+	return port, err
+}
+
+func (p *parser) parseItem(m *Module) error {
+	t := p.peek()
+	switch {
+	case p.accept("reg"):
+		w, err := p.width()
+		if err != nil {
+			return err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return err
+		}
+		m.Regs = append(m.Regs, Decl{Name: name, Width: w})
+		return p.expect(";")
+	case p.accept("wire"):
+		w, err := p.width()
+		if err != nil {
+			return err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if err := p.expect("="); err != nil {
+			return fmt.Errorf("vsim: wire %q must have a defining expression: %w", name, err)
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		m.Wires = append(m.Wires, WireDef{Name: name, Width: w, Expr: e})
+		return p.expect(";")
+	case p.accept("assign"):
+		name, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if err := p.expect("="); err != nil {
+			return err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		m.Wires = append(m.Wires, WireDef{Name: name, Expr: e})
+		return p.expect(";")
+	case p.accept("always"):
+		return p.parseAlways(m)
+	default:
+		return fmt.Errorf("vsim: line %d: unsupported module item starting at %q", t.line, t.text)
+	}
+}
+
+func (p *parser) parseAlways(m *Module) error {
+	if err := p.expect("@"); err != nil {
+		return err
+	}
+	if err := p.expect("("); err != nil {
+		return err
+	}
+	if err := p.expect("posedge"); err != nil {
+		return err
+	}
+	clock, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if err := p.expect(")"); err != nil {
+		return err
+	}
+	body, err := p.parseStmtOrBlock()
+	if err != nil {
+		return err
+	}
+	m.Always = append(m.Always, Always{Clock: clock, Body: body})
+	return nil
+}
+
+// parseStmtOrBlock parses either a begin/end block or a single statement.
+func (p *parser) parseStmtOrBlock() ([]Stmt, error) {
+	if p.accept("begin") {
+		var stmts []Stmt
+		for !p.accept("end") {
+			s, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			stmts = append(stmts, s)
+		}
+		return stmts, nil
+	}
+	s, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return []Stmt{s}, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	if p.accept("if") {
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmtOrBlock()
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if p.accept("else") {
+			els, err = p.parseStmtOrBlock()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return If{Cond: cond, Then: then, Else: els}, nil
+	}
+	line := p.peek().line
+	target, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("<="); err != nil {
+		return nil, fmt.Errorf("vsim: only non-blocking assignment is supported: %w", err)
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return NonBlocking{Target: target, Expr: e, Line: line}, nil
+}
+
+// ---- expressions, precedence climbing ----
+
+// binary operator precedence, higher binds tighter.
+var precedence = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, ">": 7, ">=": 7, // note: "<=" is claimed by non-blocking assignment
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseTernary() }
+
+func (p *parser) parseTernary() (Expr, error) {
+	cond, err := p.parseBinary(1)
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept("?") {
+		return cond, nil
+	}
+	then, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(":"); err != nil {
+		return nil, err
+	}
+	els, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	return Ternary{Cond: cond, Then: then, Else: els}, nil
+}
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokPunct {
+			return left, nil
+		}
+		prec, ok := precedence[t.text]
+		if !ok || prec < minPrec {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = Binary{Op: t.text, X: left, Y: right}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.peek()
+	if t.kind == tokPunct && (t.text == "!" || t.text == "~" || t.text == "-") {
+		p.pos++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Op: t.text, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokNumber:
+		p.pos++
+		v, err := strconv.ParseUint(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("vsim: line %d: bad number %q", t.line, t.text)
+		}
+		return Num{Val: v}, nil
+	case t.kind == tokSized:
+		p.pos++
+		return parseSized(t)
+	case t.kind == tokIdent:
+		p.pos++
+		var e Expr = Ref{Name: t.text}
+		if p.accept("[") {
+			hi, err := p.constInt()
+			if err != nil {
+				return nil, err
+			}
+			lo := hi
+			if p.accept(":") {
+				lo, err = p.constInt()
+				if err != nil {
+					return nil, err
+				}
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			if hi < lo || lo < 0 || hi > 63 {
+				return nil, fmt.Errorf("vsim: line %d: bad part select [%d:%d]", t.line, hi, lo)
+			}
+			e = Select{X: e, Hi: hi, Lo: lo}
+		}
+		return e, nil
+	case p.accept("("):
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expect(")")
+	case p.accept("{"):
+		var parts []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, e)
+			if p.accept("}") {
+				break
+			}
+			if err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+		return Concat{Parts: parts}, nil
+	default:
+		return nil, fmt.Errorf("vsim: line %d: unexpected token %q in expression", t.line, t.text)
+	}
+}
+
+// parseSized decodes a sized literal token like 5'd12 or 4'b1010.
+func parseSized(t token) (Expr, error) {
+	quote := strings.IndexByte(t.text, '\'')
+	width, err := strconv.Atoi(t.text[:quote])
+	if err != nil || width < 1 || width > 64 {
+		return nil, fmt.Errorf("vsim: line %d: bad literal width in %q", t.line, t.text)
+	}
+	base := 10
+	switch t.text[quote+1] {
+	case 'd', 'D':
+	case 'b', 'B':
+		base = 2
+	case 'h', 'H':
+		base = 16
+	case 'o', 'O':
+		base = 8
+	}
+	digits := strings.ReplaceAll(t.text[quote+2:], "_", "")
+	v, err := strconv.ParseUint(digits, base, 64)
+	if err != nil {
+		return nil, fmt.Errorf("vsim: line %d: bad literal value in %q", t.line, t.text)
+	}
+	if width < 64 && v >= 1<<uint(width) {
+		return nil, fmt.Errorf("vsim: line %d: literal %q overflows its width", t.line, t.text)
+	}
+	return Num{Val: v, Width: width}, nil
+}
+
+// resolve builds the module's symbol tables and checks that every
+// referenced signal is declared, every assignment target is legal, and
+// wire definitions are acyclic (checked later at simulation ordering).
+func (m *Module) resolve() error {
+	m.widths = make(map[string]int)
+	m.isInput = make(map[string]bool)
+	declare := func(name string, width int) error {
+		if _, dup := m.widths[name]; dup {
+			return fmt.Errorf("vsim: %q declared twice", name)
+		}
+		m.widths[name] = width
+		return nil
+	}
+	for _, p := range m.Ports {
+		if err := declare(p.Name, p.Width); err != nil {
+			return err
+		}
+		m.isInput[p.Name] = p.Input
+	}
+	for _, r := range m.Regs {
+		if err := declare(r.Name, r.Width); err != nil {
+			return err
+		}
+	}
+	driven := make(map[string]bool)
+	for i, w := range m.Wires {
+		if driven[w.Name] {
+			return fmt.Errorf("vsim: wire %q driven twice", w.Name)
+		}
+		driven[w.Name] = true
+		if w.Width > 0 { // fresh declaration
+			if err := declare(w.Name, w.Width); err != nil {
+				return err
+			}
+		} else { // assign to an existing output port
+			width, ok := m.widths[w.Name]
+			if !ok {
+				return fmt.Errorf("vsim: assign to undeclared %q", w.Name)
+			}
+			if m.isInput[w.Name] {
+				return fmt.Errorf("vsim: assign drives input port %q", w.Name)
+			}
+			m.Wires[i].Width = width
+		}
+		if err := m.checkExpr(w.Expr); err != nil {
+			return err
+		}
+	}
+	for _, a := range m.Always {
+		if _, ok := m.widths[a.Clock]; !ok {
+			return fmt.Errorf("vsim: undeclared clock %q", a.Clock)
+		}
+		if err := m.checkStmts(a.Body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Module) checkStmts(stmts []Stmt) error {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case NonBlocking:
+			if _, ok := m.widths[s.Target]; !ok {
+				return fmt.Errorf("vsim: line %d: assignment to undeclared %q", s.Line, s.Target)
+			}
+			if m.isInput[s.Target] {
+				return fmt.Errorf("vsim: line %d: assignment drives input port %q", s.Line, s.Target)
+			}
+			if err := m.checkExpr(s.Expr); err != nil {
+				return err
+			}
+		case If:
+			if err := m.checkExpr(s.Cond); err != nil {
+				return err
+			}
+			if err := m.checkStmts(s.Then); err != nil {
+				return err
+			}
+			if err := m.checkStmts(s.Else); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (m *Module) checkExpr(e Expr) error {
+	switch e := e.(type) {
+	case Num:
+	case Ref:
+		if _, ok := m.widths[e.Name]; !ok {
+			return fmt.Errorf("vsim: reference to undeclared %q", e.Name)
+		}
+	case Select:
+		ref, ok := e.X.(Ref)
+		if !ok {
+			return fmt.Errorf("vsim: part select of a non-identifier")
+		}
+		if err := m.checkExpr(e.X); err != nil {
+			return err
+		}
+		if w := m.widths[ref.Name]; e.Hi >= w {
+			return fmt.Errorf("vsim: select %s[%d:%d] exceeds width %d", ref.Name, e.Hi, e.Lo, w)
+		}
+	case Unary:
+		return m.checkExpr(e.X)
+	case Binary:
+		if err := m.checkExpr(e.X); err != nil {
+			return err
+		}
+		return m.checkExpr(e.Y)
+	case Ternary:
+		if err := m.checkExpr(e.Cond); err != nil {
+			return err
+		}
+		if err := m.checkExpr(e.Then); err != nil {
+			return err
+		}
+		return m.checkExpr(e.Else)
+	case Concat:
+		for _, part := range e.Parts {
+			if err := m.checkExpr(part); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("vsim: unknown expression node %T", e)
+	}
+	return nil
+}
+
+// Width returns the declared width of a signal, or 0 if undeclared.
+func (m *Module) Width(name string) int { return m.widths[name] }

@@ -1,0 +1,360 @@
+package vsim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Sim is a cycle simulator for one parsed Module. Signal values are held
+// masked to their declared widths; wires are recomputed in dependency
+// order after every input change and clock edge; always blocks use
+// standard non-blocking semantics (all right-hand sides evaluate against
+// the pre-edge state, then commit together).
+type Sim struct {
+	m     *Module
+	vals  map[string]uint64
+	order []int // indices into m.Wires, evaluation order
+
+	pending map[string]uint64 // scratch for non-blocking commits
+}
+
+// NewSim elaborates the module: orders combinational wire definitions
+// topologically (reporting combinational cycles) and zero-initialises
+// every signal.
+func NewSim(m *Module) (*Sim, error) {
+	s := &Sim{m: m, vals: make(map[string]uint64), pending: make(map[string]uint64)}
+	byName := make(map[string]int, len(m.Wires))
+	for i, w := range m.Wires {
+		if _, dup := byName[w.Name]; dup {
+			return nil, fmt.Errorf("vsim: wire %q driven twice", w.Name)
+		}
+		byName[w.Name] = i
+	}
+	// DFS topological order over wire-to-wire dependencies.
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make([]int, len(m.Wires))
+	var visit func(i int) error
+	visit = func(i int) error {
+		switch state[i] {
+		case visiting:
+			return fmt.Errorf("vsim: combinational cycle through %q", m.Wires[i].Name)
+		case done:
+			return nil
+		}
+		state[i] = visiting
+		for _, dep := range exprRefs(m.Wires[i].Expr, nil) {
+			if j, ok := byName[dep]; ok {
+				if err := visit(j); err != nil {
+					return err
+				}
+			}
+		}
+		state[i] = done
+		s.order = append(s.order, i)
+		return nil
+	}
+	// Visit in a deterministic order.
+	idxs := make([]int, len(m.Wires))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	sort.Slice(idxs, func(a, b int) bool { return m.Wires[idxs[a]].Name < m.Wires[idxs[b]].Name })
+	for _, i := range idxs {
+		if err := visit(i); err != nil {
+			return nil, err
+		}
+	}
+	s.recompute()
+	return s, nil
+}
+
+// Set drives an input port and settles combinational logic.
+func (s *Sim) Set(name string, v uint64) error {
+	if !s.m.isInput[name] {
+		return fmt.Errorf("vsim: %q is not an input port", name)
+	}
+	s.vals[name] = maskTo(v, s.m.widths[name])
+	s.recompute()
+	return nil
+}
+
+// Get returns the current value of any signal (port, reg or wire).
+func (s *Sim) Get(name string) (uint64, error) {
+	if _, ok := s.m.widths[name]; !ok {
+		return 0, fmt.Errorf("vsim: unknown signal %q", name)
+	}
+	return s.vals[name], nil
+}
+
+// Step applies one positive edge of the named clock: every always block
+// sensitive to it evaluates against the pre-edge state, updates commit
+// together, then wires settle.
+func (s *Sim) Step(clock string) error {
+	if _, ok := s.m.widths[clock]; !ok {
+		return fmt.Errorf("vsim: unknown clock %q", clock)
+	}
+	clear(s.pending)
+	for _, a := range s.m.Always {
+		if a.Clock != clock {
+			continue
+		}
+		if err := s.exec(a.Body); err != nil {
+			return err
+		}
+	}
+	for name, v := range s.pending {
+		s.vals[name] = maskTo(v, s.m.widths[name])
+	}
+	s.recompute()
+	return nil
+}
+
+// exec runs statements, accumulating non-blocking updates. Conditions
+// read committed (pre-edge) values; an earlier pending write to the same
+// target in this edge is overwritten, matching event semantics.
+func (s *Sim) exec(stmts []Stmt) error {
+	for _, st := range stmts {
+		switch st := st.(type) {
+		case NonBlocking:
+			v, err := s.eval(st.Expr)
+			if err != nil {
+				return err
+			}
+			s.pending[st.Target] = v
+		case If:
+			c, err := s.eval(st.Cond)
+			if err != nil {
+				return err
+			}
+			if c != 0 {
+				if err := s.exec(st.Then); err != nil {
+					return err
+				}
+			} else if err := s.exec(st.Else); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("vsim: unknown statement %T", st)
+		}
+	}
+	return nil
+}
+
+// recompute settles every combinational wire in dependency order.
+func (s *Sim) recompute() {
+	for _, i := range s.order {
+		w := s.m.Wires[i]
+		v, err := s.eval(w.Expr)
+		if err != nil {
+			// resolve() validated references; evaluation cannot fail.
+			panic(fmt.Sprintf("vsim: internal: %v", err))
+		}
+		s.vals[w.Name] = maskTo(v, w.Width)
+	}
+}
+
+// eval computes an expression against committed values. Arithmetic is
+// performed in 64 bits; stored signals are invariantly masked to their
+// declared widths, and assignment masks the result, which reproduces the
+// unsigned modulo semantics of the generated subset.
+func (s *Sim) eval(e Expr) (uint64, error) {
+	switch e := e.(type) {
+	case Num:
+		return e.Val, nil
+	case Ref:
+		return s.vals[e.Name], nil
+	case Select:
+		v, err := s.eval(e.X)
+		if err != nil {
+			return 0, err
+		}
+		return maskTo(v>>uint(e.Lo), e.Hi-e.Lo+1), nil
+	case Unary:
+		v, err := s.eval(e.X)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case "!":
+			if v == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		case "~":
+			return ^v, nil // masked at assignment
+		case "-":
+			return -v, nil
+		}
+		return 0, fmt.Errorf("vsim: unknown unary %q", e.Op)
+	case Binary:
+		x, err := s.eval(e.X)
+		if err != nil {
+			return 0, err
+		}
+		y, err := s.eval(e.Y)
+		if err != nil {
+			return 0, err
+		}
+		return evalBinary(e.Op, x, y)
+	case Ternary:
+		c, err := s.eval(e.Cond)
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			return s.eval(e.Then)
+		}
+		return s.eval(e.Else)
+	case Concat:
+		var v uint64
+		for _, part := range e.Parts {
+			pv, err := s.eval(part)
+			if err != nil {
+				return 0, err
+			}
+			w := s.exprWidth(part)
+			v = v<<uint(w) | maskTo(pv, w)
+		}
+		return v, nil
+	default:
+		return 0, fmt.Errorf("vsim: unknown expression %T", e)
+	}
+}
+
+func evalBinary(op string, x, y uint64) (uint64, error) {
+	b2u := func(b bool) uint64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case "+":
+		return x + y, nil
+	case "-":
+		return x - y, nil
+	case "*":
+		return x * y, nil
+	case "/":
+		if y == 0 {
+			return 0, fmt.Errorf("vsim: division by zero")
+		}
+		return x / y, nil
+	case "%":
+		if y == 0 {
+			return 0, fmt.Errorf("vsim: modulo by zero")
+		}
+		return x % y, nil
+	case "==":
+		return b2u(x == y), nil
+	case "!=":
+		return b2u(x != y), nil
+	case "<":
+		return b2u(x < y), nil
+	case ">":
+		return b2u(x > y), nil
+	case ">=":
+		return b2u(x >= y), nil
+	case "&&":
+		return b2u(x != 0 && y != 0), nil
+	case "||":
+		return b2u(x != 0 || y != 0), nil
+	case "&":
+		return x & y, nil
+	case "|":
+		return x | y, nil
+	case "^":
+		return x ^ y, nil
+	case "<<":
+		if y >= 64 {
+			return 0, nil
+		}
+		return x << y, nil
+	case ">>":
+		if y >= 64 {
+			return 0, nil
+		}
+		return x >> y, nil
+	}
+	return 0, fmt.Errorf("vsim: unknown binary operator %q", op)
+}
+
+// exprWidth is the self-determined width of an expression, needed for
+// concatenation packing. Signals use declared widths; sized literals
+// their own; comparisons and logical operators are 1 bit.
+func (s *Sim) exprWidth(e Expr) int {
+	switch e := e.(type) {
+	case Num:
+		if e.Width > 0 {
+			return e.Width
+		}
+		return 32 // Verilog's unsized-literal default
+	case Ref:
+		return s.m.widths[e.Name]
+	case Select:
+		return e.Hi - e.Lo + 1
+	case Unary:
+		if e.Op == "!" {
+			return 1
+		}
+		return s.exprWidth(e.X)
+	case Binary:
+		switch e.Op {
+		case "==", "!=", "<", ">", ">=", "&&", "||":
+			return 1
+		}
+		if a, b := s.exprWidth(e.X), s.exprWidth(e.Y); a > b {
+			return a
+		} else {
+			return b
+		}
+	case Ternary:
+		if a, b := s.exprWidth(e.Then), s.exprWidth(e.Else); a > b {
+			return a
+		} else {
+			return b
+		}
+	case Concat:
+		w := 0
+		for _, p := range e.Parts {
+			w += s.exprWidth(p)
+		}
+		return w
+	}
+	return 0
+}
+
+// exprRefs appends the names referenced by e.
+func exprRefs(e Expr, out []string) []string {
+	switch e := e.(type) {
+	case Ref:
+		out = append(out, e.Name)
+	case Select:
+		out = exprRefs(e.X, out)
+	case Unary:
+		out = exprRefs(e.X, out)
+	case Binary:
+		out = exprRefs(e.X, out)
+		out = exprRefs(e.Y, out)
+	case Ternary:
+		out = exprRefs(e.Cond, out)
+		out = exprRefs(e.Then, out)
+		out = exprRefs(e.Else, out)
+	case Concat:
+		for _, p := range e.Parts {
+			out = exprRefs(p, out)
+		}
+	}
+	return out
+}
+
+func maskTo(v uint64, w int) uint64 {
+	if w >= 64 || w <= 0 {
+		return v
+	}
+	return v & (1<<uint(w) - 1)
+}

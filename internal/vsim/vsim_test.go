@@ -1,0 +1,487 @@
+package vsim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexer(t *testing.T) {
+	toks, err := lexAll("module m (input wire [3:0] a); // comment\n wire [7:0] y = 4'd12 + a; endmodule")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokKind
+	var texts []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.kind)
+		texts = append(texts, tok.text)
+	}
+	want := []string{"module", "m", "(", "input", "wire", "[", "3", ":", "0", "]", "a", ")", ";",
+		"wire", "[", "7", ":", "0", "]", "y", "=", "4'd12", "+", "a", ";", "endmodule", ""}
+	if len(texts) != len(want) {
+		t.Fatalf("token count %d, want %d: %q", len(texts), len(want), texts)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Fatalf("token %d = %q, want %q", i, texts[i], want[i])
+		}
+	}
+	if kinds[1] != tokIdent || kinds[0] != tokKeyword || kinds[21] != tokSized {
+		t.Fatalf("unexpected kinds %v", kinds)
+	}
+}
+
+func TestLexerSizedLiteralBases(t *testing.T) {
+	for _, src := range []string{"8'hff", "4'b1010", "3'o7", "10'd1_000"} {
+		toks, err := lexAll(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if toks[0].kind != tokSized || toks[0].text != src {
+			t.Fatalf("%s lexed as %v %q", src, toks[0].kind, toks[0].text)
+		}
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, src := range []string{"4'x12", "4'", "/* unterminated"} {
+		if _, err := lexAll(src); err == nil {
+			t.Errorf("%q: lexed without error", src)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"missing module", "wire x = 1;"},
+		{"undeclared ref", "module m (input wire a, output wire y); assign y = b; endmodule"},
+		{"assign to input", "module m (input wire a); assign a = 1'd1; endmodule"},
+		{"double declaration", "module m (input wire a); reg a; endmodule"},
+		{"double wire drive", "module m (input wire a, output wire y); assign y = a; assign y = a; endmodule"},
+		{"nonzero lsb", "module m (input wire [3:1] a); endmodule"},
+		{"select out of range", "module m (input wire [3:0] a, output wire y); assign y = a[4]; endmodule"},
+		{"blocking assign", "module m (input wire clk); reg r; always @(posedge clk) r = 1'd1; endmodule"},
+		{"literal overflow", "module m (output wire y); assign y = 2'd7; endmodule"},
+		{"unsupported item", "module m (input wire a); initial begin end endmodule"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("%s: parsed without error", c.name)
+		}
+	}
+}
+
+func TestParseModuleShape(t *testing.T) {
+	m, err := Parse(`
+module shape (
+  input  wire clk,
+  input  wire [7:0] a,
+  output wire [8:0] y,
+  output reg  done
+);
+  reg [8:0] acc;
+  wire [8:0] sum = acc + {1'd0, a};
+  assign y = acc;
+  always @(posedge clk) begin
+    acc <= sum;
+    done <= 1'b1;
+  end
+endmodule`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "shape" || len(m.Ports) != 4 || len(m.Regs) != 1 || len(m.Wires) != 2 || len(m.Always) != 1 {
+		t.Fatalf("unexpected shape: %+v", m)
+	}
+	if m.Width("acc") != 9 || m.Width("a") != 8 || m.Width("done") != 1 {
+		t.Fatalf("widths wrong: acc=%d a=%d done=%d", m.Width("acc"), m.Width("a"), m.Width("done"))
+	}
+}
+
+// TestSimCounter checks clocked accumulation and reset behaviour.
+func TestSimCounter(t *testing.T) {
+	m, err := Parse(`
+module counter (
+  input  wire clk,
+  input  wire rst,
+  output wire [3:0] y
+);
+  reg [3:0] c;
+  assign y = c;
+  always @(posedge clk) begin
+    if (rst) c <= 4'd0;
+    else c <= c + 4'd1;
+  end
+endmodule`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSim(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set("rst", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Step("clk"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set("rst", 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 20; i++ {
+		if err := s.Step("clk"); err != nil {
+			t.Fatal(err)
+		}
+		want := uint64(i % 16) // 4-bit wraparound
+		if got, _ := s.Get("y"); got != want {
+			t.Fatalf("after %d steps y = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestSimNonBlocking checks that swaps work: both RHS evaluate before
+// either commit.
+func TestSimNonBlocking(t *testing.T) {
+	m, err := Parse(`
+module swap (input wire clk, output wire [3:0] ya, output wire [3:0] yb);
+  reg [3:0] a;
+  reg [3:0] b;
+  reg init;
+  assign ya = a;
+  assign yb = b;
+  always @(posedge clk) begin
+    if (!init) begin
+      a <= 4'd3;
+      b <= 4'd12;
+      init <= 1'd1;
+    end else begin
+      a <= b;
+      b <= a;
+    end
+  end
+endmodule`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSim(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Step("clk"); err != nil { // init
+		t.Fatal(err)
+	}
+	if err := s.Step("clk"); err != nil { // swap
+		t.Fatal(err)
+	}
+	if a, _ := s.Get("ya"); a != 12 {
+		t.Fatalf("a = %d after swap, want 12", a)
+	}
+	if b, _ := s.Get("yb"); b != 3 {
+		t.Fatalf("b = %d after swap, want 3", b)
+	}
+}
+
+// TestSimLastWriteWins: two sequential non-blocking writes to one target
+// in one edge; the later statement's value commits.
+func TestSimLastWriteWins(t *testing.T) {
+	m, err := Parse(`
+module lww (input wire clk, output wire [3:0] y);
+  reg [3:0] r;
+  assign y = r;
+  always @(posedge clk) begin
+    r <= 4'd1;
+    r <= 4'd2;
+  end
+endmodule`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSim(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Step("clk"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Get("y"); v != 2 {
+		t.Fatalf("y = %d, want 2 (last write wins)", v)
+	}
+}
+
+// TestSimWireChain: wires depending on wires settle in dependency order
+// regardless of declaration order (assign before its source).
+func TestSimWireChain(t *testing.T) {
+	m, err := Parse(`
+module chain (input wire [3:0] a, output wire [3:0] y);
+  assign y = mid;
+  wire [3:0] mid = a + 4'd1;
+endmodule`)
+	if err != nil {
+		// Forward references are legal Verilog but our resolve pass
+		// processes declarations in order; if rejected, that is a
+		// documented subset restriction and the generator never emits
+		// them. Accept either behaviour but record which.
+		t.Skipf("forward wire reference rejected by subset: %v", err)
+	}
+	s, err := NewSim(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set("a", 5); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Get("y"); v != 6 {
+		t.Fatalf("y = %d, want 6", v)
+	}
+}
+
+// TestSimCombinationalCycle: mutually dependent wires must be rejected at
+// elaboration, not loop forever.
+func TestSimCombinationalCycle(t *testing.T) {
+	m, err := Parse(`
+module cyc (output wire y);
+  wire a = b;
+  wire b = a;
+  assign y = a;
+endmodule`)
+	if err != nil {
+		t.Skipf("cycle rejected at parse: %v", err)
+	}
+	if _, err := NewSim(m); err == nil {
+		t.Fatal("combinational cycle accepted")
+	} else if !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("wrong error: %v", err)
+	}
+}
+
+// TestSimArithmeticSemantics pins down the unsigned modulo behaviour the
+// generated datapaths rely on: wraparound subtraction, full-width
+// products, truncating part select, zero-extending concat.
+func TestSimArithmeticSemantics(t *testing.T) {
+	m, err := Parse(`
+module arith (
+  input  wire [7:0] a,
+  input  wire [7:0] b,
+  output wire [7:0] diff,
+  output wire [15:0] prod,
+  output wire [3:0] low,
+  output wire [11:0] wide
+);
+  assign diff = a - b;
+  assign prod = a * b;
+  assign low  = a[3:0];
+  assign wide = {4'd0, a};
+endmodule`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSim(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set("a", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set("b", 5); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Get("diff"); v != 254 { // 3-5 mod 256
+		t.Fatalf("diff = %d, want 254", v)
+	}
+	if v, _ := s.Get("prod"); v != 15 {
+		t.Fatalf("prod = %d, want 15", v)
+	}
+	if err := s.Set("a", 0xAB); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Get("low"); v != 0xB {
+		t.Fatalf("low = %#x, want 0xb", v)
+	}
+	if v, _ := s.Get("wide"); v != 0xAB {
+		t.Fatalf("wide = %#x, want 0xab", v)
+	}
+}
+
+func TestSimTernaryAndLogic(t *testing.T) {
+	m, err := Parse(`
+module pick (
+  input  wire s,
+  input  wire t,
+  input  wire [3:0] a,
+  input  wire [3:0] b,
+  output wire [3:0] y,
+  output wire both
+);
+  assign y = s ? a : b;
+  assign both = s && !t;
+endmodule`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSim(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSet := func(n string, v uint64) {
+		t.Helper()
+		if err := s.Set(n, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustSet("a", 7)
+	mustSet("b", 9)
+	mustSet("s", 1)
+	mustSet("t", 0)
+	if v, _ := s.Get("y"); v != 7 {
+		t.Fatalf("y = %d, want 7", v)
+	}
+	if v, _ := s.Get("both"); v != 1 {
+		t.Fatalf("both = %d, want 1", v)
+	}
+	mustSet("s", 0)
+	if v, _ := s.Get("y"); v != 9 {
+		t.Fatalf("y = %d, want 9", v)
+	}
+	if v, _ := s.Get("both"); v != 0 {
+		t.Fatalf("both = %d, want 0", v)
+	}
+}
+
+func TestSimErrors(t *testing.T) {
+	m, err := Parse(`module m (input wire clk, input wire [3:0] a, output wire [3:0] y); assign y = a; endmodule`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSim(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set("y", 1); err == nil {
+		t.Error("Set on output accepted")
+	}
+	if err := s.Set("nope", 1); err == nil {
+		t.Error("Set on unknown accepted")
+	}
+	if _, err := s.Get("nope"); err == nil {
+		t.Error("Get on unknown accepted")
+	}
+	if err := s.Step("nope"); err == nil {
+		t.Error("Step on unknown clock accepted")
+	}
+}
+
+func TestBenchRejectsWrongInterface(t *testing.T) {
+	if _, err := NewBench(`module m (input wire clk, output wire y); assign y = 1'd0; endmodule`); err == nil {
+		t.Fatal("bench accepted module without rst/start/done")
+	}
+}
+
+// TestBenchHandshake runs a minimal handcrafted module that follows the
+// generator's control contract and computes a+b with latency 2.
+func TestBenchHandshake(t *testing.T) {
+	src := `
+module adder (
+  input  wire clk,
+  input  wire rst,
+  input  wire start,
+  input  wire [7:0] in_x_0,
+  input  wire [7:0] in_x_1,
+  output wire [7:0] out_x,
+  output reg  done
+);
+  reg running;
+  reg [1:0] cyc;
+  reg [7:0] r_x;
+  always @(posedge clk) begin
+    if (rst) begin
+      running <= 1'b0;
+      done <= 1'b0;
+      cyc <= 2'd0;
+    end else if (start && !running) begin
+      running <= 1'b1;
+      done <= 1'b0;
+      cyc <= 2'd0;
+    end else if (running) begin
+      if (cyc == 2'd1) begin
+        running <= 1'b0;
+        done <= 1'b1;
+      end
+      cyc <= cyc + 2'd1;
+    end
+  end
+  reg [7:0] u0_a;
+  reg [7:0] u0_b;
+  wire [7:0] u0_y = u0_a + u0_b;
+  always @(posedge clk) begin
+    if (running) begin
+      if (cyc == 2'd0) begin
+        u0_a <= in_x_0;
+        u0_b <= in_x_1;
+      end
+      if (cyc == 2'd1) begin
+        r_x <= u0_y;
+      end
+    end
+  end
+  assign out_x = r_x;
+endmodule`
+	b, err := NewBench(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.InputPorts(); len(got) != 2 {
+		t.Fatalf("input ports %v", got)
+	}
+	if got := b.OutputPorts(); len(got) != 1 || got[0] != "out_x" {
+		t.Fatalf("output ports %v", got)
+	}
+	if err := b.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	outs, cycles, err := b.RunIteration(map[string]uint64{"in_x_0": 100, "in_x_1": 55}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs["out_x"] != 155 {
+		t.Fatalf("out_x = %d, want 155", outs["out_x"])
+	}
+	if cycles < 2 || cycles > 4 {
+		t.Fatalf("took %d cycles, expected about 2", cycles)
+	}
+	// A second iteration must work without another reset.
+	outs, _, err = b.RunIteration(map[string]uint64{"in_x_0": 200, "in_x_1": 100}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs["out_x"] != 44 { // 300 mod 256
+		t.Fatalf("out_x = %d, want 44", outs["out_x"])
+	}
+}
+
+// TestBenchTimeout: done never rising must be reported, not loop.
+func TestBenchTimeout(t *testing.T) {
+	src := `
+module stuck (
+  input  wire clk,
+  input  wire rst,
+  input  wire start,
+  output reg  done
+);
+  always @(posedge clk) begin
+    if (rst) done <= 1'b0;
+  end
+endmodule`
+	b, err := NewBench(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.RunIteration(nil, 5); err == nil {
+		t.Fatal("timeout not reported")
+	}
+}

