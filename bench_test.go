@@ -8,6 +8,7 @@
 package mwl_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -35,7 +36,7 @@ func BenchmarkFig3(b *testing.B) {
 			cfg := expt.Config{Graphs: 10, Seed: benchSeed}
 			var last float64
 			for i := 0; i < b.N; i++ {
-				pts, err := expt.Fig3(cfg, []int{12}, []float64{relax})
+				pts, err := expt.Fig3(context.Background(), cfg, []int{12}, []float64{relax})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -54,7 +55,7 @@ func BenchmarkFig4(b *testing.B) {
 			cfg := expt.Config{Graphs: 10, Seed: benchSeed}
 			var last float64
 			for i := 0; i < b.N; i++ {
-				pts, err := expt.Fig4(cfg, []int{n}, 20_000_000)
+				pts, err := expt.Fig4(context.Background(), cfg, []int{n}, 20_000_000)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -1,26 +1,32 @@
 // Command dpalloc allocates a datapath for a multiple-wordlength
-// sequencing graph read as JSON from a file or stdin.
+// sequencing graph read as JSON from a file or stdin, dispatching
+// through the mwl method registry.
 //
 // Usage:
 //
 //	tgff -n 9 | dpalloc -relax 0.15
 //	dpalloc -in graph.json -lambda 20 -method twostage
 //	dpalloc -in graph.json -relax 0.3 -method all
+//	dpalloc -in graph.json -relax 0.2 -method pipelined -ii 6
 //
-// Methods: heuristic (Algorithm DPAlloc, default), twostage [4],
-// descend [14], optimal (exhaustive, small graphs only), ilp [5], all.
-// Fixed resource limits (the paper's N_y) are set with e.g.
+// Methods are the registry names: dpalloc (default; "heuristic" is an
+// accepted alias), twostage [4], descend [14], optimal (exhaustive,
+// small graphs only), ilp [5], pipelined (needs -ii), or all. Fixed
+// resource limits (the paper's N_y) are set with e.g.
 // -limits mul=2,add=1; the default is the automatic minimal-resource
-// search.
+// search. Ctrl-C cancels the solve in flight.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
@@ -37,16 +43,20 @@ func main() {
 		in       = flag.String("in", "-", "input graph JSON file (- for stdin)")
 		lambda   = flag.Int("lambda", 0, "latency constraint in cycles (overrides -relax)")
 		relax    = flag.Float64("relax", 0, "latency relaxation over λ_min, e.g. 0.15 for +15%")
-		method   = flag.String("method", "heuristic", "heuristic | twostage | descend | optimal | ilp | all")
+		method   = flag.String("method", "dpalloc", strings.Join(mwl.Methods(), " | ")+" | all")
+		ii       = flag.Int("ii", 0, "initiation interval (pipelined method)")
 		limits   = flag.String("limits", "", "fixed resource limits, e.g. mul=2,add=1")
 		ilpLimit = flag.Duration("ilptimeout", mwl.DefaultILPTimeLimit, "ILP time limit")
 		quiet    = flag.Bool("q", false, "print only area and latency")
 		verilog  = flag.String("verilog", "", "write generated Verilog for the first method's datapath to this file (- for stdout)")
 		regs     = flag.Bool("registers", false, "also report register/mux completion (full-datapath area)")
-		jsonOut  = flag.String("json", "", "write the first method's datapath as JSON to this file (- for stdout)")
+		jsonOut  = flag.String("json", "", "write the first method's solution as JSON to this file (- for stdout)")
 		vcdOut   = flag.String("vcd", "", "simulate the first method's datapath (zero inputs) and write a VCD waveform to this file")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	g, err := readGraph(*in)
 	if err != nil {
@@ -63,127 +73,131 @@ func main() {
 	}
 	fmt.Printf("graph: %d operations, λ_min = %d, λ = %d\n", g.N(), lmin, lam)
 
-	opt := mwl.Options{}
+	opts := mwl.SolveOptions{TimeLimit: *ilpLimit}
 	if *limits != "" {
 		l, err := parseLimits(*limits)
 		if err != nil {
 			log.Fatal(err)
 		}
-		opt.Limits = l
-	}
-
-	artifactsDone := false
-	run := func(name string, f func() (*mwl.Datapath, error)) {
-		t0 := time.Now()
-		dp, err := f()
-		el := time.Since(t0)
-		if err != nil {
-			fmt.Printf("%-10s error: %v\n", name, err)
-			return
-		}
-		if err := dp.Verify(g, lib, lam); err != nil {
-			log.Fatalf("%s produced an illegal datapath: %v", name, err)
-		}
-		if *quiet {
-			fmt.Printf("%-10s area %6d  latency %3d  (%v)\n", name, dp.Area(lib), dp.Makespan(lib), el.Round(time.Millisecond))
-		} else {
-			fmt.Printf("\n--- %s (%v) ---\n%s", name, el.Round(time.Millisecond), dp.Render(g, lib))
-		}
-		if *regs {
-			plan, err := mwl.AllocateRegisters(g, lib, dp, mwl.RegisterOptions{})
-			if err != nil {
-				log.Fatalf("%s: register completion: %v", name, err)
-			}
-			fmt.Printf("%-10s full datapath: FU %d + reg %d (%d regs) + mux %d = %d\n",
-				name, plan.FUArea, plan.RegArea, len(plan.Registers), plan.MuxArea, plan.TotalArea())
-		}
-		if *verilog != "" && !artifactsDone {
-			src, err := mwl.GenerateVerilog("datapath", g, lib, dp)
-			if err != nil {
-				log.Fatalf("%s: verilog: %v", name, err)
-			}
-			if *verilog == "-" {
-				fmt.Print(src)
-			} else if err := os.WriteFile(*verilog, []byte(src), 0o644); err != nil {
-				log.Fatal(err)
-			} else {
-				fmt.Printf("%-10s verilog written to %s\n", name, *verilog)
-			}
-		}
-		if *jsonOut != "" && !artifactsDone {
-			blob, err := json.MarshalIndent(dp, "", "  ")
-			if err != nil {
-				log.Fatal(err)
-			}
-			blob = append(blob, '\n')
-			if *jsonOut == "-" {
-				os.Stdout.Write(blob)
-			} else if err := os.WriteFile(*jsonOut, blob, 0o644); err != nil {
-				log.Fatal(err)
-			} else {
-				fmt.Printf("%-10s datapath JSON written to %s\n", name, *jsonOut)
-			}
-		}
-		if *vcdOut != "" && !artifactsDone {
-			_, traces, err := fxsim.Run(g, lib, dp, fxsim.Inputs{})
-			if err != nil {
-				log.Fatalf("%s: simulate: %v", name, err)
-			}
-			f, err := os.Create(*vcdOut)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if err := fxsim.WriteVCD(f, g, lib, dp, traces); err != nil {
-				log.Fatal(err)
-			}
-			if err := f.Close(); err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("%-10s waveform written to %s\n", name, *vcdOut)
-		}
-		artifactsDone = true
+		opts.Limits = l
 	}
 
 	methods := strings.Split(*method, ",")
 	if *method == "all" {
-		methods = []string{"heuristic", "twostage", "descend", "optimal", "ilp"}
+		methods = []string{"dpalloc", "twostage", "descend", "optimal", "ilp"}
 	}
+
+	artifactsDone := false
 	for _, m := range methods {
-		switch m {
-		case "heuristic":
-			run("heuristic", func() (*mwl.Datapath, error) {
-				dp, _, err := mwl.Allocate(g, lib, lam, opt)
-				return dp, err
-			})
-		case "twostage":
-			run("twostage", func() (*mwl.Datapath, error) { return mwl.AllocateTwoStage(g, lib, lam) })
-		case "descend":
-			run("descend", func() (*mwl.Datapath, error) { return mwl.AllocateDescending(g, lib, lam) })
-		case "optimal":
-			if g.N() > mwl.MaxOptimalOps {
-				fmt.Printf("%-10s skipped: %d operations exceed the exhaustive-search limit %d\n",
-					"optimal", g.N(), mwl.MaxOptimalOps)
-				continue
-			}
-			run("optimal", func() (*mwl.Datapath, error) { return mwl.AllocateOptimal(g, lib, lam) })
-		case "ilp":
-			run("ilp", func() (*mwl.Datapath, error) {
-				h, _, err := mwl.Allocate(g, lib, lam, mwl.Options{})
-				if err != nil {
-					return nil, err
-				}
-				r, err := mwl.SolveILP(g, lib, lam, mwl.ILPOptions{TimeLimit: *ilpLimit, Incumbent: h})
-				if err != nil {
-					return nil, err
-				}
-				if r.TimedOut {
-					fmt.Printf("ilp: time limit hit after %d nodes; best found follows\n", r.Nodes)
-				}
-				return r.DP, nil
-			})
-		default:
-			log.Fatalf("unknown method %q", m)
+		if m == "heuristic" { // pre-registry name
+			m = "dpalloc"
 		}
+		if m == "optimal" && g.N() > mwl.MaxOptimalOps {
+			fmt.Printf("%-10s skipped: %d operations exceed the exhaustive-search limit %d\n",
+				"optimal", g.N(), mwl.MaxOptimalOps)
+			continue
+		}
+		p := mwl.Problem{Method: m, Graph: g, Lambda: lam, Options: opts}
+		if m == "pipelined" {
+			if *ii == 0 {
+				log.Fatal("method pipelined needs -ii")
+			}
+			p.II = *ii
+		}
+		if m == "ilp" {
+			// Prime the ILP with the heuristic's datapath, exactly like
+			// handing lp_solve a known solution: a capped run then
+			// returns the best known datapath instead of erroring, and
+			// the bound prunes the search.
+			if h, err := mwl.Solve(ctx, mwl.Problem{Method: "dpalloc", Graph: g, Lambda: lam, Options: opts}); err == nil {
+				p.Options.Incumbent = h.Datapath
+			}
+		}
+		sol, err := mwl.Solve(ctx, p)
+		if err != nil {
+			// A bad method name or malformed problem dooms every method;
+			// infeasibility is reported per method and the loop goes on.
+			if errors.Is(err, mwl.ErrUnknownMethod) || errors.Is(err, mwl.ErrInvalidProblem) {
+				log.Fatal(err)
+			}
+			if ctx.Err() != nil {
+				log.Fatalf("%s: canceled: %v", m, err)
+			}
+			fmt.Printf("%-10s error: %v\n", m, err)
+			continue
+		}
+		if err := sol.Datapath.Verify(g, lib, lam); err != nil {
+			log.Fatalf("%s produced an illegal datapath: %v", m, err)
+		}
+		if sol.Stats.TimedOut {
+			fmt.Printf("%s: budget hit after %d nodes; best found follows\n", m, sol.Stats.Nodes)
+		}
+		if *quiet {
+			fmt.Printf("%-10s area %6d  latency %3d  (%v)\n", m, sol.Area, sol.Makespan, sol.Elapsed.Round(time.Millisecond))
+		} else {
+			fmt.Printf("\n--- %s (%v) ---\n%s", m, sol.Elapsed.Round(time.Millisecond), sol.Datapath.Render(g, lib))
+		}
+		if *regs {
+			plan, err := mwl.AllocateRegisters(g, lib, sol.Datapath, mwl.RegisterOptions{})
+			if err != nil {
+				log.Fatalf("%s: register completion: %v", m, err)
+			}
+			fmt.Printf("%-10s full datapath: FU %d + reg %d (%d regs) + mux %d = %d\n",
+				m, plan.FUArea, plan.RegArea, len(plan.Registers), plan.MuxArea, plan.TotalArea())
+		}
+		if !artifactsDone {
+			writeArtifacts(g, lib, sol, *verilog, *jsonOut, *vcdOut)
+		}
+		artifactsDone = true
+	}
+}
+
+// writeArtifacts emits the optional Verilog / JSON / VCD outputs for the
+// first successfully solved method.
+func writeArtifacts(g *mwl.Graph, lib *mwl.Library, sol mwl.Solution, verilog, jsonOut, vcdOut string) {
+	if verilog != "" {
+		src, err := mwl.GenerateVerilog("datapath", g, lib, sol.Datapath)
+		if err != nil {
+			log.Fatalf("%s: verilog: %v", sol.Method, err)
+		}
+		if verilog == "-" {
+			fmt.Print(src)
+		} else if err := os.WriteFile(verilog, []byte(src), 0o644); err != nil {
+			log.Fatal(err)
+		} else {
+			fmt.Printf("%-10s verilog written to %s\n", sol.Method, verilog)
+		}
+	}
+	if jsonOut != "" {
+		blob, err := json.MarshalIndent(sol, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		blob = append(blob, '\n')
+		if jsonOut == "-" {
+			os.Stdout.Write(blob)
+		} else if err := os.WriteFile(jsonOut, blob, 0o644); err != nil {
+			log.Fatal(err)
+		} else {
+			fmt.Printf("%-10s solution JSON written to %s\n", sol.Method, jsonOut)
+		}
+	}
+	if vcdOut != "" {
+		_, traces, err := fxsim.Run(g, lib, sol.Datapath, fxsim.Inputs{})
+		if err != nil {
+			log.Fatalf("%s: simulate: %v", sol.Method, err)
+		}
+		f, err := os.Create(vcdOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := fxsim.WriteVCD(f, g, lib, sol.Datapath, traces); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s waveform written to %s\n", sol.Method, vcdOut)
 	}
 }
 
@@ -204,25 +218,20 @@ func readGraph(path string) (*dfg.Graph, error) {
 	return &g, nil
 }
 
-func parseLimits(s string) (mwl.Limits, error) {
-	out := mwl.Limits{}
+// parseLimits splits "class=count,…" into the wire-level limit map;
+// class names and counts are validated by mwl.Solve.
+func parseLimits(s string) (map[string]int, error) {
+	out := map[string]int{}
 	for _, part := range strings.Split(s, ",") {
 		kv := strings.SplitN(part, "=", 2)
 		if len(kv) != 2 {
 			return nil, fmt.Errorf("bad limit %q (want class=count)", part)
 		}
 		n, err := strconv.Atoi(kv[1])
-		if err != nil || n < 1 {
+		if err != nil {
 			return nil, fmt.Errorf("bad limit count %q", kv[1])
 		}
-		switch strings.TrimSpace(kv[0]) {
-		case "mul":
-			out[mwl.Mul] = n
-		case "add":
-			out[mwl.Add] = n
-		default:
-			return nil, fmt.Errorf("unknown resource class %q (mul or add)", kv[0])
-		}
+		out[strings.TrimSpace(kv[0])] = n
 	}
 	return out, nil
 }

@@ -15,11 +15,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
@@ -43,6 +45,11 @@ func main() {
 		fullArea = flag.Bool("fullarea", false, "score Fig. 3 on full RTL area (FU + registers + muxes)")
 	)
 	flag.Parse()
+
+	// Ctrl-C cancels the sweep; cancellation reaches the allocator and
+	// branch-and-bound hot loops through ctx.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	writeCSV := func(name string, emit func(io.Writer) error) {
 		if *csvDir == "" {
@@ -91,7 +98,7 @@ func main() {
 			scoring = "full RTL area (FU+reg+mux)"
 		}
 		fmt.Printf("# Fig. 3 — %d graphs/point, sizes %v, %s\n", cfg.Graphs, szs, scoring)
-		pts, err := expt.Fig3(cfg, szs, relaxes)
+		pts, err := expt.Fig3(ctx, cfg, szs, relaxes)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -103,7 +110,7 @@ func main() {
 		cfg.Graphs = pick(25)
 		szs := sizes([]int{1, 2, 3, 4, 5, 6, 7, 8})
 		fmt.Printf("# Fig. 4 — %d graphs/point, sizes %v, λ = λ_min\n", cfg.Graphs, szs)
-		pts, err := expt.Fig4(cfg, szs, 50_000_000)
+		pts, err := expt.Fig4(ctx, cfg, szs, 50_000_000)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -116,7 +123,7 @@ func main() {
 		szs := sizes([]int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
 		fmt.Printf("# Fig. 5 — %d graphs/point, sizes %v, λ = λ_min, ILP limit %v\n",
 			cfg.Graphs, szs, *ilpLimit)
-		pts, err := expt.Fig5(cfg, szs, *ilpLimit)
+		pts, err := expt.Fig5(ctx, cfg, szs, *ilpLimit)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -132,7 +139,7 @@ func main() {
 			lim = 30 * time.Minute
 		}
 		fmt.Printf("# Table 2 — %d graphs of 9 operations, ILP limit %v\n", cfg.Graphs, lim)
-		rows, err := expt.Table2(cfg, 9, relaxes, lim)
+		rows, err := expt.Table2(ctx, cfg, 9, relaxes, lim)
 		if err != nil {
 			log.Fatal(err)
 		}

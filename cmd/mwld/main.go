@@ -1,0 +1,140 @@
+// Command mwld serves multiple-wordlength datapath allocation over HTTP
+// using the v1 JSON wire schema: POST a Problem, receive a Solution.
+// Solves run through an mwl.Service, so concurrent requests are bounded
+// by a worker pool and repeated identical problems are served from the
+// memo. Request cancellation propagates into the solver hot loops.
+//
+// Endpoints:
+//
+//	POST /v1/solve    Problem JSON in, Solution JSON out
+//	GET  /v1/methods  registered method names with descriptions
+//	GET  /healthz     liveness probe
+//
+// Usage:
+//
+//	mwld -addr :8080 -workers 8
+//	curl -s localhost:8080/v1/methods
+//	tgff -n 9 | jq '{graph: ., lambda: 40, method: "dpalloc"}' \
+//	    | curl -s -d @- localhost:8080/v1/solve
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	mwl "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mwld: ")
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
+		maxBody = flag.Int64("maxbody", 16<<20, "max request body bytes")
+	)
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: newHandler(mwl.NewService(*workers), *maxBody),
+		// Bound how long a client may dribble headers/body so stalled
+		// connections cannot pile up; solves themselves are not write-
+		// capped, since a legitimate ILP run can hold the handler for
+		// its whole (default 30-minute) budget.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(sctx)
+	}()
+
+	log.Printf("serving on %s (methods: %v)", *addr, mwl.Methods())
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+}
+
+// newHandler builds the mwld route table around a solve service.
+func newHandler(svc *mwl.Service, maxBody int64) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /v1/methods", func(w http.ResponseWriter, r *http.Request) {
+		type method struct {
+			Name        string `json:"name"`
+			Description string `json:"description,omitempty"`
+		}
+		var out struct {
+			Methods []method `json:"methods"`
+		}
+		for _, name := range mwl.Methods() {
+			out.Methods = append(out.Methods, method{Name: name, Description: mwl.Describe(name)})
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
+		var p mwl.Problem
+		body := http.MaxBytesReader(w, r.Body, maxBody)
+		if err := json.NewDecoder(body).Decode(&p); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding problem: %w", err))
+			return
+		}
+		sol, err := svc.Solve(r.Context(), p)
+		if err != nil {
+			writeError(w, solveStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, sol)
+	})
+	return mux
+}
+
+// solveStatus maps solve errors onto HTTP statuses: unknown methods and
+// malformed problems are the client's fault (400); infeasible
+// constraints are a well-formed problem with no answer (422); a
+// canceled request gets 499 in the access-log sense (the client is
+// gone either way); anything else is a solver-internal fault (500).
+func solveStatus(err error) int {
+	switch {
+	case errors.Is(err, mwl.ErrUnknownMethod), errors.Is(err, mwl.ErrInvalidProblem):
+		return http.StatusBadRequest
+	case errors.Is(err, context.Canceled):
+		return 499
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case mwl.IsInfeasible(err):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

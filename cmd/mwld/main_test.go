@@ -1,0 +1,262 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	mwl "repro"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(newHandler(mwl.NewService(2), 1<<20))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestHealthz(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestMethodsEndpoint(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/v1/methods")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Methods []struct {
+			Name        string `json:"name"`
+			Description string `json:"description"`
+		} `json:"methods"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, m := range out.Methods {
+		names[m.Name] = true
+	}
+	for _, want := range []string{"dpalloc", "twostage", "descend", "optimal", "ilp", "pipelined"} {
+		if !names[want] {
+			t.Fatalf("method %q missing from %v", want, names)
+		}
+	}
+}
+
+func postSolve(t *testing.T, srv *httptest.Server, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+// TestSolveEndToEnd: a Problem JSON in yields a Solution JSON out whose
+// datapath verifies against the posted graph.
+func TestSolveEndToEnd(t *testing.T) {
+	srv := testServer(t)
+	g := mwl.Fig1Graph()
+	lib := mwl.DefaultLibrary()
+	lmin, err := mwl.MinLambda(g, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := mwl.Problem{Method: "dpalloc", Graph: g, Lambda: lmin + 2}
+	blob, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := postSolve(t, srv, blob)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sol mwl.Solution
+	if err := json.Unmarshal(body, &sol); err != nil {
+		t.Fatal(err)
+	}
+	if sol.Method != "dpalloc" || sol.Datapath == nil {
+		t.Fatalf("bad solution: %s", body)
+	}
+	if err := sol.Datapath.Verify(g, lib, p.Lambda); err != nil {
+		t.Fatalf("served datapath illegal: %v", err)
+	}
+
+	// The same problem again is served from the Service memo.
+	resp, body = postSolve(t, srv, blob)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat status %d", resp.StatusCode)
+	}
+	var again mwl.Solution
+	if err := json.Unmarshal(body, &again); err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Fatal("repeat solve not served from memo")
+	}
+}
+
+func TestSolveErrorStatuses(t *testing.T) {
+	srv := testServer(t)
+	g := mwl.Fig1Graph()
+	lmin, err := mwl.MinLambda(g, mwl.DefaultLibrary())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, _ := postSolve(t, srv, []byte("{not json"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d", resp.StatusCode)
+	}
+
+	blob, _ := json.Marshal(mwl.Problem{Method: "bogus", Graph: g, Lambda: lmin})
+	resp, body := postSolve(t, srv, blob)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown method: status %d (%s)", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "unknown method") {
+		t.Fatalf("error body: %s", body)
+	}
+
+	blob, _ = json.Marshal(mwl.Problem{Graph: g, Lambda: lmin - 1})
+	resp, body = postSolve(t, srv, blob)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("infeasible: status %d (%s)", resp.StatusCode, body)
+	}
+}
+
+// TestSolveHonorsRequestCancellation: dropping the request must abort
+// the in-flight solve promptly — the handler inherits r.Context().
+func TestSolveHonorsRequestCancellation(t *testing.T) {
+	srv := testServer(t)
+	g, err := mwl.GenerateRandom(mwl.RandomConfig{N: 14, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmin, err := mwl.MinLambda(g, mwl.DefaultLibrary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(mwl.Problem{Method: "ilp", Graph: g, Lambda: lmin + lmin/2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "POST", srv.URL+"/v1/solve", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	if err == nil {
+		resp.Body.Close()
+		t.Fatal("request succeeded despite 100ms deadline on a large ILP")
+	}
+	if el := time.Since(start); el > 3*time.Second {
+		t.Fatalf("client unblocked only after %v", el)
+	}
+	// The server side must also wind down quickly: a subsequent request
+	// on the 2-worker pool must not be starved by a zombie solve.
+	done := make(chan error, 1)
+	go func() {
+		p := mwl.Problem{Graph: mwl.Fig1Graph(), Lambda: 20}
+		b, _ := json.Marshal(p)
+		r2, err := http.Post(srv.URL+"/v1/solve", "application/json", bytes.NewReader(b))
+		if err != nil {
+			done <- err
+			return
+		}
+		defer r2.Body.Close()
+		if r2.StatusCode != http.StatusOK {
+			done <- fmt.Errorf("follow-up status %d", r2.StatusCode)
+			return
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("follow-up request starved after cancellation")
+	}
+}
+
+// TestSolveStatusTaxonomy: malformed problems are 400, infeasible ones
+// 422; a solver-internal failure shape would be 500 (the default).
+func TestSolveStatusTaxonomy(t *testing.T) {
+	srv := testServer(t)
+	g := mwl.Fig1Graph()
+	// II on a method that does not accept one → invalid problem → 400.
+	blob, _ := json.Marshal(mwl.Problem{Graph: g, Lambda: 40, II: 5})
+	resp, body := postSolve(t, srv, blob)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("II misuse: status %d (%s)", resp.StatusCode, body)
+	}
+	// optimal on a too-large graph → invalid problem → 400.
+	big, err := mwl.GenerateRandom(mwl.RandomConfig{N: mwl.MaxOptimalOps + 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ = json.Marshal(mwl.Problem{Method: "optimal", Graph: big, Lambda: 99})
+	resp, body = postSolve(t, srv, blob)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("too-large optimal: status %d (%s)", resp.StatusCode, body)
+	}
+	// bad resource-limit class → 400.
+	blob, _ = json.Marshal(mwl.Problem{Graph: g, Lambda: 40,
+		Options: mwl.SolveOptions{Limits: map[string]int{"div": 1}}})
+	resp, body = postSolve(t, srv, blob)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad limit class: status %d (%s)", resp.StatusCode, body)
+	}
+}
+
+// TestBogusIncumbentRejected: a client-supplied incumbent that is not a
+// legal datapath for the posted graph must be rejected up front, not
+// pruned against (which could serve it back as a 200 Solution).
+func TestBogusIncumbentRejected(t *testing.T) {
+	srv := testServer(t)
+	g := mwl.Fig1Graph()
+	lmin, err := mwl.MinLambda(g, mwl.DefaultLibrary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An internally consistent datapath for a different, tiny graph:
+	// wrong op count and a kind that covers nothing here.
+	bogus := []byte(`{"start":[0],"instances":[{"class":"add","hi":4,"ops":[0]}]}`)
+	var inc mwl.Datapath
+	if err := json.Unmarshal(bogus, &inc); err != nil {
+		t.Fatal(err)
+	}
+	for _, method := range []string{"ilp", "optimal"} {
+		blob, _ := json.Marshal(mwl.Problem{Method: method, Graph: g, Lambda: lmin,
+			Options: mwl.SolveOptions{Incumbent: &inc}})
+		resp, body := postSolve(t, srv, blob)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s with bogus incumbent: status %d (%s)", method, resp.StatusCode, body)
+		}
+	}
+}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -19,6 +20,7 @@ import (
 	"log"
 	"math"
 	"os"
+	"time"
 
 	mwl "repro"
 	"repro/internal/dfg"
@@ -35,6 +37,8 @@ func main() {
 		vectors = flag.Int("vectors", 32, "Monte-Carlo input vectors")
 		seed    = flag.Int64("seed", 1, "input sampling seed")
 		minW    = flag.Int("minwidth", 2, "smallest allowed operand width")
+		check   = flag.String("check", "", "also allocate the trimmed graph with this mwl method (e.g. dpalloc) and report area to stderr")
+		relax   = flag.Float64("relax", 0.25, "latency relaxation over λ_min for -check")
 	)
 	flag.Parse()
 
@@ -62,6 +66,21 @@ func main() {
 	fmt.Fprintf(os.Stderr,
 		"wlopt: %d trims, dedicated area %d -> %d, measured error %.3g (budget %.3g)\n",
 		len(res.Trims), res.AreaBefore, res.AreaAfter, res.MeasuredError, *budget)
+
+	if *check != "" {
+		lmin, err := mwl.MinLambda(res.Graph, lib)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lambda := lmin + int(float64(lmin)**relax+0.5)
+		sol, err := mwl.Solve(context.Background(),
+			mwl.Problem{Method: *check, Graph: res.Graph, Lambda: lambda})
+		if err != nil {
+			log.Fatalf("check %s: %v", *check, err)
+		}
+		fmt.Fprintf(os.Stderr, "wlopt: %s datapath at λ=%d: area %d, %d instances (%v)\n",
+			*check, lambda, sol.Area, len(sol.Datapath.Instances), sol.Elapsed.Round(time.Millisecond))
+	}
 
 	w := io.Writer(os.Stdout)
 	if *out != "-" {

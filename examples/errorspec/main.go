@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,12 +30,13 @@ func main() {
 	}
 	lambda := lmin + lmin/4
 
-	base, _, err := mwl.Allocate(g, lib, lambda, mwl.Options{})
+	ctx := context.Background()
+	base, err := mwl.Solve(ctx, mwl.Problem{Graph: g, Lambda: lambda})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("full-precision FIR: %d operations, λ = %d, datapath area %d\n\n",
-		g.N(), lambda, base.Area(lib))
+		g.N(), lambda, base.Area)
 
 	fmt.Printf("%12s %8s %10s %10s %12s\n", "error budget", "trims", "dedicated", "datapath", "saving vs full")
 	for _, bits := range []int{20, 14, 10, 6} {
@@ -49,13 +51,13 @@ func main() {
 		}
 		// λ_min may fall after trimming; keep the original constraint,
 		// which remains feasible (latencies only shrink).
-		dp, _, err := mwl.Allocate(res.Graph, lib, lambda, mwl.Options{})
+		sol, err := mwl.Solve(ctx, mwl.Problem{Graph: res.Graph, Lambda: lambda})
 		if err != nil {
 			log.Fatal(err)
 		}
-		saving := 100 * float64(base.Area(lib)-dp.Area(lib)) / float64(base.Area(lib))
+		saving := 100 * float64(base.Area-sol.Area) / float64(base.Area)
 		fmt.Printf("        2^-%02d %8d %10d %10d %11.1f%%\n",
-			bits, len(res.Trims), res.AreaAfter, dp.Area(lib), saving)
+			bits, len(res.Trims), res.AreaAfter, sol.Area, saving)
 	}
 	fmt.Println("\n(dedicated = every operation on its own resource, the optimizer's")
 	fmt.Println(" internal objective; datapath = area after DPAlloc resource sharing)")

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -39,30 +40,25 @@ func main() {
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "λ\trelax\theuristic\ttwo-stage [4]\tdescending [14]\tsaving vs [4]")
+	ctx := context.Background()
+	solve := func(method string, lambda int) mwl.Solution {
+		sol, err := mwl.Solve(ctx, mwl.Problem{Method: method, Graph: g, Lambda: lambda})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return sol
+	}
 	for relax := 0; relax <= 50; relax += 10 {
 		lambda := lmin + lmin*relax/100
-		h, _, err := mwl.Allocate(g, lib, lambda, mwl.Options{})
-		if err != nil {
-			log.Fatal(err)
-		}
-		ts, err := mwl.AllocateTwoStage(g, lib, lambda)
-		if err != nil {
-			log.Fatal(err)
-		}
-		de, err := mwl.AllocateDescending(g, lib, lambda)
-		if err != nil {
-			log.Fatal(err)
-		}
-		ha, ta, da := h.Area(lib), ts.Area(lib), de.Area(lib)
+		ha := solve("dpalloc", lambda).Area
+		ta := solve("twostage", lambda).Area
+		da := solve("descend", lambda).Area
 		fmt.Fprintf(w, "%d\t+%d%%\t%d\t%d\t%d\t%.1f%%\n",
 			lambda, relax, ha, ta, da, 100*float64(ta-ha)/float64(ha))
 	}
 	w.Flush()
 
 	lambda := lmin + lmin/2
-	dp, _, err := mwl.Allocate(g, lib, lambda, mwl.Options{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("\ndatapath at λ = %d:\n%s", lambda, dp.Render(g, lib))
+	sol := solve("dpalloc", lambda)
+	fmt.Printf("\ndatapath at λ = %d:\n%s", lambda, sol.Datapath.Render(g, lib))
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -30,18 +31,18 @@ func main() {
 	}
 	fmt.Printf("IIR cascade: %d sections, %d operations, λ_min = %d\n\n", *sections, g.N(), lmin)
 
+	ctx := context.Background()
 	lambda := lmin + lmin/3
 	fmt.Printf("=== automatic minimal resources, λ = %d ===\n", lambda)
-	dp, stats, err := mwl.Allocate(g, lib, lambda, mwl.Options{})
+	sol, err := mwl.Solve(ctx, mwl.Problem{Graph: g, Lambda: lambda})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("(%d resource configurations tried)\n%s\n", stats.Configs, dp.Render(g, lib))
+	fmt.Printf("(%d resource configurations tried)\n%s\n", sol.Stats.Configs, sol.Datapath.Render(g, lib))
 
 	fmt.Printf("=== fixed N_y: 2 multipliers, 2 adders, λ = %d ===\n", lambda)
-	dp2, _, err := mwl.Allocate(g, lib, lambda, mwl.Options{
-		Limits: mwl.Limits{mwl.Mul: 2, mwl.Add: 2},
-	})
+	fixed := mwl.SolveOptions{Limits: map[string]int{"mul": 2, "add": 2}}
+	sol2, err := mwl.Solve(ctx, mwl.Problem{Graph: g, Lambda: lambda, Options: fixed})
 	if err != nil {
 		// Tight fixed limits can be infeasible for the λ; report and
 		// retry with a relaxed constraint, as a user of the N_y input
@@ -49,12 +50,10 @@ func main() {
 		fmt.Printf("infeasible under fixed limits: %v\n", err)
 		lambda = 2 * lmin
 		fmt.Printf("retrying with λ = %d\n", lambda)
-		dp2, _, err = mwl.Allocate(g, lib, lambda, mwl.Options{
-			Limits: mwl.Limits{mwl.Mul: 2, mwl.Add: 2},
-		})
+		sol2, err = mwl.Solve(ctx, mwl.Problem{Graph: g, Lambda: lambda, Options: fixed})
 		if err != nil {
 			log.Fatal(err)
 		}
 	}
-	fmt.Print(dp2.Render(g, lib))
+	fmt.Print(sol2.Datapath.Render(g, lib))
 }

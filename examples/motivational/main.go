@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -35,12 +36,12 @@ func main() {
 	fmt.Println("\nFig. 1(b): scheduling, resource binding and wordlength selection")
 	for _, relax := range []int{0, 50} {
 		lambda := lmin + lmin*relax/100
-		dp, _, err := mwl.Allocate(g, lib, lambda, mwl.Options{})
+		sol, err := mwl.Solve(context.Background(), mwl.Problem{Graph: g, Lambda: lambda})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("\nλ = %d (+%d%%):\n%s", lambda, relax, dp.Render(g, lib))
-		if err := dp.Verify(g, lib, lambda); err != nil {
+		fmt.Printf("\nλ = %d (+%d%%):\n%s", lambda, relax, sol.Datapath.Render(g, lib))
+		if err := sol.Datapath.Verify(g, lib, lambda); err != nil {
 			log.Fatalf("illegal datapath: %v", err)
 		}
 	}

@@ -4,10 +4,12 @@
 // result every few cycles) to sequential (II = λ, the paper's setting).
 // Tight intervals leave little room for resource sharing — iterations
 // overlap, so units are busy with the previous sample — and area rises
-// as II falls.
+// as II falls. Each point is one Problem solved by the registered
+// "pipelined" method.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,27 +28,28 @@ func main() {
 	}
 	lambda := lmin + lmin/4
 	minII := mwl.MinII(g, lib)
+	ctx := context.Background()
 
 	fmt.Printf("7-tap FIR: %d operations, λ = %d cycles, MinII = %d\n", g.N(), lambda, minII)
 	fmt.Printf("one new sample every II cycles; lower II = higher throughput\n\n")
 	fmt.Printf("%6s %12s %10s %12s\n", "II", "throughput", "area", "instances")
 
 	for ii := minII; ii <= lambda; ii += max(1, (lambda-minII)/6) {
-		dp, err := mwl.AllocatePipelined(g, lib, lambda, ii, mwl.PipelineOptions{})
+		sol, err := mwl.Solve(ctx, mwl.Problem{Method: "pipelined", Graph: g, Lambda: lambda, II: ii})
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := mwl.VerifyPipelined(g, lib, dp, lambda, ii); err != nil {
+		if err := mwl.VerifyPipelined(g, lib, sol.Datapath, lambda, ii); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%6d %12s %10d %12d\n",
-			ii, fmt.Sprintf("1/%d cyc", ii), dp.Area(lib), len(dp.Instances))
+			ii, fmt.Sprintf("1/%d cyc", ii), sol.Area, len(sol.Datapath.Instances))
 	}
 
 	fmt.Println("\nunpipelined reference (DPAlloc, one iteration at a time):")
-	dp, _, err := mwl.Allocate(g, lib, lambda, mwl.Options{})
+	sol, err := mwl.Solve(ctx, mwl.Problem{Graph: g, Lambda: lambda})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%6s %12s %10d %12d\n", "-", fmt.Sprintf("1/%d cyc", lambda), dp.Area(lib), len(dp.Instances))
+	fmt.Printf("%6s %12s %10d %12d\n", "-", fmt.Sprintf("1/%d cyc", lambda), sol.Area, len(sol.Datapath.Instances))
 }

@@ -1,12 +1,15 @@
 // Command quickstart is the minimal tour of the mwl public API: build a
-// small multiple-wordlength sequencing graph, allocate a datapath with
-// the DPAlloc heuristic at a tight and a relaxed latency constraint, and
-// compare with the two-stage baseline and the exact optimum.
+// small multiple-wordlength sequencing graph, describe an allocation as
+// a Problem, and solve it with several registered methods — the DPAlloc
+// heuristic at a tight and a relaxed latency constraint, the two-stage
+// baseline, and the exact optimum.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	mwl "repro"
 )
@@ -30,27 +33,26 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("λ_min = %d cycles\n\n", lmin)
+	fmt.Printf("λ_min = %d cycles\nregistered methods: %v\n\n", lmin, mwl.Methods())
 
+	ctx := context.Background()
 	for _, lambda := range []int{lmin, lmin + lmin/2} {
 		fmt.Printf("=== λ = %d ===\n", lambda)
-		dp, stats, err := mwl.Allocate(g, lib, lambda, mwl.Options{})
+		// Method "" is DefaultMethod, the paper's Algorithm DPAlloc.
+		sol, err := mwl.Solve(ctx, mwl.Problem{Graph: g, Lambda: lambda})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("DPAlloc heuristic (%d iterations, %d refinements):\n%s",
-			stats.Iterations, stats.Refinements, dp.Render(g, lib))
+			sol.Stats.Iterations, sol.Stats.Refinements, sol.Datapath.Render(g, lib))
 
-		ts, err := mwl.AllocateTwoStage(g, lib, lambda)
-		if err != nil {
-			log.Fatal(err)
+		for _, method := range []string{"twostage", "optimal"} {
+			sol, err := mwl.Get(method).Solve(ctx, mwl.Problem{Method: method, Graph: g, Lambda: lambda})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-10s area %d (in %v)\n", method+":", sol.Area, sol.Elapsed.Round(time.Microsecond))
 		}
-		fmt.Printf("two-stage baseline [4]: area %d\n", ts.Area(lib))
-
-		opt, err := mwl.AllocateOptimal(g, lib, lambda)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("exact optimum [5]:      area %d\n\n", opt.Area(lib))
+		fmt.Println()
 	}
 }

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,12 +21,13 @@ func main() {
 	}
 	lambda := lmin + 2
 
-	dp, stats, err := mwl.Allocate(g, lib, lambda, mwl.Options{})
+	sol, err := mwl.Solve(context.Background(), mwl.Problem{Graph: g, Lambda: lambda})
 	if err != nil {
 		log.Fatal(err)
 	}
+	dp := sol.Datapath
 	fmt.Printf("allocated in %d iterations (%d wordlength refinements):\n%s\n",
-		stats.Iterations, stats.Refinements, dp.Render(g, lib))
+		sol.Stats.Iterations, sol.Stats.Refinements, dp.Render(g, lib))
 
 	plan, err := mwl.AllocateRegisters(g, lib, dp, mwl.RegisterOptions{})
 	if err != nil {

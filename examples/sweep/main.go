@@ -4,9 +4,14 @@
 // operations ride in larger, slower units) while the two-stage and
 // descending-wordlength baselines cannot, because they fix latencies
 // before binding. The workload is an IIR biquad cascade.
+//
+// The whole sweep is expressed as a batch of Problems solved through an
+// mwl.Service: every (λ, method) cell runs concurrently on the worker
+// pool, and repeated problems would be served from the memo.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,32 +29,38 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("2-section IIR biquad cascade: %d operations, λ_min = %d cycles\n\n", g.N(), lmin)
-	fmt.Printf("%8s %10s %10s %10s %12s\n", "λ", "DPAlloc", "two-stage", "descend", "win vs 2-stage")
 
+	methods := []string{"dpalloc", "twostage", "descend"}
+	var lambdas []int
+	var batch []mwl.Problem
 	for relax := 0; relax <= 50; relax += 10 {
 		lambda := lmin + lmin*relax/100
-		h, _, err := mwl.Allocate(g, lib, lambda, mwl.Options{})
-		if err != nil {
-			log.Fatal(err)
+		lambdas = append(lambdas, lambda)
+		for _, m := range methods {
+			batch = append(batch, mwl.Problem{Method: m, Graph: g, Lambda: lambda})
 		}
-		ts, err := mwl.AllocateTwoStage(g, lib, lambda)
-		if err != nil {
-			log.Fatal(err)
+	}
+
+	svc := mwl.NewService(0) // one worker per CPU
+	results := svc.SolveBatch(context.Background(), batch)
+
+	fmt.Printf("%8s %10s %10s %10s %12s\n", "λ", "DPAlloc", "two-stage", "descend", "win vs 2-stage")
+	for i, lambda := range lambdas {
+		row := results[i*len(methods) : (i+1)*len(methods)]
+		for _, r := range row {
+			if r.Err != nil {
+				log.Fatal(r.Err)
+			}
 		}
-		de, err := mwl.AllocateDescending(g, lib, lambda)
-		if err != nil {
-			log.Fatal(err)
-		}
-		win := 100 * float64(ts.Area(lib)-h.Area(lib)) / float64(h.Area(lib))
-		fmt.Printf("%7d %10d %10d %10d %11.1f%%\n",
-			lambda, h.Area(lib), ts.Area(lib), de.Area(lib), win)
+		h, ts, de := row[0].Solution, row[1].Solution, row[2].Solution
+		win := 100 * float64(ts.Area-h.Area) / float64(h.Area)
+		fmt.Printf("%7d %10d %10d %10d %11.1f%%\n", lambda, h.Area, ts.Area, de.Area, win)
 	}
 
 	fmt.Println("\nDatapath at the most relaxed constraint:")
-	lambda := lmin + lmin/2
-	dp, _, err := mwl.Allocate(g, lib, lambda, mwl.Options{})
+	sol, err := svc.Solve(context.Background(), mwl.Problem{Graph: g, Lambda: lmin + lmin/2})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(dp.Render(g, lib))
+	fmt.Print(sol.Datapath.Render(g, lib))
 }

@@ -26,6 +26,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -74,6 +75,13 @@ type Stats struct {
 // Allocate runs Algorithm DPAlloc on the sequencing graph with latency
 // constraint lambda and returns a verified datapath.
 func Allocate(d *dfg.Graph, lib *model.Library, lambda int, opt Options) (*datapath.Datapath, Stats, error) {
+	return AllocateCtx(context.Background(), d, lib, lambda, opt)
+}
+
+// AllocateCtx is Allocate with cancellation: the schedule/bind/refine
+// loop and the outer resource-bound search check ctx between rounds and
+// return ctx.Err() promptly once it is done.
+func AllocateCtx(ctx context.Context, d *dfg.Graph, lib *model.Library, lambda int, opt Options) (*datapath.Datapath, Stats, error) {
 	var stats Stats
 	if err := d.Validate(); err != nil {
 		return nil, stats, err
@@ -83,7 +91,7 @@ func Allocate(d *dfg.Graph, lib *model.Library, lambda int, opt Options) (*datap
 	}
 	if opt.Limits != nil {
 		stats.Configs = 1
-		dp, err := allocateFixed(d, lib, lambda, opt, opt.Limits, &stats)
+		dp, err := allocateFixed(ctx, d, lib, lambda, opt, opt.Limits, &stats)
 		return dp, stats, err
 	}
 
@@ -111,8 +119,11 @@ func Allocate(d *dfg.Graph, lib *model.Library, lambda int, opt Options) (*datap
 	}
 
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
 		stats.Configs++
-		dp, err := allocateFixed(d, lib, lambda, opt, limits, &stats)
+		dp, err := allocateFixed(ctx, d, lib, lambda, opt, limits, &stats)
 		if err == nil {
 			return dp, stats, nil
 		}
@@ -159,7 +170,7 @@ func blame(err error, d *dfg.Graph, lib *model.Library, limits sched.Limits, cou
 }
 
 // allocateFixed is the paper's Algorithm DPAlloc for a fixed N_y.
-func allocateFixed(d *dfg.Graph, lib *model.Library, lambda int, opt Options, limits sched.Limits, stats *Stats) (*datapath.Datapath, error) {
+func allocateFixed(ctx context.Context, d *dfg.Graph, lib *model.Library, lambda int, opt Options, limits sched.Limits, stats *Stats) (*datapath.Datapath, error) {
 	var g *wcg.Graph
 	var err error
 	if opt.DisableClosure {
@@ -182,6 +193,9 @@ func allocateFixed(d *dfg.Graph, lib *model.Library, lambda int, opt Options, li
 	// by the initial edge count; the +2 covers the final feasible round.
 	maxIters := g.NumHEdges() + 2
 	for iter := 0; iter < maxIters; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		stats.Iterations++
 		r, schedErr := sched.List(g, limits)
 		if schedErr != nil {

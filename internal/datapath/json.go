@@ -1,0 +1,99 @@
+package datapath
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/dfg"
+	"repro/internal/model"
+)
+
+// jsonDatapath is the wire encoding of a solution: the schedule plus the
+// allocated instances with their bound operations. InstOf is derived on
+// decode, so the format carries no redundant fields.
+type jsonDatapath struct {
+	Start     []int          `json:"start"`
+	Instances []jsonInstance `json:"instances"`
+}
+
+type jsonInstance struct {
+	Class string `json:"class"`        // "add" or "mul" (the hardware class)
+	Hi    int    `json:"hi"`           // larger port width
+	Lo    int    `json:"lo,omitempty"` // smaller port width; defaults to hi
+	Ops   []int  `json:"ops"`          // operation ids bound to the instance
+}
+
+// MarshalJSON encodes the datapath in the wire format.
+func (dp *Datapath) MarshalJSON() ([]byte, error) {
+	jd := jsonDatapath{Start: dp.Start, Instances: make([]jsonInstance, len(dp.Instances))}
+	if jd.Start == nil {
+		jd.Start = []int{}
+	}
+	for i, in := range dp.Instances {
+		ops := make([]int, len(in.Ops))
+		for j, o := range in.Ops {
+			ops[j] = int(o)
+		}
+		jd.Instances[i] = jsonInstance{
+			Class: in.Kind.Class.String(),
+			Hi:    in.Kind.Sig.Hi,
+			Lo:    in.Kind.Sig.Lo,
+			Ops:   ops,
+		}
+	}
+	return json.Marshal(jd)
+}
+
+// UnmarshalJSON decodes a datapath from the wire format, rebuilding the
+// InstOf index. Structural legality against a particular graph and
+// library is the caller's business (Verify).
+func (dp *Datapath) UnmarshalJSON(data []byte) error {
+	var jd jsonDatapath
+	if err := json.Unmarshal(data, &jd); err != nil {
+		return err
+	}
+	n := len(jd.Start)
+	nd := Datapath{
+		Start:  append([]int(nil), jd.Start...),
+		InstOf: make([]int, n),
+	}
+	for i := range nd.InstOf {
+		nd.InstOf[i] = -1
+	}
+	for ii, jin := range jd.Instances {
+		class, err := model.ParseOpType(jin.Class)
+		if err != nil {
+			return fmt.Errorf("datapath: instance %d: %w", ii, err)
+		}
+		if class != class.HardwareClass() {
+			return fmt.Errorf("datapath: instance %d class %q is not a hardware class", ii, jin.Class)
+		}
+		lo := jin.Lo
+		if lo == 0 {
+			lo = jin.Hi
+		}
+		sig := model.Signature{Hi: jin.Hi, Lo: lo}
+		if !sig.Valid() {
+			return fmt.Errorf("datapath: instance %d has invalid signature %dx%d", ii, jin.Hi, lo)
+		}
+		in := Instance{Kind: model.Kind{Class: class, Sig: sig}}
+		for _, o := range jin.Ops {
+			if o < 0 || o >= n {
+				return fmt.Errorf("datapath: instance %d references operation %d outside [0,%d)", ii, o, n)
+			}
+			if nd.InstOf[o] >= 0 {
+				return fmt.Errorf("datapath: operation %d bound to instances %d and %d", o, nd.InstOf[o], ii)
+			}
+			nd.InstOf[o] = ii
+			in.Ops = append(in.Ops, dfg.OpID(o))
+		}
+		nd.Instances = append(nd.Instances, in)
+	}
+	for o, ii := range nd.InstOf {
+		if ii < 0 {
+			return fmt.Errorf("datapath: operation %d not bound to any instance", o)
+		}
+	}
+	*dp = nd
+	return nil
+}

@@ -1,0 +1,57 @@
+package datapath
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/dfg"
+	"repro/internal/model"
+)
+
+func sampleDatapath() *Datapath {
+	return &Datapath{
+		Start:  []int{0, 0, 3},
+		InstOf: []int{0, 1, 0},
+		Instances: []Instance{
+			{Kind: model.Kind{Class: model.Mul, Sig: model.Sig(12, 8)}, Ops: []dfg.OpID{0, 2}},
+			{Kind: model.Kind{Class: model.Add, Sig: model.AddSig(16)}, Ops: []dfg.OpID{1}},
+		},
+	}
+}
+
+func TestDatapathJSONRoundTrip(t *testing.T) {
+	dp := sampleDatapath()
+	blob, err := json.Marshal(dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), `"class":"mul"`) {
+		t.Fatalf("wire form lacks readable class names: %s", blob)
+	}
+	var back Datapath
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&back, dp) {
+		t.Fatalf("round trip differs:\n%+v\n%+v", back, dp)
+	}
+}
+
+func TestDatapathJSONRejectsBadBindings(t *testing.T) {
+	cases := map[string]string{
+		"unbound op":      `{"start":[0,0],"instances":[{"class":"add","hi":8,"ops":[0]}]}`,
+		"double bound":    `{"start":[0],"instances":[{"class":"add","hi":8,"ops":[0]},{"class":"add","hi":8,"ops":[0]}]}`,
+		"op out of range": `{"start":[0],"instances":[{"class":"add","hi":8,"ops":[1]}]}`,
+		"bad class":       `{"start":[0],"instances":[{"class":"sub","hi":8,"ops":[0]}]}`,
+		"unknown class":   `{"start":[0],"instances":[{"class":"div","hi":8,"ops":[0]}]}`,
+		"bad signature":   `{"start":[0],"instances":[{"class":"add","hi":-1,"ops":[0]}]}`,
+	}
+	for name, blob := range cases {
+		var dp Datapath
+		if err := json.Unmarshal([]byte(blob), &dp); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

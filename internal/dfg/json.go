@@ -3,11 +3,16 @@ package dfg
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 
 	"repro/internal/model"
 )
 
-// jsonGraph is the on-disk interchange format used by the cmd tools.
+// jsonGraph is the sequencing-graph part of the v1 wire schema, shared
+// by the cmd tools, the mwl Problem encoding and the mwld service. The
+// encoding is canonical — operations in id order, dependencies sorted by
+// (from, to) — so byte equality of the output implies graph equality and
+// the encoding can seed content hashes.
 type jsonGraph struct {
 	Ops  []jsonOp `json:"ops"`
 	Deps [][2]int `json:"deps"`
@@ -20,7 +25,7 @@ type jsonOp struct {
 	Lo   int    `json:"lo,omitempty"` // smaller operand width; defaults to hi
 }
 
-// MarshalJSON encodes the graph in the interchange format.
+// MarshalJSON encodes the graph in the canonical interchange format.
 func (g *Graph) MarshalJSON() ([]byte, error) {
 	jg := jsonGraph{Ops: make([]jsonOp, len(g.ops))}
 	for i, o := range g.ops {
@@ -31,6 +36,12 @@ func (g *Graph) MarshalJSON() ([]byte, error) {
 			jg.Deps = append(jg.Deps, [2]int{from, int(to)})
 		}
 	}
+	sort.Slice(jg.Deps, func(a, b int) bool {
+		if jg.Deps[a][0] != jg.Deps[b][0] {
+			return jg.Deps[a][0] < jg.Deps[b][0]
+		}
+		return jg.Deps[a][1] < jg.Deps[b][1]
+	})
 	return json.Marshal(jg)
 }
 
@@ -42,16 +53,9 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 	}
 	ng := New()
 	for i, jo := range jg.Ops {
-		var typ model.OpType
-		switch jo.Type {
-		case "add":
-			typ = model.Add
-		case "sub":
-			typ = model.Sub
-		case "mul":
-			typ = model.Mul
-		default:
-			return fmt.Errorf("dfg: op %d has unknown type %q", i, jo.Type)
+		typ, err := model.ParseOpType(jo.Type)
+		if err != nil {
+			return fmt.Errorf("dfg: op %d: %w", i, err)
 		}
 		lo := jo.Lo
 		if lo == 0 {

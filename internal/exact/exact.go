@@ -12,6 +12,7 @@
 package exact
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -49,6 +50,12 @@ type Stats struct {
 
 // Allocate returns an area-optimal datapath meeting λ.
 func Allocate(d *dfg.Graph, lib *model.Library, lambda int, opt Options) (*datapath.Datapath, Stats, error) {
+	return AllocateCtx(context.Background(), d, lib, lambda, opt)
+}
+
+// AllocateCtx is Allocate with cancellation: the branch-and-bound search
+// polls ctx periodically and returns ctx.Err() promptly once it is done.
+func AllocateCtx(ctx context.Context, d *dfg.Graph, lib *model.Library, lambda int, opt Options) (*datapath.Datapath, Stats, error) {
 	var stats Stats
 	if err := d.Validate(); err != nil {
 		return nil, stats, err
@@ -71,6 +78,7 @@ func Allocate(d *dfg.Graph, lib *model.Library, lambda int, opt Options) (*datap
 	kinds := model.ExtractKinds(d.Specs(), lib)
 	s := &search{
 		d: d, lib: lib, lambda: lambda, kinds: kinds,
+		ctx:   ctx,
 		best:  math.MaxInt64,
 		limit: opt.NodeLimit,
 		stats: &stats,
@@ -80,6 +88,9 @@ func Allocate(d *dfg.Graph, lib *model.Library, lambda int, opt Options) (*datap
 	}
 	s.prepare()
 	s.dfs(0)
+	if s.canceled {
+		return nil, stats, ctx.Err()
+	}
 	if s.bestStart == nil {
 		return nil, stats, fmt.Errorf("exact: no solution found (λ=%d, bound %d)", lambda, opt.UpperBound)
 	}
@@ -91,12 +102,14 @@ func Allocate(d *dfg.Graph, lib *model.Library, lambda int, opt Options) (*datap
 }
 
 type search struct {
-	d      *dfg.Graph
-	lib    *model.Library
-	lambda int
-	kinds  []model.Kind
-	limit  int64
-	stats  *Stats
+	d        *dfg.Graph
+	lib      *model.Library
+	lambda   int
+	kinds    []model.Kind
+	ctx      context.Context
+	canceled bool
+	limit    int64
+	stats    *Stats
 
 	order  []dfg.OpID // topological assignment order
 	compat [][]int    // compatible kind indices per op, area ascending
@@ -171,6 +184,10 @@ func (s *search) dfs(idx int) {
 		s.stats.Capped = true
 		return
 	}
+	if s.stats.Nodes&1023 == 0 && s.ctx.Err() != nil {
+		s.canceled = true
+		return
+	}
 	if idx == len(s.order) {
 		s.best = s.cost
 		s.bestStart = append(s.bestStart[:0], s.start...)
@@ -194,7 +211,7 @@ func (s *search) dfs(idx int) {
 			s.place(o, ki, t)
 			s.dfs(idx + 1)
 			s.unplace(o, ki)
-			if s.stats.Capped {
+			if s.stats.Capped || s.canceled {
 				return
 			}
 		}

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"encoding/csv"
 	"strings"
 	"testing"
@@ -61,11 +62,11 @@ func TestFig3FullArea(t *testing.T) {
 	base := Config{Graphs: 4, Seed: 909}
 	full := base
 	full.FullArea = true
-	fu, err := Fig3(base, []int{8}, []float64{0.2})
+	fu, err := Fig3(context.Background(), base, []int{8}, []float64{0.2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	fa, err := Fig3(full, []int{8}, []float64{0.2})
+	fa, err := Fig3(context.Background(), full, []int{8}, []float64{0.2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,6 +16,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -71,8 +72,9 @@ type Fig3Point struct {
 	Graphs         int
 }
 
-// Fig3 sweeps problem sizes × latency relaxations.
-func Fig3(cfg Config, sizes []int, relaxes []float64) ([]Fig3Point, error) {
+// Fig3 sweeps problem sizes × latency relaxations. ctx cancels the
+// sweep between (and inside) individual allocations.
+func Fig3(ctx context.Context, cfg Config, sizes []int, relaxes []float64) ([]Fig3Point, error) {
 	cfg = cfg.withDefaults()
 	var out []Fig3Point
 	for _, n := range sizes {
@@ -84,12 +86,15 @@ func Fig3(cfg Config, sizes []int, relaxes []float64) ([]Fig3Point, error) {
 			var sum float64
 			used := 0
 			for _, g := range graphs {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				lmin, err := g.MinMakespan(cfg.Lib)
 				if err != nil {
 					return nil, err
 				}
 				lambda := Lambda(lmin, relax)
-				h, _, err := core.Allocate(g, cfg.Lib, lambda, core.Options{})
+				h, _, err := core.AllocateCtx(ctx, g, cfg.Lib, lambda, core.Options{})
 				if err != nil {
 					return nil, fmt.Errorf("fig3 heuristic n=%d: %w", n, err)
 				}
@@ -139,7 +144,7 @@ type Fig4Point struct {
 // Fig4 compares the heuristic against the exact optimum at minimum
 // latency. exactNodeLimit caps the per-graph search (0 = unlimited);
 // capped graphs are excluded from the mean and counted.
-func Fig4(cfg Config, sizes []int, exactNodeLimit int64) ([]Fig4Point, error) {
+func Fig4(ctx context.Context, cfg Config, sizes []int, exactNodeLimit int64) ([]Fig4Point, error) {
 	cfg = cfg.withDefaults()
 	var out []Fig4Point
 	for _, n := range sizes {
@@ -153,15 +158,18 @@ func Fig4(cfg Config, sizes []int, exactNodeLimit int64) ([]Fig4Point, error) {
 		p := Fig4Point{N: n}
 		var sum float64
 		for _, g := range graphs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			lmin, err := g.MinMakespan(cfg.Lib)
 			if err != nil {
 				return nil, err
 			}
-			h, _, err := core.Allocate(g, cfg.Lib, lmin, core.Options{})
+			h, _, err := core.AllocateCtx(ctx, g, cfg.Lib, lmin, core.Options{})
 			if err != nil {
 				return nil, fmt.Errorf("fig4 heuristic n=%d: %w", n, err)
 			}
-			opt, st, err := exact.Allocate(g, cfg.Lib, lmin, exact.Options{
+			opt, st, err := exact.AllocateCtx(ctx, g, cfg.Lib, lmin, exact.Options{
 				UpperBound: h.Area(cfg.Lib),
 				NodeLimit:  exactNodeLimit,
 			})
@@ -198,8 +206,9 @@ type Fig5Point struct {
 }
 
 // Fig5 measures execution time scaling at λ = λ_min. ilpLimit caps each
-// individual ILP solve (0 = unlimited).
-func Fig5(cfg Config, sizes []int, ilpLimit time.Duration) ([]Fig5Point, error) {
+// individual ILP solve (0 applies the ILP default cap; negative
+// disables it).
+func Fig5(ctx context.Context, cfg Config, sizes []int, ilpLimit time.Duration) ([]Fig5Point, error) {
 	cfg = cfg.withDefaults()
 	var out []Fig5Point
 	for _, n := range sizes {
@@ -209,18 +218,21 @@ func Fig5(cfg Config, sizes []int, ilpLimit time.Duration) ([]Fig5Point, error) 
 		}
 		p := Fig5Point{N: n}
 		for _, g := range graphs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			lmin, err := g.MinMakespan(cfg.Lib)
 			if err != nil {
 				return nil, err
 			}
 			t0 := time.Now()
-			h, _, err := core.Allocate(g, cfg.Lib, lmin, core.Options{})
+			h, _, err := core.AllocateCtx(ctx, g, cfg.Lib, lmin, core.Options{})
 			p.Heuristic += time.Since(t0)
 			if err != nil {
 				return nil, fmt.Errorf("fig5 heuristic n=%d: %w", n, err)
 			}
 			t0 = time.Now()
-			r, err := ilp.Solve(g, cfg.Lib, lmin, ilp.Options{TimeLimit: ilpLimit, Incumbent: h})
+			r, err := ilp.SolveCtx(ctx, g, cfg.Lib, lmin, ilp.Options{TimeLimit: ilpLimit, Incumbent: h})
 			p.ILP += time.Since(t0)
 			if err != nil {
 				return nil, fmt.Errorf("fig5 ilp n=%d: %w", n, err)
@@ -247,7 +259,7 @@ type Table2Row struct {
 
 // Table2 measures execution-time scaling with the latency constraint on
 // graphs of the paper's size (9 operations).
-func Table2(cfg Config, size int, relaxes []float64, ilpLimit time.Duration) ([]Table2Row, error) {
+func Table2(ctx context.Context, cfg Config, size int, relaxes []float64, ilpLimit time.Duration) ([]Table2Row, error) {
 	cfg = cfg.withDefaults()
 	graphs, err := tgff.Batch(size, cfg.Graphs, cfg.Seed, cfg.TGFF)
 	if err != nil {
@@ -257,19 +269,22 @@ func Table2(cfg Config, size int, relaxes []float64, ilpLimit time.Duration) ([]
 	for _, relax := range relaxes {
 		row := Table2Row{Relax: relax}
 		for _, g := range graphs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			lmin, err := g.MinMakespan(cfg.Lib)
 			if err != nil {
 				return nil, err
 			}
 			lambda := Lambda(lmin, relax)
 			t0 := time.Now()
-			h, _, err := core.Allocate(g, cfg.Lib, lambda, core.Options{})
+			h, _, err := core.AllocateCtx(ctx, g, cfg.Lib, lambda, core.Options{})
 			row.Heuristic += time.Since(t0)
 			if err != nil {
 				return nil, fmt.Errorf("table2 heuristic: %w", err)
 			}
 			t0 = time.Now()
-			r, err := ilp.Solve(g, cfg.Lib, lambda, ilp.Options{TimeLimit: ilpLimit, Incumbent: h})
+			r, err := ilp.SolveCtx(ctx, g, cfg.Lib, lambda, ilp.Options{TimeLimit: ilpLimit, Incumbent: h})
 			row.ILP += time.Since(t0)
 			if err != nil {
 				return nil, fmt.Errorf("table2 ilp: %w", err)

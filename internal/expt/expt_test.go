@@ -2,6 +2,7 @@ package expt
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -35,7 +36,7 @@ func TestLambda(t *testing.T) {
 }
 
 func TestFig3ShapeAndRender(t *testing.T) {
-	pts, err := Fig3(smallCfg(), []int{4, 8}, []float64{0, 0.3})
+	pts, err := Fig3(context.Background(), smallCfg(), []int{4, 8}, []float64{0, 0.3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestFig3ShapeAndRender(t *testing.T) {
 }
 
 func TestFig4ShapeAndRender(t *testing.T) {
-	pts, err := Fig4(smallCfg(), []int{1, 4}, 0)
+	pts, err := Fig4(context.Background(), smallCfg(), []int{1, 4}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestFig4ShapeAndRender(t *testing.T) {
 }
 
 func TestFig4RejectsOversize(t *testing.T) {
-	if _, err := Fig4(smallCfg(), []int{40}, 0); err == nil {
+	if _, err := Fig4(context.Background(), smallCfg(), []int{40}, 0); err == nil {
 		t.Fatal("oversize accepted")
 	}
 }
@@ -96,7 +97,7 @@ func TestFig4RejectsOversize(t *testing.T) {
 func TestFig5AndRender(t *testing.T) {
 	cfg := smallCfg()
 	cfg.Graphs = 4
-	pts, err := Fig5(cfg, []int{3, 5}, 5*time.Second)
+	pts, err := Fig5(context.Background(), cfg, []int{3, 5}, 5*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestFig5AndRender(t *testing.T) {
 func TestTable2AndRender(t *testing.T) {
 	cfg := smallCfg()
 	cfg.Graphs = 3
-	rows, err := Table2(cfg, 6, []float64{0, 0.15}, 5*time.Second)
+	rows, err := Table2(context.Background(), cfg, 6, []float64{0, 0.15}, 5*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,6 +23,7 @@
 package ilp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -38,10 +39,15 @@ import (
 // ErrInfeasible is returned when λ is below λ_min.
 var ErrInfeasible = errors.New("ilp: latency constraint infeasible")
 
+// DefaultTimeLimit is the branch-and-bound wall-clock cap applied when
+// Options.TimeLimit is zero: the paper's 30-minute lp_solve budget
+// (Table 2's ">30:00.00" entries).
+const DefaultTimeLimit = 30 * time.Minute
+
 // Options controls the solve.
 type Options struct {
-	// TimeLimit caps the branch-and-bound wall clock (the paper's
-	// Table 2 caps the ILP at 30 minutes). Zero means no limit.
+	// TimeLimit caps the branch-and-bound wall clock. Zero applies
+	// DefaultTimeLimit; negative disables the cap entirely.
 	TimeLimit time.Duration
 	// NodeLimit caps branch-and-bound nodes. Zero means no limit.
 	NodeLimit int
@@ -63,6 +69,19 @@ type Result struct {
 
 // Solve builds and solves the ILP for the graph under λ.
 func Solve(d *dfg.Graph, lib *model.Library, lambda int, opt Options) (*Result, error) {
+	return SolveCtx(context.Background(), d, lib, lambda, opt)
+}
+
+// SolveCtx is Solve with cancellation. The time budget — opt.TimeLimit,
+// or DefaultTimeLimit when it is zero — is imposed as a context deadline
+// layered over ctx, so whichever of the caller's deadline and the budget
+// expires first stops the branch-and-bound. A budget expiry returns the
+// best incumbent with Result.TimedOut set; a ctx cancellation or ctx
+// deadline expiry returns ctx.Err().
+func SolveCtx(ctx context.Context, d *dfg.Graph, lib *model.Library, lambda int, opt Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
@@ -82,13 +101,25 @@ func Solve(d *dfg.Graph, lib *model.Library, lambda int, opt Options) (*Result, 
 		return nil, err
 	}
 
-	mopt := lp.MILPOptions{TimeLimit: opt.TimeLimit, NodeLimit: opt.NodeLimit}
+	budget := budgetFor(opt)
+	bctx := ctx
+	if budget > 0 {
+		var cancel context.CancelFunc
+		bctx, cancel = context.WithTimeout(ctx, budget)
+		defer cancel()
+	}
+	mopt := lp.MILPOptions{Ctx: bctx, NodeLimit: opt.NodeLimit}
 	if opt.Incumbent != nil {
 		mopt.Incumbent = float64(opt.Incumbent.Area(lib))
 		mopt.IncumbentSet = true
 	}
 	res, err := lp.SolveMILP(m, mopt)
 	if err != nil {
+		return nil, err
+	}
+	// A stop forced by the caller's own context is a cancellation, not a
+	// Table 2 style timeout.
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	out := &Result{Vars: m.NumVars, Rows: len(m.Cons), Nodes: res.Nodes, TimedOut: res.TimedOut}
@@ -112,6 +143,19 @@ func Solve(d *dfg.Graph, lib *model.Library, lambda int, opt Options) (*Result, 
 		return nil, fmt.Errorf("ilp: no feasible solution found (status %v, λ=%d)", res.Status, lambda)
 	}
 	return out, nil
+}
+
+// budgetFor resolves Options.TimeLimit into the effective wall-clock
+// budget: zero means DefaultTimeLimit, negative means uncapped (0).
+func budgetFor(opt Options) time.Duration {
+	switch {
+	case opt.TimeLimit == 0:
+		return DefaultTimeLimit
+	case opt.TimeLimit < 0:
+		return 0
+	default:
+		return opt.TimeLimit
+	}
 }
 
 // xvar identifies one x_{o,r,t} binary.

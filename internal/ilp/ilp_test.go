@@ -1,6 +1,7 @@
 package ilp
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -176,5 +177,83 @@ func TestModelSizeScalesWithLambda(t *testing.T) {
 	}
 	if m2.NumVars <= m1.NumVars {
 		t.Fatalf("vars did not grow with λ: %d vs %d", m1.NumVars, m2.NumVars)
+	}
+}
+
+// TestDefaultTimeLimitApplies: the paper's 30-minute cap must be the
+// effective budget when Options.TimeLimit is zero — the seed ignored a
+// zero limit entirely — while negative disables the cap and positive
+// passes through.
+func TestDefaultTimeLimitApplies(t *testing.T) {
+	if got := budgetFor(Options{}); got != DefaultTimeLimit {
+		t.Fatalf("zero TimeLimit resolved to %v, want DefaultTimeLimit=%v", got, DefaultTimeLimit)
+	}
+	if got := budgetFor(Options{TimeLimit: -1}); got != 0 {
+		t.Fatalf("negative TimeLimit resolved to %v, want 0 (uncapped)", got)
+	}
+	if got := budgetFor(Options{TimeLimit: 3 * time.Second}); got != 3*time.Second {
+		t.Fatalf("explicit TimeLimit resolved to %v", got)
+	}
+}
+
+// TestBudgetCapsViaContextDeadline: an explicit budget must actually
+// stop the branch-and-bound through the ctx-deadline path, returning
+// the primed incumbent with TimedOut set rather than running on.
+func TestBudgetCapsViaContextDeadline(t *testing.T) {
+	lib := model.Default()
+	g, err := tgff.Generate(tgff.Config{N: 12, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmin, err := g.MinMakespan(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _, err := core.Allocate(g, lib, lmin+6, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	r, err := SolveCtx(context.Background(), g, lib, lmin+6, Options{
+		Incumbent: h, TimeLimit: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("budgeted solve took %v", el)
+	}
+	if !r.TimedOut {
+		t.Skip("solve finished inside the budget on this machine")
+	}
+	if r.DP == nil {
+		t.Fatal("capped solve returned no datapath despite incumbent")
+	}
+}
+
+// TestSolveCtxCancellation: cancelling the caller's context must abort
+// the solve promptly with ctx.Err(), not a Table 2 style timeout.
+func TestSolveCtxCancellation(t *testing.T) {
+	lib := model.Default()
+	g, err := tgff.Generate(tgff.Config{N: 14, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmin, err := g.MinMakespan(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = SolveCtx(ctx, g, lib, lmin+lmin/2, Options{})
+	if el := time.Since(start); el > 10*time.Second {
+		t.Fatalf("cancelled solve returned only after %v", el)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

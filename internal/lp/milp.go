@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"math"
 	"time"
 )
@@ -14,6 +15,12 @@ type MILP struct {
 
 // MILPOptions controls the branch-and-bound search.
 type MILPOptions struct {
+	// Ctx, when non-nil, is polled between branch-and-bound nodes: once
+	// it is done (deadline or cancellation) the search stops and the
+	// best incumbent (if any) is returned with TimedOut set. Callers
+	// that must distinguish a caller cancellation from a deadline should
+	// inspect their context after SolveMILP returns.
+	Ctx context.Context
 	// TimeLimit stops the search when exceeded; the best incumbent (if
 	// any) is returned with TimedOut set. Zero means no limit.
 	TimeLimit time.Duration
@@ -84,6 +91,10 @@ func SolveMILP(m *MILP, opt MILPOptions) (*MILPResult, error) {
 			res.TimedOut = true
 			break
 		}
+		if opt.Ctx != nil && opt.Ctx.Err() != nil {
+			res.TimedOut = true
+			break
+		}
 		nd := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		res.Nodes++
@@ -91,8 +102,18 @@ func SolveMILP(m *MILP, opt MILPOptions) (*MILPResult, error) {
 		sub := m.Problem
 		sub.Lower = nd.fixLo
 		sub.Upper = nd.fixHi
-		sol, err := Solve(&sub)
+		nodeCtx := context.Background()
+		if opt.Ctx != nil {
+			nodeCtx = opt.Ctx
+		}
+		sol, err := SolveCtx(nodeCtx, &sub)
 		if err != nil {
+			if opt.Ctx != nil && opt.Ctx.Err() != nil {
+				// Cancelled mid-relaxation: stop with the best incumbent,
+				// exactly like the deadline path.
+				res.TimedOut = true
+				break
+			}
 			return nil, err
 		}
 		if sol.Status == Infeasible {

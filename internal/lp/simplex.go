@@ -11,6 +11,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -86,6 +87,14 @@ var ErrNumeric = errors.New("lp: iteration budget exceeded")
 
 // Solve runs two-phase primal simplex.
 func Solve(p *Problem) (*Solution, error) {
+	return SolveCtx(context.Background(), p)
+}
+
+// SolveCtx is Solve with cancellation: the pivot loop polls ctx and
+// returns ctx.Err() promptly once it is done. Large ILP relaxations can
+// spend many seconds inside a single simplex run, so per-node polling
+// in a surrounding branch-and-bound is not enough for prompt cancel.
+func SolveCtx(ctx context.Context, p *Problem) (*Solution, error) {
 	if err := validate(p); err != nil {
 		return nil, err
 	}
@@ -155,8 +164,11 @@ func Solve(p *Problem) (*Solution, error) {
 				c1[j] = 1
 			}
 		}
-		it, st := t.iterate(c1, basis, nil)
+		it, st := t.iterate(ctx, c1, basis, nil)
 		iters += it
+		if st == stCanceled {
+			return nil, ctx.Err()
+		}
 		if st == stIterLimit {
 			return nil, ErrNumeric
 		}
@@ -186,9 +198,11 @@ func Solve(p *Problem) (*Solution, error) {
 	// Phase 2.
 	c2 := make([]float64, cols)
 	copy(c2, p.Objective)
-	it, st := t.iterate(c2, basis, isArt)
+	it, st := t.iterate(ctx, c2, basis, isArt)
 	iters += it
 	switch st {
+	case stCanceled:
+		return nil, ctx.Err()
 	case stIterLimit:
 		return nil, ErrNumeric
 	case stUnbounded:
@@ -339,6 +353,7 @@ const (
 	stOptimal iterStatus = iota
 	stUnbounded
 	stIterLimit
+	stCanceled
 )
 
 // objValue computes cᵀx for the current basic solution.
@@ -354,7 +369,7 @@ func (t *tableau) objValue(c []float64, basis []int) float64 {
 // banned columns (nil allowed) may never enter the basis — used to keep
 // artificials out in phase 2. Dantzig pricing with a switch to Bland's
 // rule to guarantee termination.
-func (t *tableau) iterate(c []float64, basis []int, banned []bool) (int, iterStatus) {
+func (t *tableau) iterate(ctx context.Context, c []float64, basis []int, banned []bool) (int, iterStatus) {
 	m := len(t.a)
 	if m == 0 {
 		return 0, stOptimal
@@ -377,6 +392,11 @@ func (t *tableau) iterate(c []float64, basis []int, banned []bool) (int, iterSta
 	limit := 200 * (m + cols)
 	blandAfter := 20 * (m + cols)
 	for iter := 0; iter < limit; iter++ {
+		// Each pivot costs O(m·cols) floating-point work, so a per-
+		// iteration ctx poll is noise by comparison.
+		if iter&15 == 0 && ctx.Err() != nil {
+			return iter, stCanceled
+		}
 		// Entering column: most positive z_j (Dantzig), or first
 		// positive (Bland) once past the cycling threshold.
 		pc := -1

@@ -1,0 +1,74 @@
+package model
+
+import "fmt"
+
+// ParseOpType parses the conventional short name of an operation type
+// ("add", "sub", "mul"), the inverse of OpType.String.
+func ParseOpType(s string) (OpType, error) {
+	switch s {
+	case "add":
+		return Add, nil
+	case "sub":
+		return Sub, nil
+	case "mul":
+		return Mul, nil
+	default:
+		return 0, fmt.Errorf("model: unknown operation type %q", s)
+	}
+}
+
+// LibrarySpec is a serializable description of a Library within the
+// paper's parametric cost-model family: constant-latency adders of area
+// proportional to their width, and n×m multipliers taking ⌈(n+m)/B⌉
+// cycles with area proportional to n·m. The zero value denotes the
+// paper's exact model (2-cycle adders, B = 8, unit area scales), so a
+// Problem that omits its library on the wire gets Default().
+type LibrarySpec struct {
+	// AdderLatency is the cycle count of any adder; 0 means 2.
+	AdderLatency int `json:"adder_latency,omitempty"`
+	// MulBitsPerCycle is B in the SONIC latency formula ⌈(n+m)/B⌉;
+	// 0 means 8.
+	MulBitsPerCycle int `json:"mul_bits_per_cycle,omitempty"`
+	// AdderAreaPerBit scales adder area (area = scale·w); 0 means 1.
+	AdderAreaPerBit int64 `json:"adder_area_per_bit,omitempty"`
+	// MulAreaScale scales multiplier area (area = scale·n·m); 0 means 1.
+	MulAreaScale int64 `json:"mul_area_scale,omitempty"`
+}
+
+// Build materialises the spec as a Library, applying the paper defaults
+// for zero fields. Negative fields are rejected.
+func (s LibrarySpec) Build() (*Library, error) {
+	if s.AdderLatency < 0 || s.MulBitsPerCycle < 0 || s.AdderAreaPerBit < 0 || s.MulAreaScale < 0 {
+		return nil, fmt.Errorf("model: library spec has negative parameter: %+v", s)
+	}
+	addLat := s.AdderLatency
+	if addLat == 0 {
+		addLat = 2
+	}
+	bits := s.MulBitsPerCycle
+	if bits == 0 {
+		bits = 8
+	}
+	addArea := s.AdderAreaPerBit
+	if addArea == 0 {
+		addArea = 1
+	}
+	mulArea := s.MulAreaScale
+	if mulArea == 0 {
+		mulArea = 1
+	}
+	return &Library{
+		Latency: func(k Kind) int {
+			if k.Class == Add {
+				return addLat
+			}
+			return (k.Sig.Hi + k.Sig.Lo + bits - 1) / bits
+		},
+		Area: func(k Kind) int64 {
+			if k.Class == Add {
+				return addArea * int64(k.Sig.Hi)
+			}
+			return mulArea * int64(k.Sig.Hi) * int64(k.Sig.Lo)
+		},
+	}, nil
+}

@@ -1,0 +1,69 @@
+package model
+
+import "testing"
+
+// TestZeroSpecEqualsDefault: the zero LibrarySpec must reproduce the
+// paper's cost model exactly over a representative grid of kinds.
+func TestZeroSpecEqualsDefault(t *testing.T) {
+	built, err := LibrarySpec{}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := Default()
+	for hi := 1; hi <= 32; hi += 3 {
+		for lo := 1; lo <= hi; lo += 3 {
+			mk := Kind{Class: Mul, Sig: Sig(hi, lo)}
+			if built.Latency(mk) != def.Latency(mk) || built.Area(mk) != def.Area(mk) {
+				t.Fatalf("mul %v: spec (%d,%d) vs default (%d,%d)", mk.Sig,
+					built.Latency(mk), built.Area(mk), def.Latency(mk), def.Area(mk))
+			}
+		}
+		ak := Kind{Class: Add, Sig: AddSig(hi)}
+		if built.Latency(ak) != def.Latency(ak) || built.Area(ak) != def.Area(ak) {
+			t.Fatalf("add %d: spec vs default mismatch", hi)
+		}
+	}
+}
+
+func TestSpecParameters(t *testing.T) {
+	lib, err := LibrarySpec{AdderLatency: 1, MulBitsPerCycle: 4, AdderAreaPerBit: 3, MulAreaScale: 2}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := Kind{Class: Add, Sig: AddSig(10)}
+	if lib.Latency(add) != 1 || lib.Area(add) != 30 {
+		t.Fatalf("adder: latency %d area %d", lib.Latency(add), lib.Area(add))
+	}
+	mul := Kind{Class: Mul, Sig: Sig(10, 6)}
+	if lib.Latency(mul) != 4 { // ⌈16/4⌉
+		t.Fatalf("multiplier latency %d", lib.Latency(mul))
+	}
+	if lib.Area(mul) != 120 { // 2·10·6
+		t.Fatalf("multiplier area %d", lib.Area(mul))
+	}
+}
+
+func TestSpecRejectsNegatives(t *testing.T) {
+	for _, spec := range []LibrarySpec{
+		{AdderLatency: -1},
+		{MulBitsPerCycle: -1},
+		{AdderAreaPerBit: -1},
+		{MulAreaScale: -1},
+	} {
+		if _, err := spec.Build(); err == nil {
+			t.Errorf("spec %+v accepted", spec)
+		}
+	}
+}
+
+func TestParseOpType(t *testing.T) {
+	for _, typ := range []OpType{Add, Sub, Mul} {
+		got, err := ParseOpType(typ.String())
+		if err != nil || got != typ {
+			t.Fatalf("ParseOpType(%q) = %v, %v", typ.String(), got, err)
+		}
+	}
+	if _, err := ParseOpType("div"); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+}

@@ -24,6 +24,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -65,6 +66,13 @@ type Stats struct {
 // constraints allow, which is what creates modulo-disjoint windows for
 // the binder to share.
 func Allocate(d *dfg.Graph, lib *model.Library, lambda, ii int, opt Options) (*datapath.Datapath, Stats, error) {
+	return AllocateCtx(context.Background(), d, lib, lambda, ii, opt)
+}
+
+// AllocateCtx is Allocate with cancellation: the schedule/bind/refine
+// loop and the outer resource-bound search check ctx between rounds and
+// return ctx.Err() promptly once it is done.
+func AllocateCtx(ctx context.Context, d *dfg.Graph, lib *model.Library, lambda, ii int, opt Options) (*datapath.Datapath, Stats, error) {
 	var stats Stats
 	if err := d.Validate(); err != nil {
 		return nil, stats, err
@@ -121,7 +129,10 @@ func Allocate(d *dfg.Graph, lib *model.Library, lambda, ii int, opt Options) (*d
 	}
 
 	for {
-		dp, err := allocateFixed(base.Clone(), lib, lambda, ii, limits, pick, &stats)
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
+		dp, err := allocateFixed(ctx, base.Clone(), lib, lambda, ii, limits, pick, &stats)
 		if err == nil {
 			return dp, stats, nil
 		}
@@ -161,9 +172,12 @@ func Allocate(d *dfg.Graph, lib *model.Library, lambda, ii int, opt Options) (*d
 
 // allocateFixed runs the schedule/bind/refine loop for one resource-
 // limit configuration.
-func allocateFixed(g *wcg.Graph, lib *model.Library, lambda, ii int, limits sched.Limits, pick refine.Policy, stats *Stats) (*datapath.Datapath, error) {
+func allocateFixed(ctx context.Context, g *wcg.Graph, lib *model.Library, lambda, ii int, limits sched.Limits, pick refine.Policy, stats *Stats) (*datapath.Datapath, error) {
 	maxIters := g.NumHEdges() + 2
 	for iter := 0; iter < maxIters; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		stats.Iterations++
 		r, err := sched.List(g, limits)
 		if err != nil {

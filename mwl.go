@@ -5,18 +5,21 @@
 //	"Heuristic Datapath Allocation for Multiple Wordlength Systems",
 //	Proc. Design, Automation and Test in Europe (DATE), 2001.
 //
-// The primary entry point is Allocate, the paper's Algorithm DPAlloc: a
-// polynomial-time heuristic solving the combined scheduling, resource
-// binding and wordlength selection problem — choose a start step for
-// every operation of a sequencing graph, a set of wordlength-
-// parameterised resource instances, and a binding of operations to
-// instances, minimising silicon area subject to an overall latency
-// constraint λ. Comparison methods from the paper's evaluation are
-// exposed alongside: AllocateTwoStage (the FPL 2000 two-stage baseline),
-// AllocateDescending (descending-wordlength clique partitioning),
-// AllocateOptimal (exhaustive optimum) and SolveILP (the Electronics
-// Letters ILP formulation solved with the built-in simplex/branch-and-
-// bound MILP solver).
+// The primary entry point is Solve: every allocation method — the
+// paper's Algorithm DPAlloc heuristic and its five evaluation
+// companions — implements the Solver interface behind a method
+// registry, taking a serializable Problem (graph + cost model + latency
+// constraint λ + method + options) to a Solution (datapath + area
+// breakdown + statistics + timing) under a context.Context that cancels
+// long solves promptly. The registered methods are "dpalloc" (the
+// paper's heuristic, the default), "twostage" (the FPL 2000 two-stage
+// baseline), "descend" (descending-wordlength clique partitioning),
+// "optimal" (exhaustive optimum, small graphs), "ilp" (the Electronics
+// Letters ILP formulation on the built-in simplex/branch-and-bound MILP
+// solver) and "pipelined" (DPAlloc under an initiation interval).
+// Problems and Solutions marshal to a canonical JSON wire schema, and
+// Service runs batches through a worker pool with per-problem
+// memoization — cmd/mwld serves the same schema over HTTP.
 //
 // A minimal session:
 //
@@ -26,14 +29,16 @@
 //	_ = g.AddDep(x, y)
 //	lib := mwl.DefaultLibrary()
 //	lmin, _ := mwl.MinLambda(g, lib)
-//	dp, _, err := mwl.Allocate(g, lib, lmin+2, mwl.Options{})
+//	sol, err := mwl.Solve(ctx, mwl.Problem{Graph: g, Lambda: lmin + 2})
 //	if err != nil { ... }
-//	fmt.Println(dp.Render(g, lib))
+//	fmt.Println(sol.Datapath.Render(g, lib))
+//
+// The pre-registry entry points (Allocate, AllocateTwoStage,
+// AllocateDescending, AllocateOptimal, SolveILP, AllocatePipelined)
+// remain as thin deprecated shims for one release.
 package mwl
 
 import (
-	"time"
-
 	"repro/internal/core"
 	"repro/internal/datapath"
 	"repro/internal/descend"
@@ -112,6 +117,9 @@ func MinLambda(g *Graph, lib *Library) (int, error) { return core.MinLambda(g, l
 
 // Allocate runs Algorithm DPAlloc (the paper's heuristic) and returns a
 // verified minimum-area datapath meeting λ.
+//
+// Deprecated: use Solve with method "dpalloc" (the default), which adds
+// cancellation, serialization and the Service/mwld layers.
 func Allocate(g *Graph, lib *Library, lambda int, opt Options) (*Datapath, Stats, error) {
 	return core.Allocate(g, lib, lambda, opt)
 }
@@ -119,6 +127,8 @@ func Allocate(g *Graph, lib *Library, lambda int, opt Options) (*Datapath, Stats
 // AllocateTwoStage runs the two-stage baseline of reference [4]:
 // wordlength-blind scheduling followed by optimal latency-preserving
 // binding.
+//
+// Deprecated: use Solve with method "twostage".
 func AllocateTwoStage(g *Graph, lib *Library, lambda int) (*Datapath, error) {
 	dp, _, err := twostage.Allocate(g, lib, lambda)
 	return dp, err
@@ -126,6 +136,8 @@ func AllocateTwoStage(g *Graph, lib *Library, lambda int) (*Datapath, error) {
 
 // AllocateDescending runs the descending-wordlength clique-partitioning
 // baseline of reference [14].
+//
+// Deprecated: use Solve with method "descend".
 func AllocateDescending(g *Graph, lib *Library, lambda int) (*Datapath, error) {
 	return descend.Allocate(g, lib, lambda)
 }
@@ -135,14 +147,19 @@ const MaxOptimalOps = exact.MaxOps
 
 // AllocateOptimal returns the true area optimum by exhaustive
 // branch-and-bound; only for small graphs (≤ MaxOptimalOps operations).
+//
+// Deprecated: use Solve with method "optimal".
 func AllocateOptimal(g *Graph, lib *Library, lambda int) (*Datapath, error) {
 	dp, _, err := exact.Allocate(g, lib, lambda, exact.Options{})
 	return dp, err
 }
 
 // SolveILP builds and solves the time-indexed ILP formulation of
-// reference [5] with the built-in MILP solver. Use ILPOptions.TimeLimit
-// for the paper's Table 2 style capping.
+// reference [5] with the built-in MILP solver. A zero
+// ILPOptions.TimeLimit applies DefaultILPTimeLimit (the paper's Table 2
+// cap); a negative one disables the cap.
+//
+// Deprecated: use Solve with method "ilp".
 func SolveILP(g *Graph, lib *Library, lambda int, opt ILPOptions) (*ILPResult, error) {
 	return ilp.Solve(g, lib, lambda, opt)
 }
@@ -165,8 +182,9 @@ var (
 )
 
 // DefaultILPTimeLimit mirrors the paper's 30-minute cap on lp_solve runs
-// (Table 2's ">30:00.00" entries).
-const DefaultILPTimeLimit = 30 * time.Minute
+// (Table 2's ">30:00.00" entries); it is the budget applied when an ILP
+// solve specifies no time limit of its own.
+const DefaultILPTimeLimit = ilp.DefaultTimeLimit
 
 // Register and interconnect allocation (the RTL completion layer).
 type (
@@ -215,6 +233,8 @@ type PipelineOptions = pipeline.Options
 // AllocatePipelined produces a datapath that meets λ per iteration while
 // accepting a new iteration every ii cycles: resource sharing respects
 // occupancy modulo the initiation interval.
+//
+// Deprecated: use Solve with method "pipelined" and Problem.II set.
 func AllocatePipelined(g *Graph, lib *Library, lambda, ii int, opt PipelineOptions) (*Datapath, error) {
 	dp, _, err := pipeline.Allocate(g, lib, lambda, ii, opt)
 	return dp, err

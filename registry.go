@@ -1,0 +1,110 @@
+package mwl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Solver is the uniform interface every allocation method implements:
+// solve one Problem, honouring ctx for cancellation and deadlines.
+// Implementations must be safe for concurrent use.
+type Solver interface {
+	Solve(ctx context.Context, p Problem) (Solution, error)
+}
+
+// SolverFunc adapts an ordinary function to the Solver interface.
+type SolverFunc func(ctx context.Context, p Problem) (Solution, error)
+
+// Solve calls f.
+func (f SolverFunc) Solve(ctx context.Context, p Problem) (Solution, error) { return f(ctx, p) }
+
+// ErrUnknownMethod is returned (wrapped) when a Problem names a method
+// that is not in the registry.
+var ErrUnknownMethod = errors.New("mwl: unknown method")
+
+type methodEntry struct {
+	solver Solver
+	desc   string
+}
+
+var registry = struct {
+	sync.RWMutex
+	m map[string]methodEntry
+}{m: make(map[string]methodEntry)}
+
+// Register adds a solver to the method registry under name, making it
+// reachable through Get, Solve and the mwld service. Registering an
+// empty name, a nil solver, or a name that is already taken is an
+// error; the six built-in methods are pre-registered.
+func Register(name string, s Solver) error {
+	return register(name, "", s)
+}
+
+func register(name, desc string, s Solver) error {
+	if name == "" {
+		return errors.New("mwl: Register with empty method name")
+	}
+	if s == nil {
+		return fmt.Errorf("mwl: Register(%q) with nil solver", name)
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.m[name]; dup {
+		return fmt.Errorf("mwl: method %q already registered", name)
+	}
+	registry.m[name] = methodEntry{solver: s, desc: desc}
+	return nil
+}
+
+func mustRegister(name, desc string, s Solver) {
+	if err := register(name, desc, s); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the solver registered under name.
+func Lookup(name string) (Solver, bool) {
+	registry.RLock()
+	defer registry.RUnlock()
+	e, ok := registry.m[name]
+	return e.solver, ok
+}
+
+// Get returns the solver registered under name. It never returns nil:
+// for an unregistered name it returns a solver whose Solve reports
+// ErrUnknownMethod, so mwl.Get(name).Solve(ctx, p) is always safe.
+func Get(name string) Solver {
+	if s, ok := Lookup(name); ok {
+		return s
+	}
+	return unknownSolver(name)
+}
+
+type unknownSolver string
+
+func (u unknownSolver) Solve(context.Context, Problem) (Solution, error) {
+	return Solution{}, fmt.Errorf("%w: %q (registered: %v)", ErrUnknownMethod, string(u), Methods())
+}
+
+// Methods returns the registered method names, sorted.
+func Methods() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	names := make([]string, 0, len(registry.m))
+	for name := range registry.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Describe returns the registered one-line description of a method, or
+// "" when the method is unknown or was registered without one.
+func Describe(name string) string {
+	registry.RLock()
+	defer registry.RUnlock()
+	return registry.m[name].desc
+}

@@ -1,0 +1,148 @@
+package mwl
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// Service is a concurrent solve front end: it bounds the number of
+// solves running at once with a worker pool, deduplicates identical
+// problems that are in flight simultaneously, and memoizes successful
+// solutions keyed by the canonical problem hash, so a repeated identical
+// Problem is served from memory. A Service is safe for concurrent use;
+// the zero value is not usable — construct one with NewService.
+type Service struct {
+	sem chan struct{} // worker-pool slots
+
+	mu   sync.Mutex
+	memo map[string]*memoEntry
+}
+
+// memoEntry is one memoized (or in-flight) solve. done is closed when
+// sol/err are valid; failed entries are evicted so later calls retry.
+type memoEntry struct {
+	done chan struct{}
+	sol  Solution
+	err  error
+}
+
+// NewService returns a Service running at most workers solves
+// concurrently; workers <= 0 means GOMAXPROCS.
+func NewService(workers int) *Service {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Service{
+		sem:  make(chan struct{}, workers),
+		memo: make(map[string]*memoEntry),
+	}
+}
+
+// Solve solves one problem through the worker pool. Identical problems
+// (by canonical hash) share one solve: concurrent duplicates wait for
+// the leader, and later duplicates are served from the memo with
+// Solution.Cached set. Problems with an in-memory Lib override have no
+// canonical hash and are solved directly, without memoization.
+func (s *Service) Solve(ctx context.Context, p Problem) (Solution, error) {
+	key, err := p.Hash()
+	if err != nil {
+		return s.solveOne(ctx, p)
+	}
+
+	var e *memoEntry
+	for e == nil {
+		s.mu.Lock()
+		prior, ok := s.memo[key]
+		if !ok {
+			e = &memoEntry{done: make(chan struct{})}
+			s.memo[key] = e
+			s.mu.Unlock()
+			break // this call is the leader
+		}
+		s.mu.Unlock()
+		select {
+		case <-prior.done:
+			if prior.err == nil {
+				sol := prior.sol
+				sol.Cached = true
+				return sol, nil
+			}
+			// The leader failed and its entry is gone. Its cancellation
+			// or deadline is not ours: with a live context, take over as
+			// the next leader instead of surfacing a stranger's ctx.Err.
+			if errors.Is(prior.err, context.Canceled) || errors.Is(prior.err, context.DeadlineExceeded) {
+				if ctx.Err() != nil {
+					return Solution{}, ctx.Err()
+				}
+				continue
+			}
+			return Solution{}, prior.err
+		case <-ctx.Done():
+			return Solution{}, ctx.Err()
+		}
+	}
+
+	e.sol, e.err = s.solveOne(ctx, p)
+	if e.err != nil {
+		// Do not cache failures: a cancellation or deadline is the
+		// caller's, not the problem's.
+		s.mu.Lock()
+		delete(s.memo, key)
+		s.mu.Unlock()
+	}
+	close(e.done)
+	return e.sol, e.err
+}
+
+// solveOne runs one solve inside a worker-pool slot.
+func (s *Service) solveOne(ctx context.Context, p Problem) (Solution, error) {
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		return Solution{}, ctx.Err()
+	}
+	return Solve(ctx, p)
+}
+
+// BatchResult is one outcome of SolveBatch; exactly one of Solution
+// being valid (Err == nil) or Err holds.
+type BatchResult struct {
+	Solution Solution
+	Err      error
+}
+
+// SolveBatch solves every problem, running up to the Service's worker
+// count concurrently, and returns the outcomes in input order. Identical
+// problems within (or across) batches solve once and share the result.
+func (s *Service) SolveBatch(ctx context.Context, problems []Problem) []BatchResult {
+	out := make([]BatchResult, len(problems))
+	var wg sync.WaitGroup
+	for i, p := range problems {
+		wg.Add(1)
+		go func(i int, p Problem) {
+			defer wg.Done()
+			out[i].Solution, out[i].Err = s.Solve(ctx, p)
+		}(i, p)
+	}
+	wg.Wait()
+	return out
+}
+
+// CacheSize reports how many solutions the memo currently holds
+// (including in-flight entries).
+func (s *Service) CacheSize() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.memo)
+}
+
+// ClearCache drops every memoized solution. In-flight solves complete
+// normally but are forgotten.
+func (s *Service) ClearCache() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.memo = make(map[string]*memoEntry)
+}

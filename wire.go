@@ -1,0 +1,28 @@
+package mwl
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+)
+
+// Hash returns the canonical content hash of the problem: the SHA-256 of
+// its canonical v1 JSON encoding (method name resolved, graph in
+// canonical order, map keys sorted), rendered as hex. Problems that
+// solve identically hash identically, which is what the Service keys its
+// memoization on. A problem carrying an in-memory Lib override has no
+// canonical encoding and cannot be hashed.
+func (p Problem) Hash() (string, error) {
+	if p.Lib != nil {
+		return "", errors.New("mwl: problem with in-memory Library override has no canonical hash")
+	}
+	q := p
+	q.Method = p.method()
+	blob, err := json.Marshal(q)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:]), nil
+}
