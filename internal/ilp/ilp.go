@@ -139,6 +139,12 @@ func SolveCtx(ctx context.Context, d *dfg.Graph, lib *model.Library, lambda int,
 		// incumbent is optimal (or best known under caps).
 		out.DP = opt.Incumbent
 		out.Area = opt.Incumbent.Area(lib)
+	case res.TimedOut:
+		// lp reports cancellation distinctly (lp.Canceled / lp.ErrCanceled,
+		// handled above via ctx.Err()), so a TimedOut result without an
+		// incumbent is specifically the budget expiring before any
+		// integral solution — not infeasibility.
+		return nil, fmt.Errorf("ilp: time budget exhausted before any feasible solution (λ=%d)", lambda)
 	default:
 		return nil, fmt.Errorf("ilp: no feasible solution found (status %v, λ=%d)", res.Status, lambda)
 	}

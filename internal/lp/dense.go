@@ -1,100 +1,17 @@
-// Package lp is a self-contained linear and mixed-integer linear
-// programming solver: a dense two-phase primal simplex and a depth-first
-// branch-and-bound wrapper. It stands in for the lp_solve package
-// (reference [15]) the paper used to solve the ILP formulation of the
-// combined scheduling, binding and wordlength selection problem.
-//
-// The solver targets the modest, mostly 0/1 problems produced by
-// internal/ilp: hundreds of variables and rows. All variables are
-// non-negative; optional finite lower/upper bounds are handled as
-// explicit rows for simplicity and verifiability over speed.
+// The original dense-tableau two-phase primal simplex, retained as an
+// unexported fallback and as the oracle for the revised-simplex
+// equivalence tests. Optional finite bounds are handled as explicit
+// rows for simplicity and verifiability over speed.
+
 package lp
 
 import (
 	"context"
-	"errors"
-	"fmt"
 	"math"
 )
 
-// Sense of a linear constraint.
-type Sense int8
-
-// Constraint senses.
-const (
-	LE Sense = iota // Σ a_j x_j ≤ b
-	GE              // Σ a_j x_j ≥ b
-	EQ              // Σ a_j x_j = b
-)
-
-// Constraint is one sparse row.
-type Constraint struct {
-	Idx   []int     // variable indices
-	Coef  []float64 // matching coefficients
-	Sense Sense
-	RHS   float64
-}
-
-// Problem is min cᵀx s.t. constraints, 0 ≤ Lower ≤ x ≤ Upper.
-// Nil Lower means all zeros; nil Upper means all +Inf.
-type Problem struct {
-	NumVars   int
-	Objective []float64 // length NumVars; minimised
-	Cons      []Constraint
-	Lower     []float64 // optional; entries must be ≥ 0
-	Upper     []float64 // optional; math.Inf(1) for unbounded
-}
-
-// Status of a solve.
-type Status int8
-
-// Solve outcomes.
-const (
-	Optimal Status = iota
-	Infeasible
-	Unbounded
-)
-
-func (s Status) String() string {
-	switch s {
-	case Optimal:
-		return "optimal"
-	case Infeasible:
-		return "infeasible"
-	case Unbounded:
-		return "unbounded"
-	default:
-		return fmt.Sprintf("Status(%d)", int8(s))
-	}
-}
-
-// Solution of an LP.
-type Solution struct {
-	Status Status
-	X      []float64
-	Obj    float64
-	Iters  int
-}
-
-const (
-	eps     = 1e-9
-	feasEps = 1e-7
-)
-
-// ErrNumeric is returned when the simplex exceeds its iteration budget,
-// indicating numerical cycling beyond what Bland's rule resolves.
-var ErrNumeric = errors.New("lp: iteration budget exceeded")
-
-// Solve runs two-phase primal simplex.
-func Solve(p *Problem) (*Solution, error) {
-	return SolveCtx(context.Background(), p)
-}
-
-// SolveCtx is Solve with cancellation: the pivot loop polls ctx and
-// returns ctx.Err() promptly once it is done. Large ILP relaxations can
-// spend many seconds inside a single simplex run, so per-node polling
-// in a surrounding branch-and-bound is not enough for prompt cancel.
-func SolveCtx(ctx context.Context, p *Problem) (*Solution, error) {
+// solveDense runs two-phase primal simplex on a dense tableau.
+func solveDense(ctx context.Context, p *Problem) (*Solution, error) {
 	if err := validate(p); err != nil {
 		return nil, err
 	}
@@ -167,7 +84,7 @@ func SolveCtx(ctx context.Context, p *Problem) (*Solution, error) {
 		it, st := t.iterate(ctx, c1, basis, nil)
 		iters += it
 		if st == stCanceled {
-			return nil, ctx.Err()
+			return canceledResult(ctx, iters)
 		}
 		if st == stIterLimit {
 			return nil, ErrNumeric
@@ -202,7 +119,7 @@ func SolveCtx(ctx context.Context, p *Problem) (*Solution, error) {
 	iters += it
 	switch st {
 	case stCanceled:
-		return nil, ctx.Err()
+		return canceledResult(ctx, iters)
 	case stIterLimit:
 		return nil, ErrNumeric
 	case stUnbounded:
@@ -220,42 +137,6 @@ func SolveCtx(ctx context.Context, p *Problem) (*Solution, error) {
 		obj += c * x[j]
 	}
 	return &Solution{Status: Optimal, X: x, Obj: obj, Iters: iters}, nil
-}
-
-func validate(p *Problem) error {
-	if p.NumVars < 0 {
-		return fmt.Errorf("lp: negative variable count")
-	}
-	if len(p.Objective) != p.NumVars {
-		return fmt.Errorf("lp: objective has %d entries for %d variables", len(p.Objective), p.NumVars)
-	}
-	if p.Lower != nil && len(p.Lower) != p.NumVars {
-		return fmt.Errorf("lp: Lower has %d entries for %d variables", len(p.Lower), p.NumVars)
-	}
-	if p.Upper != nil && len(p.Upper) != p.NumVars {
-		return fmt.Errorf("lp: Upper has %d entries for %d variables", len(p.Upper), p.NumVars)
-	}
-	for ci, c := range p.Cons {
-		if len(c.Idx) != len(c.Coef) {
-			return fmt.Errorf("lp: constraint %d has %d indices, %d coefficients", ci, len(c.Idx), len(c.Coef))
-		}
-		for _, j := range c.Idx {
-			if j < 0 || j >= p.NumVars {
-				return fmt.Errorf("lp: constraint %d references variable %d", ci, j)
-			}
-		}
-	}
-	if p.Lower != nil {
-		for j, l := range p.Lower {
-			if l < 0 {
-				return fmt.Errorf("lp: variable %d has negative lower bound %g", j, l)
-			}
-			if p.Upper != nil && p.Upper[j] < l {
-				return fmt.Errorf("lp: variable %d has empty bound range [%g, %g]", j, l, p.Upper[j])
-			}
-		}
-	}
-	return nil
 }
 
 // denseRow is a normalised constraint with non-negative RHS.
@@ -372,6 +253,14 @@ func (t *tableau) objValue(c []float64, basis []int) float64 {
 func (t *tableau) iterate(ctx context.Context, c []float64, basis []int, banned []bool) (int, iterStatus) {
 	m := len(t.a)
 	if m == 0 {
+		// No rows (and, post-buildRows, no finite bounds either): any
+		// negative cost direction is unbounded, otherwise x = 0 is
+		// optimal.
+		for j, cj := range c {
+			if (banned == nil || !banned[j]) && cj < -eps {
+				return 0, stUnbounded
+			}
+		}
 		return 0, stOptimal
 	}
 	cols := len(t.a[0])

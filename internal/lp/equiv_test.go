@@ -1,0 +1,196 @@
+package lp
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomProblem draws a small LP with mixed senses, integer data and
+// a sprinkling of finite bounds — the regime where the revised simplex
+// and the dense oracle must agree exactly on status and objective.
+func randomProblem(rnd *rand.Rand) *Problem {
+	n := 1 + rnd.Intn(10)
+	p := &Problem{NumVars: n, Objective: make([]float64, n)}
+	for j := range p.Objective {
+		p.Objective[j] = float64(rnd.Intn(11) - 5)
+	}
+	if rnd.Intn(2) == 0 {
+		p.Lower = make([]float64, n)
+		p.Upper = make([]float64, n)
+		for j := 0; j < n; j++ {
+			p.Lower[j] = float64(rnd.Intn(3))
+			if rnd.Intn(3) == 0 {
+				p.Upper[j] = math.Inf(1)
+			} else {
+				p.Upper[j] = p.Lower[j] + float64(rnd.Intn(4))
+			}
+		}
+	}
+	rows := rnd.Intn(9)
+	for i := 0; i < rows; i++ {
+		var idx []int
+		var coef []float64
+		for j := 0; j < n; j++ {
+			if rnd.Intn(2) == 0 {
+				idx = append(idx, j)
+				coef = append(coef, float64(rnd.Intn(9)-4))
+			}
+		}
+		if len(idx) == 0 {
+			continue
+		}
+		sense := []Sense{LE, GE, EQ}[rnd.Intn(3)]
+		p.Cons = append(p.Cons, Constraint{idx, coef, sense, float64(rnd.Intn(13) - 6)})
+	}
+	return p
+}
+
+// TestRevisedMatchesDense is the solver-equivalence property test: on
+// random LPs the revised simplex must reproduce the dense tableau
+// oracle's status, and its objective bit-for-bit within tolerance.
+func TestRevisedMatchesDense(t *testing.T) {
+	rnd := rand.New(rand.NewSource(41))
+	ctx := context.Background()
+	for trial := 0; trial < 500; trial++ {
+		p := randomProblem(rnd)
+		got, err := Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: revised: %v", trial, err)
+		}
+		want, err := solveDense(ctx, p)
+		if err != nil {
+			t.Fatalf("trial %d: dense: %v", trial, err)
+		}
+		if got.Status != want.Status {
+			t.Fatalf("trial %d: status %v, dense oracle %v (%+v)", trial, got.Status, want.Status, p)
+		}
+		if got.Status != Optimal {
+			continue
+		}
+		if math.Abs(got.Obj-want.Obj) > 1e-6 {
+			t.Fatalf("trial %d: obj %v, dense oracle %v (%+v)", trial, got.Obj, want.Obj, p)
+		}
+		checkFeasible(t, p, got.X)
+	}
+}
+
+// randomBinaryMILP mirrors the generator in milp_test.go but returns
+// the MILP for reuse across option variants.
+func randomBinaryMILP(rnd *rand.Rand) *MILP {
+	n := 2 + rnd.Intn(8)
+	m := &MILP{
+		Problem: Problem{
+			NumVars:   n,
+			Objective: make([]float64, n),
+			Upper:     make([]float64, n),
+		},
+	}
+	for j := 0; j < n; j++ {
+		m.Objective[j] = float64(rnd.Intn(21) - 10)
+		m.Upper[j] = 1
+		m.Integer = append(m.Integer, j)
+	}
+	rows := 1 + rnd.Intn(5)
+	for i := 0; i < rows; i++ {
+		var idx []int
+		var coef []float64
+		for j := 0; j < n; j++ {
+			if rnd.Intn(2) == 0 {
+				idx = append(idx, j)
+				coef = append(coef, float64(rnd.Intn(9)-4))
+			}
+		}
+		if len(idx) == 0 {
+			continue
+		}
+		sense := []Sense{LE, GE, EQ}[rnd.Intn(3)]
+		m.Cons = append(m.Cons, Constraint{idx, coef, sense, float64(rnd.Intn(7) - 3)})
+	}
+	return m
+}
+
+// TestMILPWarmStartEquivalence: warm-started branch and bound must find
+// the same optimum as cold-started, and spend no more total simplex
+// iterations in aggregate — the point of reusing parent bases.
+func TestMILPWarmStartEquivalence(t *testing.T) {
+	rnd := rand.New(rand.NewSource(17))
+	var warmIters, coldIters, warmNodes, coldNodes int
+	trials := 0
+	for trial := 0; trial < 120; trial++ {
+		m := randomBinaryMILP(rnd)
+		warm, err := SolveMILP(m, MILPOptions{})
+		if err != nil {
+			t.Fatalf("trial %d: warm: %v", trial, err)
+		}
+		cold, err := SolveMILP(m, MILPOptions{DisableWarmStart: true})
+		if err != nil {
+			t.Fatalf("trial %d: cold: %v", trial, err)
+		}
+		if warm.Status != cold.Status {
+			t.Fatalf("trial %d: warm status %v, cold %v", trial, warm.Status, cold.Status)
+		}
+		if warm.Status == Optimal && math.Abs(warm.Obj-cold.Obj) > 1e-6 {
+			t.Fatalf("trial %d: warm obj %v, cold obj %v", trial, warm.Obj, cold.Obj)
+		}
+		warmIters += warm.Iters
+		coldIters += cold.Iters
+		warmNodes += warm.Nodes
+		coldNodes += cold.Nodes
+		trials++
+	}
+	t.Logf("%d trials: warm %d iters / %d nodes, cold %d iters / %d nodes",
+		trials, warmIters, warmNodes, coldIters, coldNodes)
+	if warmIters > coldIters {
+		t.Errorf("warm start spent more simplex iterations (%d) than cold start (%d)", warmIters, coldIters)
+	}
+}
+
+// TestMILPWarmStartNodeCounts pins the branch-and-bound node behaviour
+// on a knapsack whose LP relaxation is fractional: the search must
+// branch (Nodes > 1), warm starts must not change the answer, and an
+// exact primed incumbent must prune the search to fewer nodes.
+func TestMILPWarmStartNodeCounts(t *testing.T) {
+	m := &MILP{
+		Problem: Problem{
+			NumVars:   6,
+			Objective: []float64{-9, -11, -13, -15, -17, -19},
+			Cons: []Constraint{
+				{Idx: []int{0, 1, 2, 3, 4, 5}, Coef: []float64{4, 5, 6, 7, 8, 9}, Sense: LE, RHS: 16},
+			},
+			Upper: []float64{1, 1, 1, 1, 1, 1},
+		},
+		Integer: []int{0, 1, 2, 3, 4, 5},
+	}
+	warm, err := SolveMILP(m, MILPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Status != Optimal || !warm.HasX {
+		t.Fatalf("%+v", warm)
+	}
+	if warm.Nodes <= 1 {
+		t.Fatalf("expected a branched search, got %d nodes", warm.Nodes)
+	}
+	cold, err := SolveMILP(m, MILPOptions{DisableWarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Status != Optimal || math.Abs(cold.Obj-warm.Obj) > 1e-9 {
+		t.Fatalf("cold %+v vs warm %+v", cold, warm)
+	}
+	if warm.Iters >= cold.Iters {
+		t.Errorf("warm start did not save simplex iterations: warm %d, cold %d", warm.Iters, cold.Iters)
+	}
+	primed, err := SolveMILP(m, MILPOptions{Incumbent: warm.Obj, IncumbentSet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if primed.Status != Optimal {
+		t.Fatalf("primed %+v", primed)
+	}
+	if primed.Nodes > warm.Nodes {
+		t.Errorf("exact incumbent explored %d nodes, unprimed %d", primed.Nodes, warm.Nodes)
+	}
+}

@@ -1,0 +1,197 @@
+// Package lp is a self-contained linear and mixed-integer linear
+// programming solver. It stands in for the lp_solve package (reference
+// [15]) the paper used to solve the ILP formulation of the combined
+// scheduling, binding and wordlength selection problem.
+//
+// The LP core is a bounded-variable sparse revised simplex: column-wise
+// sparse constraint storage, a product-form (eta-file) basis inverse
+// with periodic refactorisation, and Devex-style pricing with a Bland
+// fallback for anti-cycling. Variable bounds are handled implicitly —
+// nonbasic variables sit at either bound — so the 0/1 variables of
+// internal/ilp's models cost no extra constraint rows. The
+// branch-and-bound wrapper (SolveMILP) shares one sparse matrix across
+// all nodes and warm-starts each child from its parent's basis.
+//
+// The original dense-tableau two-phase simplex is kept as an unexported
+// fallback (solveDense): it serves as the oracle for the equivalence
+// property tests and as a safety net should the revised simplex hit its
+// iteration budget on a pathological instance.
+package lp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense of a linear constraint.
+type Sense int8
+
+// Constraint senses.
+const (
+	LE Sense = iota // Σ a_j x_j ≤ b
+	GE              // Σ a_j x_j ≥ b
+	EQ              // Σ a_j x_j = b
+)
+
+// Constraint is one sparse row.
+type Constraint struct {
+	Idx   []int     // variable indices
+	Coef  []float64 // matching coefficients
+	Sense Sense
+	RHS   float64
+}
+
+// Problem is min cᵀx s.t. constraints, 0 ≤ Lower ≤ x ≤ Upper.
+// Nil Lower means all zeros; nil Upper means all +Inf.
+type Problem struct {
+	NumVars   int
+	Objective []float64 // length NumVars; minimised
+	Cons      []Constraint
+	Lower     []float64 // optional; entries must be ≥ 0
+	Upper     []float64 // optional; math.Inf(1) for unbounded
+}
+
+// Status of a solve.
+type Status int8
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	// Canceled reports that the context passed to SolveCtx was done
+	// before the solve finished. The Solution carrying it is returned
+	// together with a non-nil error that wraps both ErrCanceled and the
+	// context's ctx.Err(), so errors.Is(err, context.Canceled) (or
+	// context.DeadlineExceeded) still holds for callers that only look
+	// at the error.
+	Canceled
+)
+
+// StatusCanceled is an alias for Canceled.
+const StatusCanceled = Canceled
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case Canceled:
+		return "canceled"
+	default:
+		return fmt.Sprintf("Status(%d)", int8(s))
+	}
+}
+
+// Solution of an LP.
+type Solution struct {
+	Status Status
+	X      []float64
+	Obj    float64
+	Iters  int
+}
+
+const (
+	eps     = 1e-9
+	feasEps = 1e-7
+)
+
+// ErrNumeric is returned when the simplex exceeds its iteration budget,
+// indicating numerical cycling beyond what Bland's rule resolves.
+var ErrNumeric = errors.New("lp: iteration budget exceeded")
+
+// ErrCanceled is returned (wrapped together with the context's error)
+// when a solve is stopped by its context. The accompanying Solution has
+// Status Canceled.
+var ErrCanceled = errors.New("lp: solve canceled")
+
+// canceledResult builds the uniform ctx-canceled return: a Solution
+// with Status Canceled plus an error wrapping ErrCanceled and ctx.Err().
+func canceledResult(ctx context.Context, iters int) (*Solution, error) {
+	return &Solution{Status: Canceled, Iters: iters},
+		fmt.Errorf("%w: %w", ErrCanceled, ctx.Err())
+}
+
+// Solve runs the sparse revised simplex on p. It is SolveCtx with a
+// background context, so it never returns a Canceled solution.
+func Solve(p *Problem) (*Solution, error) {
+	return SolveCtx(context.Background(), p)
+}
+
+// SolveCtx is Solve with cancellation: the pivot loops poll ctx and,
+// once it is done, return a Solution with Status Canceled alongside an
+// error wrapping ErrCanceled and ctx.Err(). Large ILP relaxations can
+// spend many seconds inside a single simplex run, so per-node polling
+// in a surrounding branch-and-bound is not enough for prompt cancel.
+// On a pathological instance that exhausts the revised simplex's
+// iteration budget the dense tableau fallback is tried before giving up
+// with ErrNumeric.
+func SolveCtx(ctx context.Context, p *Problem) (*Solution, error) {
+	if err := validate(p); err != nil {
+		return nil, err
+	}
+	rs := newRevisedSolver(p)
+	lo, hi := structBounds(p)
+	sol, _, err := rs.solve(ctx, lo, hi, nil)
+	if err != nil && errors.Is(err, ErrNumeric) {
+		return solveDense(ctx, p)
+	}
+	return sol, err
+}
+
+// structBounds materialises the optional Lower/Upper slices.
+func structBounds(p *Problem) (lo, hi []float64) {
+	lo = make([]float64, p.NumVars)
+	hi = make([]float64, p.NumVars)
+	for j := range hi {
+		hi[j] = math.Inf(1)
+	}
+	if p.Lower != nil {
+		copy(lo, p.Lower)
+	}
+	if p.Upper != nil {
+		copy(hi, p.Upper)
+	}
+	return lo, hi
+}
+
+func validate(p *Problem) error {
+	if p.NumVars < 0 {
+		return fmt.Errorf("lp: negative variable count")
+	}
+	if len(p.Objective) != p.NumVars {
+		return fmt.Errorf("lp: objective has %d entries for %d variables", len(p.Objective), p.NumVars)
+	}
+	if p.Lower != nil && len(p.Lower) != p.NumVars {
+		return fmt.Errorf("lp: Lower has %d entries for %d variables", len(p.Lower), p.NumVars)
+	}
+	if p.Upper != nil && len(p.Upper) != p.NumVars {
+		return fmt.Errorf("lp: Upper has %d entries for %d variables", len(p.Upper), p.NumVars)
+	}
+	for ci, c := range p.Cons {
+		if len(c.Idx) != len(c.Coef) {
+			return fmt.Errorf("lp: constraint %d has %d indices, %d coefficients", ci, len(c.Idx), len(c.Coef))
+		}
+		for _, j := range c.Idx {
+			if j < 0 || j >= p.NumVars {
+				return fmt.Errorf("lp: constraint %d references variable %d", ci, j)
+			}
+		}
+	}
+	if p.Lower != nil {
+		for j, l := range p.Lower {
+			if l < 0 {
+				return fmt.Errorf("lp: variable %d has negative lower bound %g", j, l)
+			}
+			if p.Upper != nil && p.Upper[j] < l {
+				return fmt.Errorf("lp: variable %d has empty bound range [%g, %g]", j, l, p.Upper[j])
+			}
+		}
+	}
+	return nil
+}

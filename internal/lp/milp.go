@@ -2,6 +2,7 @@ package lp
 
 import (
 	"context"
+	"errors"
 	"math"
 	"time"
 )
@@ -15,11 +16,12 @@ type MILP struct {
 
 // MILPOptions controls the branch-and-bound search.
 type MILPOptions struct {
-	// Ctx, when non-nil, is polled between branch-and-bound nodes: once
-	// it is done (deadline or cancellation) the search stops and the
-	// best incumbent (if any) is returned with TimedOut set. Callers
-	// that must distinguish a caller cancellation from a deadline should
-	// inspect their context after SolveMILP returns.
+	// Ctx, when non-nil, is polled between branch-and-bound nodes and
+	// inside every simplex pivot loop: once it is done (deadline or
+	// cancellation) the search stops and the best incumbent (if any) is
+	// returned with TimedOut set. Callers that must distinguish a caller
+	// cancellation from a deadline should inspect their context after
+	// SolveMILP returns.
 	Ctx context.Context
 	// TimeLimit stops the search when exceeded; the best incumbent (if
 	// any) is returned with TimedOut set. Zero means no limit.
@@ -32,6 +34,12 @@ type MILPOptions struct {
 	// or leave zero-valued IncumbentSet to disable.
 	Incumbent    float64
 	IncumbentSet bool
+	// DisableWarmStart makes every node's LP relaxation solve from the
+	// all-slack basis instead of the parent node's optimal basis. Only
+	// useful for benchmarking and testing the warm-start machinery;
+	// results are identical either way up to degenerate alternate
+	// optima.
+	DisableWarmStart bool
 }
 
 // MILPResult reports the outcome of SolveMILP.
@@ -40,6 +48,7 @@ type MILPResult struct {
 	X        []float64
 	Obj      float64
 	Nodes    int
+	Iters    int  // total simplex iterations over all nodes
 	TimedOut bool // the limit was hit; Obj/X hold the best incumbent
 	HasX     bool // an integral solution was found
 }
@@ -47,8 +56,15 @@ type MILPResult struct {
 const intEps = 1e-6
 
 // SolveMILP minimises the MILP by LP-based depth-first branch and bound,
-// branching on the most fractional integer variable.
+// branching on the most fractional integer variable. The sparse
+// constraint matrix is built once and shared by every node — nodes
+// differ only in variable bounds — and each child node's relaxation is
+// warm-started from its parent's optimal basis, so most nodes cost a
+// handful of simplex iterations rather than a full re-solve.
 func SolveMILP(m *MILP, opt MILPOptions) (*MILPResult, error) {
+	if err := validate(&m.Problem); err != nil {
+		return nil, err
+	}
 	res := &MILPResult{Status: Infeasible, Obj: math.Inf(1)}
 	if opt.IncumbentSet {
 		res.Obj = opt.Incumbent
@@ -58,29 +74,21 @@ func SolveMILP(m *MILP, opt MILPOptions) (*MILPResult, error) {
 		deadline = time.Now().Add(opt.TimeLimit)
 	}
 
-	isInt := make([]bool, m.NumVars)
-	for _, j := range m.Integer {
-		isInt[j] = true
-	}
-
 	// Node-local bounds start from the problem bounds.
-	lower := make([]float64, m.NumVars)
-	upper := make([]float64, m.NumVars)
-	for j := 0; j < m.NumVars; j++ {
-		if m.Lower != nil {
-			lower[j] = m.Lower[j]
-		}
-		if m.Upper != nil {
-			upper[j] = m.Upper[j]
-		} else {
-			upper[j] = math.Inf(1)
-		}
-	}
+	lower, upper := structBounds(&m.Problem)
+
+	rs := newRevisedSolver(&m.Problem)
 
 	type node struct {
 		fixLo, fixHi []float64
+		warm         *basisState // parent's optimal basis, nil for the root
 	}
-	stack := []node{{append([]float64(nil), lower...), append([]float64(nil), upper...)}}
+	stack := []node{{fixLo: lower, fixHi: upper}}
+
+	nodeCtx := context.Background()
+	if opt.Ctx != nil {
+		nodeCtx = opt.Ctx
+	}
 
 	for len(stack) > 0 {
 		if opt.NodeLimit > 0 && res.Nodes >= opt.NodeLimit {
@@ -99,16 +107,21 @@ func SolveMILP(m *MILP, opt MILPOptions) (*MILPResult, error) {
 		stack = stack[:len(stack)-1]
 		res.Nodes++
 
-		sub := m.Problem
-		sub.Lower = nd.fixLo
-		sub.Upper = nd.fixHi
-		nodeCtx := context.Background()
-		if opt.Ctx != nil {
-			nodeCtx = opt.Ctx
+		warm := nd.warm
+		if opt.DisableWarmStart {
+			warm = nil
 		}
-		sol, err := SolveCtx(nodeCtx, &sub)
+		sol, basis, err := rs.solve(nodeCtx, nd.fixLo, nd.fixHi, warm)
+		if err != nil && errors.Is(err, ErrNumeric) {
+			// Pathological pivoting: retry the node on the dense oracle.
+			sub := m.Problem
+			sub.Lower = nd.fixLo
+			sub.Upper = nd.fixHi
+			sol, err = solveDense(nodeCtx, &sub)
+			basis = nil
+		}
 		if err != nil {
-			if opt.Ctx != nil && opt.Ctx.Err() != nil {
+			if errors.Is(err, ErrCanceled) || (opt.Ctx != nil && opt.Ctx.Err() != nil) {
 				// Cancelled mid-relaxation: stop with the best incumbent,
 				// exactly like the deadline path.
 				res.TimedOut = true
@@ -116,6 +129,7 @@ func SolveMILP(m *MILP, opt MILPOptions) (*MILPResult, error) {
 			}
 			return nil, err
 		}
+		res.Iters += sol.Iters
 		if sol.Status == Infeasible {
 			continue
 		}
@@ -148,13 +162,23 @@ func SolveMILP(m *MILP, opt MILPOptions) (*MILPResult, error) {
 		lo := math.Floor(sol.X[branch])
 		// Down branch: x ≤ lo; up branch: x ≥ lo+1. Push the up branch
 		// first so the down branch (usually binding in 0/1 problems) is
-		// explored first.
-		up := node{append([]float64(nil), nd.fixLo...), append([]float64(nil), nd.fixHi...)}
+		// explored first. Both children reuse the parent's optimal basis:
+		// only one bound differs, so phase 1 restores feasibility in a
+		// few pivots instead of re-solving from the slack basis.
+		up := node{
+			fixLo: append([]float64(nil), nd.fixLo...),
+			fixHi: append([]float64(nil), nd.fixHi...),
+			warm:  basis,
+		}
 		up.fixLo[branch] = lo + 1
 		if up.fixLo[branch] <= up.fixHi[branch]+eps {
 			stack = append(stack, up)
 		}
-		down := node{append([]float64(nil), nd.fixLo...), append([]float64(nil), nd.fixHi...)}
+		down := node{
+			fixLo: append([]float64(nil), nd.fixLo...),
+			fixHi: append([]float64(nil), nd.fixHi...),
+			warm:  basis,
+		}
 		down.fixHi[branch] = lo
 		if down.fixLo[branch] <= down.fixHi[branch]+eps {
 			stack = append(stack, down)
