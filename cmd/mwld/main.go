@@ -1,18 +1,24 @@
 // Command mwld serves multiple-wordlength datapath allocation over HTTP
 // using the v1 JSON wire schema: POST a Problem, receive a Solution.
 // Solves run through an mwl.Service, so concurrent requests are bounded
-// by a worker pool and repeated identical problems are served from the
-// memo. Request cancellation propagates into the solver hot loops.
+// by a worker pool, repeated identical problems are served from a
+// bounded LRU cache, and — with -store-dir — from a persistent result
+// store that survives restarts. Request cancellation propagates into
+// the solver hot loops, and shutdown cancels in-flight solves so
+// clients see 499 instead of a hung connection.
 //
 // Endpoints:
 //
-//	POST /v1/solve    Problem JSON in, Solution JSON out
-//	GET  /v1/methods  registered method names with descriptions
-//	GET  /healthz     liveness probe
+//	POST /v1/solve        Problem JSON in, Solution JSON out
+//	POST /v1/solve/batch  {"problems": [...]} in, {"results": [...]} out
+//	GET  /v1/methods      registered method names with descriptions
+//	GET  /metrics         Prometheus text: solves, errors, latency
+//	                      histograms, cache/store counters, pool gauges
+//	GET  /healthz         liveness probe
 //
 // Usage:
 //
-//	mwld -addr :8080 -workers 8
+//	mwld -addr :8080 -workers 8 -cache-entries 4096 -store-dir /var/lib/mwld
 //	curl -s localhost:8080/v1/methods
 //	tgff -n 9 | jq '{graph: ., lambda: 40, method: "dpalloc"}' \
 //	    | curl -s -d @- localhost:8080/v1/solve
@@ -24,10 +30,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	mwl "repro"
@@ -37,15 +46,61 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mwld: ")
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
-		maxBody = flag.Int64("maxbody", 16<<20, "max request body bytes")
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
+		maxBody      = flag.Int64("maxbody", 16<<20, "max request body bytes")
+		cacheEntries = flag.Int("cache-entries", mwl.DefaultCacheEntries, "in-memory solution cache entry cap (negative = unlimited)")
+		cacheBytes   = flag.Int64("cache-bytes", 256<<20, "approximate in-memory solution cache byte cap (0 = unlimited)")
+		storeDir     = flag.String("store-dir", "", "persistent result store directory (empty = no persistence)")
 	)
 	flag.Parse()
 
+	opts := mwl.ServiceOptions{
+		Workers:      *workers,
+		CacheEntries: *cacheEntries,
+		CacheBytes:   *cacheBytes,
+	}
+	if *storeDir != "" {
+		fs, err := mwl.NewFileStore(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if n, err := fs.Len(); err == nil {
+			log.Printf("result store %s: %d entries", *storeDir, n)
+		}
+		opts.Store = fs
+	}
+
+	srv := newServer(*addr, mwl.NewServiceWith(opts), *maxBody)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("serving on %s (methods: %v)", *addr, mwl.Methods())
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+}
+
+// newServer assembles the mwld HTTP server. Every request context
+// descends from a base context that RegisterOnShutdown cancels, so
+// srv.Shutdown aborts in-flight solves — they unwind through the solver
+// ctx polls and answer 499 — instead of letting the shutdown grace
+// period expire around still-running work.
+func newServer(addr string, svc *mwl.Service, maxBody int64) *http.Server {
+	baseCtx, cancelBase := context.WithCancel(context.Background())
 	srv := &http.Server{
-		Addr:    *addr,
-		Handler: newHandler(mwl.NewService(*workers), *maxBody),
+		Addr:        addr,
+		Handler:     newHandler(svc, maxBody),
+		BaseContext: func(net.Listener) context.Context { return baseCtx },
 		// Bound how long a client may dribble headers/body so stalled
 		// connections cannot pile up; solves themselves are not write-
 		// capped, since a legitimate ILP run can hold the handler for
@@ -54,20 +109,8 @@ func main() {
 		ReadTimeout:       time.Minute,
 		IdleTimeout:       2 * time.Minute,
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-	go func() {
-		<-ctx.Done()
-		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		srv.Shutdown(sctx)
-	}()
-
-	log.Printf("serving on %s (methods: %v)", *addr, mwl.Methods())
-	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
-	}
+	srv.RegisterOnShutdown(cancelBase)
+	return srv
 }
 
 // newHandler builds the mwld route table around a solve service.
@@ -92,9 +135,8 @@ func newHandler(svc *mwl.Service, maxBody int64) http.Handler {
 	})
 	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
 		var p mwl.Problem
-		body := http.MaxBytesReader(w, r.Body, maxBody)
-		if err := json.NewDecoder(body).Decode(&p); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding problem: %w", err))
+		if err := decodeBody(w, r, maxBody, &p); err != nil {
+			writeError(w, http.StatusBadRequest, err)
 			return
 		}
 		sol, err := svc.Solve(r.Context(), p)
@@ -104,7 +146,117 @@ func newHandler(svc *mwl.Service, maxBody int64) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, sol)
 	})
+	mux.HandleFunc("POST /v1/solve/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req mwl.BatchRequest
+		if err := decodeBody(w, r, maxBody, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if len(req.Problems) == 0 {
+			writeError(w, http.StatusBadRequest, errors.New(`batch request needs a non-empty "problems" array`))
+			return
+		}
+		results := svc.SolveBatch(r.Context(), req.Problems)
+		// Per-problem failures ride inside the 200 response; only a
+		// canceled request fails the batch as a whole.
+		if err := r.Context().Err(); err != nil {
+			writeError(w, solveStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, mwl.WireBatch(results))
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeMetrics(w, svc.Metrics())
+	})
 	return mux
+}
+
+// decodeBody decodes one JSON request body with the size cap applied,
+// rejecting trailing garbage after the document.
+func decodeBody(w http.ResponseWriter, r *http.Request, maxBody int64, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	if dec.More() {
+		return errors.New("decoding request: trailing data after JSON document")
+	}
+	return nil
+}
+
+// writeMetrics renders a Service metrics snapshot in the Prometheus
+// text exposition format (expfmt), with no dependency on a client
+// library: counters, per-method latency histograms, cache/store
+// counters and worker-pool gauges.
+func writeMetrics(w io.Writer, m mwl.Metrics) {
+	bounds := mwl.LatencyBucketBounds()
+
+	fmt.Fprintln(w, "# HELP mwld_solves_total Solver runs by method (cache hits excluded).")
+	fmt.Fprintln(w, "# TYPE mwld_solves_total counter")
+	for _, mm := range m.Methods {
+		fmt.Fprintf(w, "mwld_solves_total{method=%q} %d\n", mm.Method, mm.Solves)
+	}
+	fmt.Fprintln(w, "# HELP mwld_solve_errors_total Failed solver runs by method, cancellations included.")
+	fmt.Fprintln(w, "# TYPE mwld_solve_errors_total counter")
+	for _, mm := range m.Methods {
+		fmt.Fprintf(w, "mwld_solve_errors_total{method=%q} %d\n", mm.Method, mm.Errors)
+	}
+	fmt.Fprintln(w, "# HELP mwld_solve_duration_seconds Solve wall-clock latency by method.")
+	fmt.Fprintln(w, "# TYPE mwld_solve_duration_seconds histogram")
+	for _, mm := range m.Methods {
+		for i, le := range bounds {
+			fmt.Fprintf(w, "mwld_solve_duration_seconds_bucket{method=%q,le=%q} %d\n",
+				mm.Method, promFloat(le.Seconds()), mm.Buckets[i])
+		}
+		fmt.Fprintf(w, "mwld_solve_duration_seconds_bucket{method=%q,le=\"+Inf\"} %d\n",
+			mm.Method, mm.Buckets[len(mm.Buckets)-1])
+		fmt.Fprintf(w, "mwld_solve_duration_seconds_sum{method=%q} %s\n",
+			mm.Method, promFloat(mm.LatencySum.Seconds()))
+		fmt.Fprintf(w, "mwld_solve_duration_seconds_count{method=%q} %d\n",
+			mm.Method, mm.Buckets[len(mm.Buckets)-1])
+	}
+
+	c := m.Cache
+	counters := []struct {
+		name, help string
+		v          uint64
+	}{
+		{"mwld_cache_hits_total", "Solves served from the in-memory cache or by joining an in-flight duplicate.", c.Hits},
+		{"mwld_cache_misses_total", "Solves that appointed a leader (ran the solver or hit the store).", c.Misses},
+		{"mwld_cache_evictions_total", "LRU entries dropped to enforce the entry/byte caps.", c.Evictions},
+		{"mwld_store_hits_total", "Persistent-store hits on cache misses.", c.StoreHits},
+		{"mwld_store_misses_total", "Persistent-store misses on cache misses.", c.StoreMisses},
+		{"mwld_store_put_errors_total", "Failed persistent-store write-throughs (best-effort).", c.StorePutErrors},
+	}
+	for _, ct := range counters {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", ct.name, ct.help, ct.name, ct.name, ct.v)
+	}
+	gauges := []struct {
+		name, help string
+		v          int64
+	}{
+		{"mwld_cache_entries", "Solutions held in the in-memory LRU.", int64(c.Entries)},
+		{"mwld_cache_bytes", "Approximate in-memory LRU footprint in bytes.", c.Bytes},
+		{"mwld_inflight_solves", "Solves currently running or joinable by duplicates.", int64(c.InFlight)},
+		{"mwld_workers", "Worker-pool size.", int64(m.Workers)},
+		{"mwld_workers_busy", "Worker-pool slots occupied right now.", int64(m.WorkersBusy)},
+	}
+	for _, g := range gauges {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.v)
+	}
+}
+
+// promFloat renders a float the way Prometheus text format expects:
+// plain decimal, no exponent for the magnitudes we emit.
+func promFloat(f float64) string {
+	s := fmt.Sprintf("%g", f)
+	// %g may pick exponent form for 1e-05 etc.; none of our bucket
+	// bounds need it, but normalise defensively.
+	if strings.ContainsAny(s, "eE") {
+		s = fmt.Sprintf("%f", f)
+	}
+	return s
 }
 
 // solveStatus maps solve errors onto HTTP statuses: unknown methods and
@@ -132,7 +284,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		// The status line is already on the wire; all we can do is make
+		// the failure visible instead of silently truncating the body.
+		log.Printf("writing %d response: %v", status, err)
+	}
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {

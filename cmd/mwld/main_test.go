@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -258,5 +259,229 @@ func TestBogusIncumbentRejected(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Fatalf("%s with bogus incumbent: status %d (%s)", method, resp.StatusCode, body)
 		}
+	}
+}
+
+// TestBatchEndpoint: a mixed batch comes back 200 with per-problem
+// outcomes in input order — solutions for solvable problems, error
+// strings (with the infeasible marker) for the rest.
+func TestBatchEndpoint(t *testing.T) {
+	srv := testServer(t)
+	g := mwl.Fig1Graph()
+	lib := mwl.DefaultLibrary()
+	lmin, err := mwl.MinLambda(g, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := mwl.BatchRequest{Problems: []mwl.Problem{
+		{Graph: g, Lambda: lmin + 2},
+		{Method: "twostage", Graph: g, Lambda: lmin + 2},
+		{Method: "no-such-method", Graph: g, Lambda: lmin},
+		{Graph: g, Lambda: lmin - 1}, // infeasible
+		{Graph: g, Lambda: lmin + 2}, // duplicate of [0]: shares its solve
+	}}
+	blob, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/solve/batch", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out mwl.BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != len(req.Problems) {
+		t.Fatalf("%d results for %d problems", len(out.Results), len(req.Problems))
+	}
+	for i, wantOK := range []bool{true, true, false, false, true} {
+		r := out.Results[i]
+		if (r.Solution != nil) != wantOK {
+			t.Fatalf("result %d: solution=%v error=%q", i, r.Solution != nil, r.Error)
+		}
+		if wantOK && r.Error != "" {
+			t.Fatalf("result %d: both solution and error set", i)
+		}
+	}
+	if !strings.Contains(out.Results[2].Error, "unknown method") || out.Results[2].Infeasible {
+		t.Fatalf("result 2: %+v", out.Results[2])
+	}
+	if !out.Results[3].Infeasible {
+		t.Fatalf("result 3 not marked infeasible: %+v", out.Results[3])
+	}
+	if err := out.Results[0].Solution.Datapath.Verify(g, lib, lmin+2); err != nil {
+		t.Fatalf("batch datapath illegal: %v", err)
+	}
+	// The duplicate rides the leader's solve or the cache; either way it
+	// carries the same answer.
+	if out.Results[4].Solution.Area != out.Results[0].Solution.Area {
+		t.Fatal("duplicate problem answered differently")
+	}
+
+	// Malformed and empty batches are the client's fault.
+	for _, bad := range []string{`{"problems": []}`, `{nope`, `{}`} {
+		resp, err := http.Post(srv.URL+"/v1/solve/batch", "application/json", strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("batch %q: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+// TestMetricsEndpoint: after a solve, a cache hit and a failure, the
+// Prometheus text output carries the per-method counters, histogram
+// series, cache/store counters and pool gauges.
+func TestMetricsEndpoint(t *testing.T) {
+	srv := testServer(t)
+	g := mwl.Fig1Graph()
+	lmin, err := mwl.MinLambda(g, mwl.DefaultLibrary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := json.Marshal(mwl.Problem{Graph: g, Lambda: lmin + 2})
+	postSolve(t, srv, blob) // solver run
+	postSolve(t, srv, blob) // cache hit
+	bad, _ := json.Marshal(mwl.Problem{Graph: g, Lambda: lmin - 1})
+	postSolve(t, srv, bad) // infeasible: an error run
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	body := buf.String()
+	for _, want := range []string{
+		`mwld_solves_total{method="dpalloc"} 2`,
+		`mwld_solve_errors_total{method="dpalloc"} 1`,
+		`mwld_solve_duration_seconds_bucket{method="dpalloc",le="+Inf"} 2`,
+		`mwld_solve_duration_seconds_count{method="dpalloc"} 2`,
+		"mwld_cache_hits_total 1",
+		"mwld_cache_misses_total 2",
+		"mwld_cache_evictions_total 0",
+		"mwld_cache_entries 1",
+		"mwld_store_hits_total 0",
+		"mwld_workers 2",
+		"# TYPE mwld_solve_duration_seconds histogram",
+		"# TYPE mwld_cache_entries gauge",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestStoreDirWarmRestart: two servers sharing a -store-dir behave like
+// a restart — the second serves the first's solution with cached=true.
+func TestStoreDirWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	g := mwl.Fig1Graph()
+	lmin, err := mwl.MinLambda(g, mwl.DefaultLibrary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := json.Marshal(mwl.Problem{Graph: g, Lambda: lmin + 1})
+
+	solve := func() mwl.Solution {
+		t.Helper()
+		fs, err := mwl.NewFileStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(newHandler(mwl.NewServiceWith(mwl.ServiceOptions{Workers: 2, Store: fs}), 1<<20))
+		defer srv.Close()
+		resp, body := postSolve(t, srv, blob)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		var sol mwl.Solution
+		if err := json.Unmarshal(body, &sol); err != nil {
+			t.Fatal(err)
+		}
+		return sol
+	}
+	cold := solve()
+	if cold.Cached {
+		t.Fatal("cold solve reported cached")
+	}
+	warm := solve()
+	if !warm.Cached {
+		t.Fatal("restarted server did not serve from the store")
+	}
+	if warm.Area != cold.Area {
+		t.Fatal("warm answer differs from cold")
+	}
+}
+
+// TestShutdownCancelsInFlightSolves exercises the SIGINT bugfix: with
+// request contexts tied to the server's base context, Shutdown aborts a
+// running solve (client sees 499) and returns within the grace period
+// instead of abandoning the solve.
+func TestShutdownCancelsInFlightSolves(t *testing.T) {
+	srv := newServer("127.0.0.1:0", mwl.NewService(2), 1<<20)
+	ln, err := net.Listen("tcp", srv.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+
+	g, err := mwl.GenerateRandom(mwl.RandomConfig{N: 14, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmin, err := mwl.MinLambda(g, mwl.DefaultLibrary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := json.Marshal(mwl.Problem{Method: "ilp", Graph: g, Lambda: lmin + lmin/2})
+
+	type result struct {
+		status int
+		err    error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/solve", "application/json", bytes.NewReader(blob))
+		if err != nil {
+			done <- result{0, err}
+			return
+		}
+		defer resp.Body.Close()
+		done <- result{resp.StatusCode, nil}
+	}()
+	time.Sleep(200 * time.Millisecond) // let the ILP start
+
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatalf("Shutdown: %v (after %v) — in-flight solve not canceled", err, time.Since(start))
+	}
+	select {
+	case r := <-done:
+		if r.err != nil {
+			t.Fatalf("client error: %v", r.err)
+		}
+		if r.status != 499 {
+			t.Fatalf("in-flight solve answered %d, want 499", r.status)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("client still blocked after Shutdown returned")
 	}
 }

@@ -14,6 +14,7 @@
 package descend
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/datapath"
@@ -24,17 +25,27 @@ import (
 
 // Allocate runs the descending-wordlength baseline.
 func Allocate(d *dfg.Graph, lib *model.Library, lambda int) (*datapath.Datapath, error) {
+	return AllocateCtx(context.Background(), d, lib, lambda)
+}
+
+// AllocateCtx is Allocate with cancellation: the schedule configuration
+// search and the constructive binding loop poll ctx and return
+// ctx.Err() promptly once it is done.
+func AllocateCtx(ctx context.Context, d *dfg.Graph, lib *model.Library, lambda int) (*datapath.Datapath, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
 	if d.N() == 0 {
 		return &datapath.Datapath{}, nil
 	}
-	start, err := twostage.WordlengthBlindSchedule(d, lib, lambda)
+	start, err := twostage.WordlengthBlindScheduleCtx(ctx, d, lib, lambda)
 	if err != nil {
 		return nil, err
 	}
-	dp := twostage.GreedyPartition(d, lib, start)
+	dp, err := twostage.GreedyPartitionCtx(ctx, d, lib, start)
+	if err != nil {
+		return nil, err
+	}
 	if err := dp.Verify(d, lib, lambda); err != nil {
 		return nil, fmt.Errorf("descend: internal error, illegal datapath: %w", err)
 	}

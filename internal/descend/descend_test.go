@@ -1,6 +1,8 @@
 package descend
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"repro/internal/dfg"
@@ -78,5 +80,54 @@ func TestCyclicRejected(t *testing.T) {
 	d.AddDep(b, a)
 	if _, err := Allocate(d, model.Default(), 10); err == nil {
 		t.Fatal("cyclic graph accepted")
+	}
+}
+
+// countdownCtx cancels deterministically at the Nth poll, so the test
+// trips the cancellation check inside the binding loop, not before it.
+type countdownCtx struct {
+	context.Context
+	left int
+}
+
+func (c *countdownCtx) Err() error {
+	if c.left > 0 {
+		c.left--
+		return nil
+	}
+	return context.Canceled
+}
+
+func TestAllocateCtxCanceledInBindingLoop(t *testing.T) {
+	g, err := tgff.Generate(tgff.Config{N: 20, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := model.Default()
+	lmin, err := g.MinMakespan(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the stage-1 schedule poll pass; trip at the greedy binding
+	// loop's first poll.
+	ctx := &countdownCtx{Context: context.Background(), left: 1}
+	dp, err := AllocateCtx(ctx, g, lib, lmin+lmin/3)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if dp != nil {
+		t.Fatal("canceled solve returned a datapath")
+	}
+}
+
+func TestAllocateCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g, err := tgff.Generate(tgff.Config{N: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AllocateCtx(ctx, g, model.Default(), 50); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -1,0 +1,161 @@
+// Package store implements a file-backed blob store keyed by content
+// hash: one file per key, written atomically (temp file + rename into
+// place) so a crash or concurrent reader never observes a torn entry.
+// Loads are tolerant — a missing file is a plain miss, and callers are
+// expected to treat undecodable content as a miss too, so a corrupted
+// store degrades to recomputation rather than an outage.
+//
+// The store is the persistence layer under mwl.Service's in-memory
+// cache: entries are written once per solved problem hash and read back
+// across process restarts.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// ErrBadKey is returned for keys that are unsafe as file names. Keys
+// are expected to be content hashes (hex), and are restricted to ASCII
+// letters, digits, '-' and '_' so a key can never escape the store
+// directory or collide with the store's own temp files.
+var ErrBadKey = errors.New("store: invalid key")
+
+// ext is appended to every entry file; it keeps entries distinguishable
+// from temp files and foreign droppings in the same directory.
+const ext = ".json"
+
+// Dir is a blob store rooted at one directory. It is safe for
+// concurrent use by multiple goroutines; concurrent processes are safe
+// against torn reads (rename is atomic) but last-writer-wins on the
+// same key, which is harmless for content-addressed entries.
+type Dir struct {
+	dir string
+
+	// wmu serialises writers so two Puts of the same key cannot race
+	// their renames in surprising orders within this process.
+	wmu sync.Mutex
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string) (*Dir, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	return &Dir{dir: dir}, nil
+}
+
+// Path reports the directory the store is rooted at.
+func (d *Dir) Path() string { return d.dir }
+
+func validKey(key string) bool {
+	if key == "" || len(key) > 256 {
+		return false
+	}
+	for _, c := range key {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (d *Dir) file(key string) string { return filepath.Join(d.dir, key+ext) }
+
+// Get reads the blob stored under key. A missing entry is (nil, false,
+// nil); an unreadable one reports ok=false with the read error so the
+// caller can count it while still treating it as a miss.
+func (d *Dir) Get(key string) ([]byte, bool, error) {
+	if !validKey(key) {
+		return nil, false, fmt.Errorf("%w: %q", ErrBadKey, key)
+	}
+	blob, err := os.ReadFile(d.file(key))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("store: read %s: %w", key, err)
+	}
+	return blob, true, nil
+}
+
+// Put writes the blob under key atomically: the content lands in a temp
+// file in the same directory, is flushed, and is renamed into place, so
+// readers see either the old entry or the whole new one — never a torn
+// write, even across a crash.
+func (d *Dir) Put(key string, blob []byte) error {
+	if !validKey(key) {
+		return fmt.Errorf("%w: %q", ErrBadKey, key)
+	}
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	tmp, err := os.CreateTemp(d.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: write %s: %w", key, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: write %s: %w", key, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: sync %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: close %s: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), d.file(key)); err != nil {
+		return fmt.Errorf("store: rename %s: %w", key, err)
+	}
+	return nil
+}
+
+// Delete removes the entry under key; deleting a missing entry is not
+// an error.
+func (d *Dir) Delete(key string) error {
+	if !validKey(key) {
+		return fmt.Errorf("%w: %q", ErrBadKey, key)
+	}
+	if err := os.Remove(d.file(key)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("store: delete %s: %w", key, err)
+	}
+	return nil
+}
+
+// Keys lists the stored keys in directory order. Temp files and foreign
+// files are skipped.
+func (d *Dir) Keys() ([]string, error) {
+	ents, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: list %s: %w", d.dir, err)
+	}
+	var keys []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ext) {
+			continue
+		}
+		key := strings.TrimSuffix(name, ext)
+		if validKey(key) {
+			keys = append(keys, key)
+		}
+	}
+	return keys, nil
+}
+
+// Len counts the stored entries.
+func (d *Dir) Len() (int, error) {
+	keys, err := d.Keys()
+	if err != nil {
+		return 0, err
+	}
+	return len(keys), nil
+}

@@ -1,0 +1,171 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("abc123", []byte(`{"x":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	blob, ok, err := d.Get("abc123")
+	if err != nil || !ok {
+		t.Fatalf("Get: ok=%v err=%v", ok, err)
+	}
+	if string(blob) != `{"x":1}` {
+		t.Fatalf("blob %q", blob)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, ok, err := d.Get("nothere")
+	if blob != nil || ok || err != nil {
+		t.Fatalf("missing key: %q %v %v", blob, ok, err)
+	}
+}
+
+func TestPutOverwritesAtomically(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("k", []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("k", []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	blob, ok, _ := d.Get("k")
+	if !ok || string(blob) != "new" {
+		t.Fatalf("after overwrite: %q %v", blob, ok)
+	}
+	// No temp droppings left behind.
+	ents, err := os.ReadDir(d.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("dir holds %d files, want 1", len(ents))
+	}
+}
+
+func TestBadKeysRejected(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "../escape", "a/b", "a.b", "k\x00", "dot.", " "} {
+		if err := d.Put(key, []byte("x")); !errors.Is(err, ErrBadKey) {
+			t.Fatalf("Put(%q) err = %v, want ErrBadKey", key, err)
+		}
+		if _, _, err := d.Get(key); !errors.Is(err, ErrBadKey) {
+			t.Fatalf("Get(%q) err = %v, want ErrBadKey", key, err)
+		}
+		if err := d.Delete(key); !errors.Is(err, ErrBadKey) {
+			t.Fatalf("Delete(%q) err = %v, want ErrBadKey", key, err)
+		}
+	}
+}
+
+func TestKeysSkipsForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"b", "a", "c"} {
+		if err := d.Put(k, []byte("{}")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Foreign droppings that must not surface as keys.
+	for _, name := range []string{".tmp-123", "README.txt", "noext"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, err := d.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "c"} // ReadDir sorts by name
+	if !reflect.DeepEqual(keys, want) {
+		t.Fatalf("keys %v, want %v", keys, want)
+	}
+	if n, err := d.Len(); err != nil || n != 3 {
+		t.Fatalf("Len = %d, %v", n, err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("k", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := d.Get("k"); ok {
+		t.Fatal("entry survived Delete")
+	}
+	if err := d.Delete("k"); err != nil {
+		t.Fatalf("deleting a missing entry: %v", err)
+	}
+}
+
+func TestReopenSeesEntries(t *testing.T) {
+	dir := t.TempDir()
+	d1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.Put("persist", []byte("42")); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, ok, err := d2.Get("persist")
+	if err != nil || !ok || string(blob) != "42" {
+		t.Fatalf("reopen: %q %v %v", blob, ok, err)
+	}
+}
+
+func TestConcurrentPutsSameKey(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := d.Put("k", []byte(`{"v":"same"}`)); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	blob, ok, err := d.Get("k")
+	if err != nil || !ok || string(blob) != `{"v":"same"}` {
+		t.Fatalf("after concurrent puts: %q %v %v", blob, ok, err)
+	}
+}

@@ -19,6 +19,7 @@
 package twostage
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -50,6 +51,13 @@ const nodeCap = 1 << 19
 // λ-insensitive beyond schedule serialisation: stage 2 can never trade
 // latency slack for sharing across wordlength-latency bands.
 func Allocate(d *dfg.Graph, lib *model.Library, lambda int) (*datapath.Datapath, Stats, error) {
+	return AllocateCtx(context.Background(), d, lib, lambda)
+}
+
+// AllocateCtx is Allocate with cancellation: the stage-1 configuration
+// search and the stage-2 branch-and-bound poll ctx and return ctx.Err()
+// promptly once it is done, discarding any incumbent found so far.
+func AllocateCtx(ctx context.Context, d *dfg.Graph, lib *model.Library, lambda int) (*datapath.Datapath, Stats, error) {
 	var stats Stats
 	if err := d.Validate(); err != nil {
 		return nil, stats, err
@@ -58,11 +66,14 @@ func Allocate(d *dfg.Graph, lib *model.Library, lambda int) (*datapath.Datapath,
 		return &datapath.Datapath{}, stats, nil
 	}
 
-	start, err := stage1(d, lib, lambda, &stats)
+	start, err := stage1(ctx, d, lib, lambda, &stats)
 	if err != nil {
 		return nil, stats, err
 	}
-	dp := stage2(d, lib, start, &stats)
+	dp, err := stage2(ctx, d, lib, start, &stats)
+	if err != nil {
+		return nil, stats, err
+	}
 	if err := dp.Verify(d, lib, lambda); err != nil {
 		return nil, stats, fmt.Errorf("twostage: internal error, illegal datapath: %w", err)
 	}
@@ -73,22 +84,38 @@ func Allocate(d *dfg.Graph, lib *model.Library, lambda int) (*datapath.Datapath,
 // native latencies with minimal per-class resource counts meeting λ) for
 // reuse by other two-stage baselines.
 func WordlengthBlindSchedule(d *dfg.Graph, lib *model.Library, lambda int) ([]int, error) {
+	return WordlengthBlindScheduleCtx(context.Background(), d, lib, lambda)
+}
+
+// WordlengthBlindScheduleCtx is WordlengthBlindSchedule with
+// cancellation between configuration attempts.
+func WordlengthBlindScheduleCtx(ctx context.Context, d *dfg.Graph, lib *model.Library, lambda int) ([]int, error) {
 	var stats Stats
-	return stage1(d, lib, lambda, &stats)
+	return stage1(ctx, d, lib, lambda, &stats)
 }
 
 // GreedyPartition exposes the descending-area first-fit partition over a
 // fixed schedule (the constructive colouring this baseline family starts
 // from) as a complete datapath.
 func GreedyPartition(d *dfg.Graph, lib *model.Library, start []int) *datapath.Datapath {
+	dp, _ := GreedyPartitionCtx(context.Background(), d, lib, start)
+	return dp
+}
+
+// GreedyPartitionCtx is GreedyPartition with cancellation polled in the
+// binding loop.
+func GreedyPartitionCtx(ctx context.Context, d *dfg.Graph, lib *model.Library, start []int) (*datapath.Datapath, error) {
 	lat := d.MinLatencies(lib)
-	_, assign := greedyIncumbent(d, lib, start, lat)
-	return materialize(d, start, assign)
+	_, assign, err := greedyIncumbent(ctx, d, lib, start, lat)
+	if err != nil {
+		return nil, err
+	}
+	return materialize(d, start, assign), nil
 }
 
 // ---- Stage 1: wordlength-blind list scheduling ----
 
-func stage1(d *dfg.Graph, lib *model.Library, lambda int, stats *Stats) ([]int, error) {
+func stage1(ctx context.Context, d *dfg.Graph, lib *model.Library, lambda int, stats *Stats) ([]int, error) {
 	lat := d.MinLatencies(lib)
 	count := make(map[model.OpType]int)
 	busy := make(map[model.OpType]int)
@@ -113,6 +140,9 @@ func stage1(d *dfg.Graph, lib *model.Library, lambda int, stats *Stats) ([]int, 
 	}
 
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		stats.Configs++
 		start, makespan, err := listSchedule(d, lat, limits)
 		if err != nil {
@@ -252,7 +282,7 @@ type cliqueState struct {
 
 type iv struct{ s, e int }
 
-func stage2(d *dfg.Graph, lib *model.Library, start []int, stats *Stats) *datapath.Datapath {
+func stage2(ctx context.Context, d *dfg.Graph, lib *model.Library, start []int, stats *Stats) (*datapath.Datapath, error) {
 	n := d.N()
 	lat := d.MinLatencies(lib)
 	ops := make([]dfg.OpID, n)
@@ -267,14 +297,20 @@ func stage2(d *dfg.Graph, lib *model.Library, start []int, stats *Stats) *datapa
 		return ops[i] < ops[j]
 	})
 
-	s := &searcher{d: d, lib: lib, start: start, lat: lat, ops: ops, stats: stats}
+	s := &searcher{ctx: ctx, d: d, lib: lib, start: start, lat: lat, ops: ops, stats: stats}
 	// Greedy incumbent: descending area first-fit (also the seed for the
 	// B&B upper bound).
-	s.best, s.bestAssign = greedyIncumbent(d, lib, start, lat)
+	var err error
+	s.best, s.bestAssign, err = greedyIncumbent(ctx, d, lib, start, lat)
+	if err != nil {
+		return nil, err
+	}
 	s.assign = make([]int, n)
 	s.dfs(0, 0, nil)
-
-	return materialize(d, start, s.bestAssign)
+	if s.err != nil {
+		return nil, s.err
+	}
+	return materialize(d, start, s.bestAssign), nil
 }
 
 // materialize builds the datapath for a clique assignment (op → clique
@@ -313,6 +349,7 @@ func materialize(d *dfg.Graph, start []int, assign []int) *datapath.Datapath {
 }
 
 type searcher struct {
+	ctx   context.Context
 	d     *dfg.Graph
 	lib   *model.Library
 	start []int
@@ -323,15 +360,30 @@ type searcher struct {
 	assign     []int // clique id per op during DFS
 	best       int64
 	bestAssign []int
+	err        error // ctx.Err() once cancellation is observed
 }
+
+// ctxPollMask throttles cancellation checks in the binding loop to one
+// per 1024 nodes: frequent enough that a canceled search unwinds within
+// microseconds, cheap enough not to show on the node rate.
+const ctxPollMask = 1<<10 - 1
 
 // dfs assigns ops[idx:] to cliques. cost is the area of the partial
 // partition; cliques holds the open partial cliques.
 func (s *searcher) dfs(idx int, cost int64, cliques []*cliqueState) {
+	if s.err != nil {
+		return
+	}
 	if cost >= s.best {
 		return
 	}
 	s.stats.Nodes++
+	if s.stats.Nodes&ctxPollMask == 0 {
+		if err := s.ctx.Err(); err != nil {
+			s.err = err
+			return
+		}
+	}
 	if s.stats.Nodes > nodeCap {
 		s.stats.Capped = true
 		return
@@ -423,8 +475,10 @@ func removeIv(ivs []iv, x iv) []iv {
 }
 
 // greedyIncumbent builds a quick feasible partition: operations in
-// descending area order, first fit into a compatible clique.
-func greedyIncumbent(d *dfg.Graph, lib *model.Library, start []int, lat dfg.Latencies) (int64, []int) {
+// descending area order, first fit into a compatible clique. The
+// binding loop polls ctx so even the constructive pass can be canceled
+// on very large graphs.
+func greedyIncumbent(ctx context.Context, d *dfg.Graph, lib *model.Library, start []int, lat dfg.Latencies) (int64, []int, error) {
 	n := d.N()
 	ops := make([]dfg.OpID, n)
 	for i := range ops {
@@ -441,7 +495,12 @@ func greedyIncumbent(d *dfg.Graph, lib *model.Library, start []int, lat dfg.Late
 	assign := make([]int, n)
 	var cliques []*cliqueState
 	var total int64
-	for _, o := range ops {
+	for i, o := range ops {
+		if i&255 == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, nil, err
+			}
+		}
 		spec := d.Op(o).Spec
 		class := spec.Type.HardwareClass()
 		l := lat(o)
@@ -474,5 +533,5 @@ func greedyIncumbent(d *dfg.Graph, lib *model.Library, start []int, lat dfg.Late
 		assign[o] = len(cliques) - 1
 		total += lib.Area(k)
 	}
-	return total, assign
+	return total, assign, nil
 }

@@ -1,6 +1,7 @@
 package twostage
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -120,7 +121,10 @@ func TestOptimalBeatsGreedyOrMatches(t *testing.T) {
 		}
 		lat := g.MinLatencies(lib)
 		start := dp.Start
-		greedyArea, _ := greedyIncumbent(g, lib, start, lat)
+		greedyArea, _, err := greedyIncumbent(context.Background(), g, lib, start, lat)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if dp.Area(lib) > greedyArea {
 			t.Fatalf("seed %d: B&B area %d worse than greedy %d", seed, dp.Area(lib), greedyArea)
 		}
@@ -170,5 +174,56 @@ func TestStage1RespectsDependenciesUnderPressure(t *testing.T) {
 		if err := dp.Verify(g, lib, lmin); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
+	}
+}
+
+// countdownCtx is a context whose Err() starts returning Canceled after
+// a fixed number of polls — a deterministic way to cancel "mid-solve"
+// at exactly the Nth cancellation check, with no timing races.
+type countdownCtx struct {
+	context.Context
+	left int
+}
+
+func (c *countdownCtx) Err() error {
+	if c.left > 0 {
+		c.left--
+		return nil
+	}
+	return context.Canceled
+}
+
+func TestAllocateCtxCanceledInStage2(t *testing.T) {
+	// A graph big enough that stage 2 visits many nodes; the countdown
+	// lets the first few polls (stage-1 loop, greedy incumbent) pass and
+	// trips inside the branch-and-bound binding loop.
+	g, err := tgff.Generate(tgff.Config{N: 24, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := model.Default()
+	lmin, err := g.MinMakespan(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &countdownCtx{Context: context.Background(), left: 4}
+	dp, _, err := AllocateCtx(ctx, g, lib, lmin+lmin/3)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if dp != nil {
+		t.Fatal("canceled solve returned a datapath")
+	}
+}
+
+func TestAllocateCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g, err := tgff.Generate(tgff.Config{N: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := AllocateCtx(ctx, g, model.Default(), 50); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

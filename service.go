@@ -4,24 +4,54 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"sort"
 	"sync"
+	"time"
 )
+
+// DefaultCacheEntries is the LRU entry cap applied when ServiceOptions
+// leaves CacheEntries zero. It keeps a Service bounded by default: the
+// pre-LRU behaviour of growing without limit is available explicitly
+// with CacheEntries < 0.
+const DefaultCacheEntries = 4096
+
+// ServiceOptions configures a Service.
+type ServiceOptions struct {
+	// Workers bounds concurrent solves; <= 0 means GOMAXPROCS.
+	Workers int
+	// CacheEntries caps the in-memory LRU entry count. Zero applies
+	// DefaultCacheEntries; negative disables the cap.
+	CacheEntries int
+	// CacheBytes caps the LRU's approximate memory footprint (JSON-
+	// encoded solution size). <= 0 disables the byte cap.
+	CacheBytes int64
+	// Store, when non-nil, persists solved problems and is consulted on
+	// cache misses, so a restarted process re-serves previous answers
+	// (Solution.Cached set) instead of recomputing them.
+	Store Store
+}
 
 // Service is a concurrent solve front end: it bounds the number of
 // solves running at once with a worker pool, deduplicates identical
-// problems that are in flight simultaneously, and memoizes successful
-// solutions keyed by the canonical problem hash, so a repeated identical
-// Problem is served from memory. A Service is safe for concurrent use;
-// the zero value is not usable — construct one with NewService.
+// problems that are in flight simultaneously, and caches successful
+// solutions keyed by the canonical problem hash in a bounded LRU,
+// optionally layered over a persistent Store. A Service is safe for
+// concurrent use; the zero value is not usable — construct one with
+// NewService or NewServiceWith.
 type Service struct {
-	sem chan struct{} // worker-pool slots
+	sem   chan struct{} // worker-pool slots
+	store Store         // optional persistence under the LRU
 
-	mu   sync.Mutex
-	memo map[string]*memoEntry
+	mu       sync.Mutex
+	cache    *lruCache             // completed solutions, bounded
+	inflight map[string]*memoEntry // running solves, never evicted
+
+	stats   CacheStats // counter fields only; gauges derived on demand
+	methods map[string]*methodMetrics
 }
 
-// memoEntry is one memoized (or in-flight) solve. done is closed when
-// sol/err are valid; failed entries are evicted so later calls retry.
+// memoEntry is one in-flight solve. done is closed when sol/err are
+// valid; waiters with identical problems block on it instead of solving.
 type memoEntry struct {
 	done chan struct{}
 	sol  Solution
@@ -29,22 +59,44 @@ type memoEntry struct {
 }
 
 // NewService returns a Service running at most workers solves
-// concurrently; workers <= 0 means GOMAXPROCS.
+// concurrently with default cache bounds and no persistent store;
+// workers <= 0 means GOMAXPROCS.
 func NewService(workers int) *Service {
+	return NewServiceWith(ServiceOptions{Workers: workers})
+}
+
+// NewServiceWith returns a Service configured by opts.
+func NewServiceWith(opts ServiceOptions) *Service {
+	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	entries := opts.CacheEntries
+	if entries == 0 {
+		entries = DefaultCacheEntries
+	}
+	if entries < 0 {
+		entries = 0 // unlimited
+	}
+	bytes := opts.CacheBytes
+	if bytes < 0 {
+		bytes = 0
+	}
 	return &Service{
-		sem:  make(chan struct{}, workers),
-		memo: make(map[string]*memoEntry),
+		sem:      make(chan struct{}, workers),
+		store:    opts.Store,
+		cache:    newLRUCache(entries, bytes),
+		inflight: make(map[string]*memoEntry),
+		methods:  make(map[string]*methodMetrics),
 	}
 }
 
 // Solve solves one problem through the worker pool. Identical problems
 // (by canonical hash) share one solve: concurrent duplicates wait for
-// the leader, and later duplicates are served from the memo with
-// Solution.Cached set. Problems with an in-memory Lib override have no
-// canonical hash and are solved directly, without memoization.
+// the leader, and later duplicates are served from the cache — or the
+// persistent store, surviving restarts — with Solution.Cached set.
+// Problems with an in-memory Lib override have no canonical hash and
+// are solved directly, without caching.
 func (s *Service) Solve(ctx context.Context, p Problem) (Solution, error) {
 	key, err := p.Hash()
 	if err != nil {
@@ -54,10 +106,17 @@ func (s *Service) Solve(ctx context.Context, p Problem) (Solution, error) {
 	var e *memoEntry
 	for e == nil {
 		s.mu.Lock()
-		prior, ok := s.memo[key]
+		if sol, ok := s.cache.get(key); ok {
+			s.stats.Hits++
+			s.mu.Unlock()
+			sol.Cached = true
+			return sol, nil
+		}
+		prior, ok := s.inflight[key]
 		if !ok {
 			e = &memoEntry{done: make(chan struct{})}
-			s.memo[key] = e
+			s.inflight[key] = e
+			s.stats.Misses++
 			s.mu.Unlock()
 			break // this call is the leader
 		}
@@ -65,6 +124,9 @@ func (s *Service) Solve(ctx context.Context, p Problem) (Solution, error) {
 		select {
 		case <-prior.done:
 			if prior.err == nil {
+				s.mu.Lock()
+				s.stats.Hits++
+				s.mu.Unlock()
 				sol := prior.sol
 				sol.Cached = true
 				return sol, nil
@@ -84,19 +146,60 @@ func (s *Service) Solve(ctx context.Context, p Problem) (Solution, error) {
 		}
 	}
 
-	e.sol, e.err = s.solveOne(ctx, p)
-	if e.err != nil {
-		// Do not cache failures: a cancellation or deadline is the
-		// caller's, not the problem's.
+	// Leader path. Consult the persistent store first — only the leader
+	// touches disk, so concurrent duplicates cost one read, not N.
+	if s.store != nil {
+		if sol, ok := s.store.Get(key); ok {
+			sol.Cached = false
+			s.finish(key, e, sol, nil, true)
+			sol.Cached = true
+			return sol, nil
+		}
 		s.mu.Lock()
-		delete(s.memo, key)
+		s.stats.StoreMisses++
 		s.mu.Unlock()
 	}
-	close(e.done)
-	return e.sol, e.err
+
+	sol, err := s.solveOne(ctx, p)
+	s.finish(key, e, sol, err, false)
+	if err == nil && s.store != nil {
+		if perr := s.store.Put(key, sol); perr != nil {
+			// Persistence is best-effort: the answer is correct and
+			// cached in memory; only restart warmth is lost.
+			s.mu.Lock()
+			s.stats.StorePutErrors++
+			s.mu.Unlock()
+		}
+	}
+	return sol, err
 }
 
-// solveOne runs one solve inside a worker-pool slot.
+// finish publishes a leader's outcome: successful solutions enter the
+// LRU (failures are not cached — a cancellation or deadline is the
+// caller's, not the problem's), the in-flight entry is retired, and
+// waiters are released.
+func (s *Service) finish(key string, e *memoEntry, sol Solution, err error, fromStore bool) {
+	e.sol, e.err = sol, err
+	var size int64
+	if err == nil {
+		// Sizing marshals the solution; do it before taking the lock so
+		// a large datapath cannot stall concurrent cache lookups.
+		size = approxSolutionSize(key, sol)
+	}
+	s.mu.Lock()
+	delete(s.inflight, key)
+	if err == nil {
+		s.cache.add(key, sol, size)
+	}
+	if fromStore {
+		s.stats.StoreHits++
+	}
+	s.mu.Unlock()
+	close(e.done)
+}
+
+// solveOne runs one solve inside a worker-pool slot and records the
+// per-method metrics.
 func (s *Service) solveOne(ctx context.Context, p Problem) (Solution, error) {
 	select {
 	case s.sem <- struct{}{}:
@@ -104,7 +207,20 @@ func (s *Service) solveOne(ctx context.Context, p Problem) (Solution, error) {
 	case <-ctx.Done():
 		return Solution{}, ctx.Err()
 	}
-	return Solve(ctx, p)
+	t0 := time.Now()
+	sol, err := Solve(ctx, p)
+	s.record(metricLabel(p.method()), time.Since(t0), err)
+	return sol, err
+}
+
+// metricLabel folds client-supplied method names that are not in the
+// registry into one label, so a stream of bogus names cannot grow the
+// per-method metrics map (or the /metrics payload) without bound.
+func metricLabel(method string) string {
+	if _, ok := Lookup(method); !ok {
+		return "unknown"
+	}
+	return method
 }
 
 // BatchResult is one outcome of SolveBatch; exactly one of Solution
@@ -131,18 +247,150 @@ func (s *Service) SolveBatch(ctx context.Context, problems []Problem) []BatchRes
 	return out
 }
 
-// CacheSize reports how many solutions the memo currently holds
+// CacheSize reports how many solutions the cache currently holds
 // (including in-flight entries).
 func (s *Service) CacheSize() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.memo)
+	return s.cache.len() + len(s.inflight)
 }
 
-// ClearCache drops every memoized solution. In-flight solves complete
-// normally but are forgotten.
+// CacheStats snapshots the cache and store counters. In-flight solves
+// are counted but never evicted, so duplicates can always join a
+// running solve even when the LRU is thrashing.
+func (s *Service) CacheStats() CacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = s.cache.len()
+	st.Bytes = s.cache.bytes
+	st.InFlight = len(s.inflight)
+	st.Evictions = s.cache.evictions
+	return st
+}
+
+// ClearCache drops every cached solution (the persistent store, if any,
+// is untouched). In-flight solves complete normally but are forgotten.
 func (s *Service) ClearCache() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.memo = make(map[string]*memoEntry)
+	s.cache.clear()
+}
+
+// ---- per-method metrics ----
+
+// latencyBucketBounds are the upper bounds of the solve-latency
+// histogram, chosen to straddle the paper's regimes: DPAlloc answers in
+// milliseconds, ILP solves run to minutes (Table 2).
+var latencyBucketBounds = []time.Duration{
+	time.Millisecond,
+	5 * time.Millisecond,
+	25 * time.Millisecond,
+	100 * time.Millisecond,
+	500 * time.Millisecond,
+	2500 * time.Millisecond,
+	10 * time.Second,
+	time.Minute,
+	5 * time.Minute,
+}
+
+// methodMetrics accumulates one method's counters; guarded by Service.mu.
+type methodMetrics struct {
+	solves  uint64 // solver runs (cache hits are not solves)
+	errors  uint64 // failed runs, cancellations included
+	sum     time.Duration
+	buckets []uint64 // per-bucket counts; len(latencyBucketBounds)+1, last is +Inf
+}
+
+func (s *Service) record(method string, d time.Duration, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.methods[method]
+	if m == nil {
+		m = &methodMetrics{buckets: make([]uint64, len(latencyBucketBounds)+1)}
+		s.methods[method] = m
+	}
+	m.solves++
+	if err != nil {
+		m.errors++
+	}
+	m.sum += d
+	i := 0
+	for i < len(latencyBucketBounds) && d > latencyBucketBounds[i] {
+		i++
+	}
+	m.buckets[i]++
+}
+
+// MethodMetrics is one method's solve counters in a Metrics snapshot.
+type MethodMetrics struct {
+	Method string `json:"method"`
+	// Solves counts solver runs; cache and store hits do not run the
+	// solver and are visible in CacheStats instead.
+	Solves uint64 `json:"solves"`
+	// Errors counts failed runs, including cancellations.
+	Errors uint64 `json:"errors"`
+	// LatencySum is the total wall clock across runs; with Solves it
+	// yields the mean, with Buckets the distribution.
+	LatencySum time.Duration `json:"latency_sum_ns"`
+	// Buckets holds cumulative counts: Buckets[i] is the number of runs
+	// with latency <= LatencyBucketBounds()[i]; the final element (no
+	// bound) counts every run (+Inf).
+	Buckets []uint64 `json:"buckets"`
+}
+
+// Metrics is a point-in-time snapshot of a Service's observability
+// counters, renderable as Prometheus text (see cmd/mwld's /metrics).
+type Metrics struct {
+	Methods []MethodMetrics `json:"methods"`
+	Cache   CacheStats      `json:"cache"`
+	// Workers is the pool size; WorkersBusy the occupied slots now.
+	Workers     int `json:"workers"`
+	WorkersBusy int `json:"workers_busy"`
+}
+
+// LatencyBucketBounds reports the histogram bucket upper bounds used by
+// Metrics, smallest first; the implicit final bucket is +Inf.
+func LatencyBucketBounds() []time.Duration {
+	out := make([]time.Duration, len(latencyBucketBounds))
+	copy(out, latencyBucketBounds)
+	return out
+}
+
+// Metrics snapshots the per-method solve counters, cache stats and
+// worker-pool occupancy.
+func (s *Service) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := Metrics{
+		Workers:     cap(s.sem),
+		WorkersBusy: len(s.sem),
+	}
+	out.Cache = s.stats
+	out.Cache.Entries = s.cache.len()
+	out.Cache.Bytes = s.cache.bytes
+	out.Cache.InFlight = len(s.inflight)
+	out.Cache.Evictions = s.cache.evictions
+	names := make([]string, 0, len(s.methods))
+	for name := range s.methods {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := s.methods[name]
+		buckets := make([]uint64, len(m.buckets))
+		var cum uint64
+		for i, c := range m.buckets {
+			cum += c
+			buckets[i] = cum
+		}
+		out.Methods = append(out.Methods, MethodMetrics{
+			Method:     name,
+			Solves:     m.solves,
+			Errors:     m.errors,
+			LatencySum: m.sum,
+			Buckets:    buckets,
+		})
+	}
+	return out
 }

@@ -261,7 +261,7 @@ func solveTwoStage(ctx context.Context, p Problem) (Solution, error) {
 		return Solution{}, err
 	}
 	t0 := time.Now()
-	dp, st, err := twostage.Allocate(p.Graph, lib, p.Lambda)
+	dp, st, err := twostage.AllocateCtx(ctx, p.Graph, lib, p.Lambda)
 	if err != nil {
 		return Solution{}, err
 	}
@@ -278,7 +278,7 @@ func solveDescend(ctx context.Context, p Problem) (Solution, error) {
 		return Solution{}, err
 	}
 	t0 := time.Now()
-	dp, err := descend.Allocate(p.Graph, lib, p.Lambda)
+	dp, err := descend.AllocateCtx(ctx, p.Graph, lib, p.Lambda)
 	if err != nil {
 		return Solution{}, err
 	}

@@ -273,3 +273,62 @@ func TestCancellationIsPrompt(t *testing.T) {
 		t.Fatalf("cancel took %v, want prompt return", elapsed)
 	}
 }
+
+// TestTwoStageCancellationMidSolve: twostage used to ignore ctx past
+// prepare, so a canceled request ran the full stage-2 branch-and-bound
+// to the node cap. The binding loop now polls ctx: canceling a solve
+// that takes hundreds of milliseconds must return within moments of the
+// cancel. (descend's binding-loop cancellation is enforced
+// deterministically in internal/descend.)
+func TestTwoStageCancellationMidSolve(t *testing.T) {
+	lib := mwl.DefaultLibrary()
+	// n=60/seed=3 drives stage 2 to its node cap: ~240 ms of binding
+	// search on a fast machine, so a 2 ms cancel lands mid-solve with
+	// two orders of magnitude to spare.
+	g, err := mwl.GenerateRandom(mwl.RandomConfig{N: 60, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmin, err := mwl.MinLambda(g, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = mwl.Solve(ctx, mwl.Problem{Method: "twostage", Graph: g, Lambda: lmin + lmin/3})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v after %v, want context.Canceled", err, elapsed)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancel took %v, want prompt return", elapsed)
+	}
+}
+
+// TestDescendCancellationMidSchedule: descend shares twostage's
+// stage-1 configuration search; a context canceled between polls must
+// surface as context.Canceled, not be ignored until the solve ends.
+func TestDescendCancellationMidSchedule(t *testing.T) {
+	g, err := mwl.GenerateRandom(mwl.RandomConfig{N: 40, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmin, err := mwl.MinLambda(g, mwl.DefaultLibrary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err = mwl.Solve(ctx, mwl.Problem{Method: "descend", Graph: g, Lambda: lmin + lmin/3})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("canceled descend took %v", elapsed)
+	}
+}

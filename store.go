@@ -1,0 +1,219 @@
+package mwl
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/store"
+)
+
+// Store is a persistent solution store layered under the Service's
+// in-memory cache: solved problems are written through to it keyed by
+// canonical problem hash, and cache misses consult it before running
+// the solver, so a restarted process serves previously solved problems
+// with Solution.Cached set instead of recomputing them.
+//
+// Implementations must be safe for concurrent use. Get treats every
+// failure mode — missing, unreadable, corrupted — as a miss, so a
+// damaged store degrades to recomputation, never to an outage.
+type Store interface {
+	// Get returns the stored solution for a problem hash, or ok=false
+	// if the key is absent or the entry cannot be decoded.
+	Get(key string) (Solution, bool)
+	// Put persists a solution under a problem hash, replacing any
+	// previous entry atomically.
+	Put(key string, sol Solution) error
+}
+
+// FileStore is the file-backed Store: one JSON file per problem hash in
+// a single directory, written atomically (temp file + rename) so a
+// crash never leaves a torn entry. It implements Store and is safe for
+// concurrent use.
+type FileStore struct {
+	d *store.Dir
+}
+
+// NewFileStore opens (creating if needed) a file-backed solution store
+// rooted at dir.
+func NewFileStore(dir string) (*FileStore, error) {
+	d, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &FileStore{d: d}, nil
+}
+
+// Get loads the solution stored under key. A missing, unreadable or
+// corrupted entry is a miss: the caller recomputes and the next Put
+// repairs the entry.
+func (fs *FileStore) Get(key string) (Solution, bool) {
+	blob, ok, err := fs.d.Get(key)
+	if err != nil || !ok {
+		return Solution{}, false
+	}
+	var sol Solution
+	if err := json.Unmarshal(blob, &sol); err != nil {
+		return Solution{}, false
+	}
+	if sol.Datapath == nil {
+		// Decoded but nonsensical (e.g. valid JSON of the wrong shape):
+		// treat as corruption, not as a servable answer.
+		return Solution{}, false
+	}
+	return sol, true
+}
+
+// Put persists the solution under key. The Cached flag is cleared so a
+// stored entry re-served later reports its own cache status, not the
+// status it had when stored.
+func (fs *FileStore) Put(key string, sol Solution) error {
+	sol.Cached = false
+	blob, err := json.Marshal(sol)
+	if err != nil {
+		return fmt.Errorf("mwl: encoding solution for store: %w", err)
+	}
+	return fs.d.Put(key, blob)
+}
+
+// Len reports how many solutions the store holds on disk.
+func (fs *FileStore) Len() (int, error) { return fs.d.Len() }
+
+// Dir reports the directory the store is rooted at.
+func (fs *FileStore) Dir() string { return fs.d.Path() }
+
+// ---- bounded LRU over completed solutions ----
+
+// lruEntry is one cached solution with its approximate memory footprint.
+type lruEntry struct {
+	key  string
+	sol  Solution
+	size int64
+}
+
+// lruCache is a bounded least-recently-used map from problem hash to
+// Solution with an entry cap and an approximate byte cap. It is not
+// safe for concurrent use — the Service guards it with its own mutex.
+type lruCache struct {
+	maxEntries int   // <= 0: unlimited
+	maxBytes   int64 // <= 0: unlimited
+
+	ll    *list.List // front = most recently used; values are *lruEntry
+	index map[string]*list.Element
+	bytes int64
+
+	evictions uint64
+}
+
+func newLRUCache(maxEntries int, maxBytes int64) *lruCache {
+	return &lruCache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		index:      make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached solution and marks it most recently used.
+func (c *lruCache) get(key string) (Solution, bool) {
+	el, ok := c.index[key]
+	if !ok {
+		return Solution{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).sol, true
+}
+
+// add inserts (or refreshes) a solution of the given approximate size
+// and evicts from the cold end until both caps hold again. A solution
+// alone larger than the whole byte cap is rejected up front (counted as
+// one eviction) — admitting it would flush every warm entry before the
+// newcomer itself went, and the persistent store still has it.
+func (c *lruCache) add(key string, sol Solution, size int64) {
+	if c.maxBytes > 0 && size > c.maxBytes {
+		if el, ok := c.index[key]; ok {
+			c.ll.Remove(el)
+			delete(c.index, key)
+			c.bytes -= el.Value.(*lruEntry).size
+		}
+		c.evictions++
+		return
+	}
+	if el, ok := c.index[key]; ok {
+		e := el.Value.(*lruEntry)
+		c.bytes += size - e.size
+		e.sol, e.size = sol, size
+		c.ll.MoveToFront(el)
+	} else {
+		c.index[key] = c.ll.PushFront(&lruEntry{key: key, sol: sol, size: size})
+		c.bytes += size
+	}
+	for c.over() {
+		c.evictOldest()
+	}
+}
+
+func (c *lruCache) over() bool {
+	if c.ll.Len() == 0 {
+		return false
+	}
+	return (c.maxEntries > 0 && c.ll.Len() > c.maxEntries) ||
+		(c.maxBytes > 0 && c.bytes > c.maxBytes)
+}
+
+func (c *lruCache) evictOldest() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	e := el.Value.(*lruEntry)
+	c.ll.Remove(el)
+	delete(c.index, e.key)
+	c.bytes -= e.size
+	c.evictions++
+}
+
+func (c *lruCache) len() int { return c.ll.Len() }
+
+func (c *lruCache) clear() {
+	c.ll.Init()
+	c.index = make(map[string]*list.Element)
+	c.bytes = 0
+}
+
+// approxSolutionSize estimates a cache entry's memory footprint as the
+// length of its JSON encoding plus the key — cheap, deterministic, and
+// close enough for an approximate byte cap.
+func approxSolutionSize(key string, sol Solution) int64 {
+	blob, err := json.Marshal(sol)
+	if err != nil {
+		// Unencodable solutions cannot occur from the built-in methods;
+		// charge a conservative flat size rather than failing the cache.
+		return 4096
+	}
+	return int64(len(blob) + len(key))
+}
+
+// CacheStats is a point-in-time snapshot of the Service's cache and
+// persistent-store counters.
+type CacheStats struct {
+	// Entries and Bytes describe the in-memory LRU right now; Bytes is
+	// the approximate footprint the byte cap is enforced against.
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	// InFlight counts solves currently running or waiting that later
+	// duplicates can join; in-flight entries are never evicted.
+	InFlight int `json:"in_flight"`
+	// Hits counts solves served without running a solver: an LRU hit or
+	// joining an in-flight duplicate. Misses counts leader solves.
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Evictions counts LRU entries dropped to enforce the caps.
+	Evictions uint64 `json:"evictions"`
+	// StoreHits/StoreMisses count persistent-store lookups by leaders;
+	// StorePutErrors counts failed write-throughs (the solve still
+	// succeeds — persistence is best-effort).
+	StoreHits      uint64 `json:"store_hits"`
+	StoreMisses    uint64 `json:"store_misses"`
+	StorePutErrors uint64 `json:"store_put_errors"`
+}

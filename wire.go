@@ -26,3 +26,45 @@ func (p Problem) Hash() (string, error) {
 	sum := sha256.Sum256(blob)
 	return hex.EncodeToString(sum[:]), nil
 }
+
+// BatchRequest is the wire form of a batch solve (POST /v1/solve/batch):
+// a list of independent problems solved concurrently through one
+// Service, deduplicated by canonical hash.
+type BatchRequest struct {
+	Problems []Problem `json:"problems"`
+}
+
+// BatchResponse is the wire form of a batch solve's outcome. Results
+// aligns one-to-one with the request's Problems.
+type BatchResponse struct {
+	Results []BatchResultWire `json:"results"`
+}
+
+// BatchResultWire is one problem's outcome on the wire: exactly one of
+// Solution or Error is set. Infeasible marks well-formed problems that
+// provably have no datapath (as opposed to malformed problems or solver
+// failures), mirroring the 422-vs-400 split of the single-solve
+// endpoint.
+type BatchResultWire struct {
+	Solution   *Solution `json:"solution,omitempty"`
+	Error      string    `json:"error,omitempty"`
+	Infeasible bool      `json:"infeasible,omitempty"`
+}
+
+// Wire converts a Service batch outcome into its wire form.
+func (r BatchResult) Wire() BatchResultWire {
+	if r.Err != nil {
+		return BatchResultWire{Error: r.Err.Error(), Infeasible: IsInfeasible(r.Err)}
+	}
+	sol := r.Solution
+	return BatchResultWire{Solution: &sol}
+}
+
+// WireBatch converts a whole SolveBatch outcome into a BatchResponse.
+func WireBatch(results []BatchResult) BatchResponse {
+	out := BatchResponse{Results: make([]BatchResultWire, len(results))}
+	for i, r := range results {
+		out.Results[i] = r.Wire()
+	}
+	return out
+}
