@@ -18,6 +18,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/dfg"
 	"repro/internal/expt"
+	"repro/internal/ilp"
+	"repro/internal/pipeline"
 	"repro/internal/refine"
 	"repro/internal/sched"
 	"repro/internal/tgff"
@@ -82,7 +84,7 @@ func BenchmarkFig5Heuristic(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, _, err := mwl.Allocate(g, lib, lmin, mwl.Options{}); err != nil {
+				if _, _, err := core.Allocate(g, lib, lmin, core.Options{}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -104,11 +106,11 @@ func BenchmarkFig5ILP(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				h, _, err := mwl.Allocate(g, lib, lmin, mwl.Options{})
+				h, _, err := core.Allocate(g, lib, lmin, core.Options{})
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, err := mwl.SolveILP(g, lib, lmin, mwl.ILPOptions{
+				if _, err := ilp.Solve(g, lib, lmin, ilp.Options{
 					TimeLimit: 20 * time.Second, Incumbent: h,
 				}); err != nil {
 					b.Fatal(err)
@@ -136,7 +138,7 @@ func BenchmarkTable2Heuristic(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, _, err := mwl.Allocate(g, lib, expt.Lambda(lmin, relax), mwl.Options{}); err != nil {
+				if _, _, err := core.Allocate(g, lib, expt.Lambda(lmin, relax), core.Options{}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -160,11 +162,11 @@ func BenchmarkTable2ILP(b *testing.B) {
 					b.Fatal(err)
 				}
 				lambda := expt.Lambda(lmin, relax)
-				h, _, err := mwl.Allocate(g, lib, lambda, mwl.Options{})
+				h, _, err := core.Allocate(g, lib, lambda, core.Options{})
 				if err != nil {
 					b.Fatal(err)
 				}
-				r, err := mwl.SolveILP(g, lib, lambda, mwl.ILPOptions{
+				r, err := ilp.Solve(g, lib, lambda, ilp.Options{
 					TimeLimit: 10 * time.Second, Incumbent: h,
 				})
 				if err != nil {
@@ -252,8 +254,8 @@ func BenchmarkAblationClosure(b *testing.B) {
 					if err != nil {
 						b.Fatal(err)
 					}
-					dp, _, err := mwl.Allocate(g, lib, expt.Lambda(lmin, 0.2),
-						mwl.Options{DisableClosure: disable})
+					dp, _, err := core.Allocate(g, lib, expt.Lambda(lmin, 0.2),
+						core.Options{DisableClosure: disable})
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -290,8 +292,8 @@ func BenchmarkAblationVictim(b *testing.B) {
 					if err != nil {
 						b.Fatal(err)
 					}
-					dp, _, err := mwl.Allocate(g, lib, expt.Lambda(lmin, 0.1),
-						mwl.Options{Victim: pol.p})
+					dp, _, err := core.Allocate(g, lib, expt.Lambda(lmin, 0.1),
+						core.Options{Victim: pol.p})
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -366,11 +368,11 @@ func BenchmarkAblationFullArea(b *testing.B) {
 				b.Fatal(err)
 			}
 			lambda := expt.Lambda(lmin, 0.2)
-			h, _, err := mwl.Allocate(g, lib, lambda, mwl.Options{})
+			h, _, err := core.Allocate(g, lib, lambda, core.Options{})
 			if err != nil {
 				b.Fatal(err)
 			}
-			ts, err := mwl.AllocateTwoStage(g, lib, lambda)
+			ts, _, err := twostage.Allocate(g, lib, lambda)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -412,7 +414,7 @@ func BenchmarkPipelineII(b *testing.B) {
 						b.Fatal(err)
 					}
 					ii := int(float64(mwl.MinII(g, lib)) * f)
-					dp, err := mwl.AllocatePipelined(g, lib, expt.Lambda(lmin, 0.5), ii, mwl.PipelineOptions{})
+					dp, _, err := pipeline.Allocate(g, lib, expt.Lambda(lmin, 0.5), ii, pipeline.Options{})
 					if err != nil {
 						b.Fatal(err)
 					}

@@ -1,0 +1,240 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	mwl "repro"
+	"repro/internal/shard"
+)
+
+// forwardedHeader marks a request relayed by a peer replica. A replica
+// receiving it always solves locally: if peer lists ever disagree, a
+// problem is answered by whichever replica the forward landed on rather
+// than bouncing between replicas that each believe the other owns it.
+const forwardedHeader = "X-Mwld-Forwarded"
+
+// cluster is mwld's horizontal scale-out mode: problems are owned by
+// exactly one replica — rendezvous hashing of Problem.Hash() over the
+// shared peer list — so each problem is computed (and cached, and
+// persisted) once cluster-wide. The owner solves locally; every other
+// replica proxies the solve to the owner and relays the result,
+// falling back to a local solve when the owner is unreachable.
+type cluster struct {
+	ring   *shard.Ring
+	self   string
+	client *http.Client
+
+	// Counters surfaced on /metrics.
+	owned     atomic.Uint64 // requests solved locally as the key's owner
+	forwarded atomic.Uint64 // requests proxied to their owner
+	fallback  atomic.Uint64 // owner unreachable: solved locally instead
+}
+
+// newCluster validates the peer list and returns the routing state, or
+// nil when peers is empty (single-replica mode).
+func newCluster(peers, self string) (*cluster, error) {
+	if strings.TrimSpace(peers) == "" {
+		if strings.TrimSpace(self) != "" {
+			return nil, errors.New("-self given without -peers")
+		}
+		return nil, nil
+	}
+	list := strings.Split(peers, ",")
+	for i, p := range list {
+		list[i] = normalizeAddr(p)
+	}
+	ring, err := shard.New(list)
+	if err != nil {
+		return nil, fmt.Errorf("-peers: %w", err)
+	}
+	self = normalizeAddr(self)
+	if self == "" {
+		return nil, errors.New("-peers requires -self (this replica's address as it appears in -peers)")
+	}
+	if !ring.Contains(self) {
+		return nil, fmt.Errorf("-self %q is not in -peers %v", self, ring.Replicas())
+	}
+	return &cluster{
+		ring: ring,
+		self: self,
+		client: &http.Client{
+			// Connections to a dead peer must fail fast enough for the
+			// local fallback to still answer within the client's patience;
+			// the solve itself is governed by the request context.
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost:   4,
+				IdleConnTimeout:       2 * time.Minute,
+				ResponseHeaderTimeout: 0,
+			},
+		},
+	}, nil
+}
+
+// normalizeAddr trims a peer address and defaults the scheme to http,
+// so "-peers host1:8080,host2:8080" works as written.
+func normalizeAddr(a string) string {
+	a = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(a), "/"))
+	if a == "" {
+		return ""
+	}
+	if !strings.Contains(a, "://") {
+		a = "http://" + a
+	}
+	return a
+}
+
+// owner returns the replica owning p, or "" when the problem cannot be
+// hashed (and so has no owner — it is solved wherever it lands).
+func (c *cluster) owner(p mwl.Problem) string {
+	key, err := p.Hash()
+	if err != nil {
+		return ""
+	}
+	return c.ring.Owner(key)
+}
+
+// solver returns the per-problem solve function for batch endpoints:
+// owned problems go through the local service, the rest are forwarded
+// to their owner with a local fallback. Passed to
+// Service.SolveBatchVia, which bounds the fan-out either way.
+func (c *cluster) solver(svc *mwl.Service) func(context.Context, mwl.Problem) (mwl.Solution, error) {
+	return func(ctx context.Context, p mwl.Problem) (mwl.Solution, error) {
+		owner := c.owner(p)
+		if owner == "" || owner == c.self {
+			if owner == c.self {
+				c.owned.Add(1)
+			}
+			return svc.Solve(ctx, p)
+		}
+		sol, err, relayed := c.forwardSolve(ctx, owner, p)
+		if relayed {
+			c.forwarded.Add(1)
+			return sol, err
+		}
+		if ctx.Err() != nil {
+			return mwl.Solution{}, ctx.Err()
+		}
+		c.fallback.Add(1)
+		return svc.Solve(ctx, p)
+	}
+}
+
+// forwardSolve proxies one problem to its owner's /v1/solve. relayed
+// reports whether the owner answered at all: a transport failure
+// (connection refused, owner mid-restart) returns relayed=false and the
+// caller solves locally; an HTTP-level answer — success or error — is
+// the owner's verdict and is returned as-is.
+func (c *cluster) forwardSolve(ctx context.Context, owner string, p mwl.Problem) (sol mwl.Solution, err error, relayed bool) {
+	blob, err := json.Marshal(p)
+	if err != nil {
+		return mwl.Solution{}, err, false
+	}
+	req, err := http.NewRequestWithContext(ctx, "POST", owner+"/v1/solve", bytes.NewReader(blob))
+	if err != nil {
+		return mwl.Solution{}, err, false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(forwardedHeader, c.self)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return mwl.Solution{}, err, false
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return mwl.Solution{}, err, false
+	}
+	// A 499 with our own context still live means the owner canceled the
+	// solve for its own reasons (it is draining for shutdown): that is
+	// the owner being unavailable, not a verdict on the problem.
+	if resp.StatusCode == 499 && ctx.Err() == nil {
+		return mwl.Solution{}, fmt.Errorf("owner %s draining", owner), false
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		msg := strings.TrimSpace(string(body))
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		infeasible := resp.StatusCode == http.StatusUnprocessableEntity
+		if !infeasible {
+			msg = fmt.Sprintf("owner %s: %s", owner, msg)
+		}
+		// FromWire keeps the relayed classification: infeasible verdicts
+		// wrap mwl.ErrInfeasible and survive re-Wire()ing in a batch.
+		rec := mwl.BatchResultWire{Error: msg, Infeasible: infeasible}
+		return mwl.Solution{}, rec.FromWire().Err, true
+	}
+	if err := json.Unmarshal(body, &sol); err != nil {
+		return mwl.Solution{}, fmt.Errorf("owner %s: decoding solution: %w", owner, err), false
+	}
+	return sol, nil, true
+}
+
+// relay proxies a single-solve request body to the owner and copies the
+// owner's response — status, headers that matter, body — back to the
+// client verbatim, counting it as forwarded. Returns false when the
+// owner is unreachable or draining, in which case nothing has been
+// written and the caller falls back to a local solve. A requesting
+// client that disconnected mid-relay is answered 499 without touching
+// the forwarded counter: nothing reached anyone.
+func (c *cluster) relay(w http.ResponseWriter, r *http.Request, owner string, body []byte) bool {
+	req, err := http.NewRequestWithContext(r.Context(), "POST", owner+"/v1/solve", bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(forwardedHeader, c.self)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		// The client going away is not the owner's fault; don't burn a
+		// local solve on a dead request.
+		if r.Context().Err() != nil {
+			writeError(w, 499, r.Context().Err())
+			return true
+		}
+		return false
+	}
+	defer resp.Body.Close()
+	// An owner-side cancellation with our client still connected means
+	// the owner is draining for shutdown: fall back to a local solve
+	// rather than relaying a 499 the client never caused.
+	if resp.StatusCode == 499 && r.Context().Err() == nil {
+		return false
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	c.forwarded.Add(1)
+	return true
+}
+
+// writeShardMetrics appends the cluster routing counters to the
+// Prometheus exposition.
+func (c *cluster) writeShardMetrics(w io.Writer) {
+	counters := []struct {
+		name, help string
+		v          uint64
+	}{
+		{"mwld_shard_owned_total", "Solve requests handled locally because this replica owns the problem hash.", c.owned.Load()},
+		{"mwld_shard_forwarded_total", "Solve requests proxied to the owning replica.", c.forwarded.Load()},
+		{"mwld_shard_fallback_total", "Solve requests answered locally because the owning replica was unreachable.", c.fallback.Load()},
+	}
+	for _, ct := range counters {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", ct.name, ct.help, ct.name, ct.name, ct.v)
+	}
+	fmt.Fprintf(w, "# HELP mwld_shard_replicas Replicas in the configured peer list.\n# TYPE mwld_shard_replicas gauge\nmwld_shard_replicas %d\n", c.ring.Len())
+}

@@ -9,22 +9,34 @@
 //
 // Endpoints:
 //
-//	POST /v1/solve        Problem JSON in, Solution JSON out
-//	POST /v1/solve/batch  {"problems": [...]} in, {"results": [...]} out
-//	GET  /v1/methods      registered method names with descriptions
-//	GET  /metrics         Prometheus text: solves, errors, latency
-//	                      histograms, cache/store counters, pool gauges
-//	GET  /healthz         liveness probe
+//	POST /v1/solve         Problem JSON in, Solution JSON out
+//	POST /v1/solve/batch   {"problems": [...]} in, {"results": [...]} out
+//	POST /v1/solve/stream  {"problems": [...]} in, NDJSON out: one
+//	                       index-tagged result per line, flushed as each
+//	                       solve completes (completion order)
+//	GET  /v1/methods       registered method names with descriptions
+//	GET  /metrics          Prometheus text: solves, errors, latency
+//	                       histograms, cache/store counters, pool gauges,
+//	                       shard routing counters
+//	GET  /healthz          liveness probe
+//
+// With -peers (and -self), mwld runs as one replica of a cluster:
+// problems are sharded by their canonical hash with rendezvous hashing,
+// the owning replica computes and persists each solution, and the other
+// replicas proxy solves to the owner and relay its answer — falling
+// back to a local solve if the owner is unreachable.
 //
 // Usage:
 //
 //	mwld -addr :8080 -workers 8 -cache-entries 4096 -store-dir /var/lib/mwld
+//	mwld -addr :8081 -peers host1:8080,host2:8081 -self host2:8081
 //	curl -s localhost:8080/v1/methods
 //	tgff -n 9 | jq '{graph: ., lambda: 40, method: "dpalloc"}' \
 //	    | curl -s -d @- localhost:8080/v1/solve
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -49,11 +61,19 @@ func main() {
 		addr         = flag.String("addr", ":8080", "listen address")
 		workers      = flag.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
 		maxBody      = flag.Int64("maxbody", 16<<20, "max request body bytes")
+		batchMax     = flag.Int("batch-max", defaultBatchMax, "max problems per batch/stream request (<= 0 = unlimited)")
 		cacheEntries = flag.Int("cache-entries", mwl.DefaultCacheEntries, "in-memory solution cache entry cap (negative = unlimited)")
 		cacheBytes   = flag.Int64("cache-bytes", 256<<20, "approximate in-memory solution cache byte cap (0 = unlimited)")
 		storeDir     = flag.String("store-dir", "", "persistent result store directory (empty = no persistence)")
+		peers        = flag.String("peers", "", "comma-separated replica addresses of the whole cluster, this one included (empty = single replica)")
+		self         = flag.String("self", "", "this replica's address exactly as it appears in -peers")
 	)
 	flag.Parse()
+
+	cl, err := newCluster(*peers, *self)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	opts := mwl.ServiceOptions{
 		Workers:      *workers,
@@ -71,7 +91,12 @@ func main() {
 		opts.Store = fs
 	}
 
-	srv := newServer(*addr, mwl.NewServiceWith(opts), *maxBody)
+	srv := newServer(*addr, handlerConfig{
+		svc:      mwl.NewServiceWith(opts),
+		maxBody:  *maxBody,
+		batchMax: *batchMax,
+		cluster:  cl,
+	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -84,10 +109,28 @@ func main() {
 		}
 	}()
 
+	if cl != nil {
+		log.Printf("cluster mode: self %s, peers %v", cl.self, cl.ring.Replicas())
+	}
 	log.Printf("serving on %s (methods: %v)", *addr, mwl.Methods())
 	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
+}
+
+// defaultBatchMax is the default per-request problem-count cap of the
+// batch and stream endpoints. -maxbody caps request bytes, but many
+// tiny problems fit under a byte cap while still exploding the fan-out
+// and the response size; the count cap closes that hole.
+const defaultBatchMax = 1024
+
+// handlerConfig assembles a route table: the solve service plus the
+// request caps and the optional cluster routing state.
+type handlerConfig struct {
+	svc      *mwl.Service
+	maxBody  int64
+	batchMax int      // max problems per batch/stream request; <= 0 = unlimited
+	cluster  *cluster // nil = single-replica mode
 }
 
 // newServer assembles the mwld HTTP server. Every request context
@@ -95,11 +138,11 @@ func main() {
 // srv.Shutdown aborts in-flight solves — they unwind through the solver
 // ctx polls and answer 499 — instead of letting the shutdown grace
 // period expire around still-running work.
-func newServer(addr string, svc *mwl.Service, maxBody int64) *http.Server {
+func newServer(addr string, cfg handlerConfig) *http.Server {
 	baseCtx, cancelBase := context.WithCancel(context.Background())
 	srv := &http.Server{
 		Addr:        addr,
-		Handler:     newHandler(svc, maxBody),
+		Handler:     newHandler(cfg),
 		BaseContext: func(net.Listener) context.Context { return baseCtx },
 		// Bound how long a client may dribble headers/body so stalled
 		// connections cannot pile up; solves themselves are not write-
@@ -114,7 +157,8 @@ func newServer(addr string, svc *mwl.Service, maxBody int64) *http.Server {
 }
 
 // newHandler builds the mwld route table around a solve service.
-func newHandler(svc *mwl.Service, maxBody int64) http.Handler {
+func newHandler(cfg handlerConfig) http.Handler {
+	svc, maxBody, cl := cfg.svc, cfg.maxBody, cfg.cluster
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -133,11 +177,60 @@ func newHandler(svc *mwl.Service, maxBody int64) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, out)
 	})
+	// routed reports whether cluster routing applies to this request: it
+	// is off in single-replica mode and for requests a peer already
+	// forwarded (which must be answered locally, never bounced onward).
+	routed := func(r *http.Request) bool {
+		return cl != nil && r.Header.Get(forwardedHeader) == ""
+	}
+	// batchSolve is the per-problem solve of the batch endpoints:
+	// straight through the service, or shard-routed in cluster mode.
+	batchSolve := func(r *http.Request) func(context.Context, mwl.Problem) (mwl.Solution, error) {
+		if routed(r) {
+			return cl.solver(svc)
+		}
+		return nil // SolveBatchVia defaults to svc.Solve
+	}
+	// decodeBatch parses and caps a batch/stream request, writing the
+	// error response itself when the request is unusable.
+	decodeBatch := func(w http.ResponseWriter, r *http.Request) (mwl.BatchRequest, bool) {
+		var req mwl.BatchRequest
+		if err := decodeBody(w, r, maxBody, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return req, false
+		}
+		if len(req.Problems) == 0 {
+			writeError(w, http.StatusBadRequest, errors.New(`batch request needs a non-empty "problems" array`))
+			return req, false
+		}
+		if cfg.batchMax > 0 && len(req.Problems) > cfg.batchMax {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("batch of %d problems exceeds the per-request cap of %d; split the batch or raise -batch-max", len(req.Problems), cfg.batchMax))
+			return req, false
+		}
+		return req, true
+	}
+
 	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
+			return
+		}
 		var p mwl.Problem
-		if err := decodeBody(w, r, maxBody, &p); err != nil {
+		if err := decodeJSON(body, &p); err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
+		}
+		if routed(r) {
+			if owner := cl.owner(p); owner != "" && owner != cl.self {
+				if cl.relay(w, r, owner, body) {
+					return
+				}
+				cl.fallback.Add(1)
+			} else if owner == cl.self {
+				cl.owned.Add(1)
+			}
 		}
 		sol, err := svc.Solve(r.Context(), p)
 		if err != nil {
@@ -147,27 +240,56 @@ func newHandler(svc *mwl.Service, maxBody int64) http.Handler {
 		writeJSON(w, http.StatusOK, sol)
 	})
 	mux.HandleFunc("POST /v1/solve/batch", func(w http.ResponseWriter, r *http.Request) {
-		var req mwl.BatchRequest
-		if err := decodeBody(w, r, maxBody, &req); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+		req, ok := decodeBatch(w, r)
+		if !ok {
 			return
 		}
-		if len(req.Problems) == 0 {
-			writeError(w, http.StatusBadRequest, errors.New(`batch request needs a non-empty "problems" array`))
-			return
-		}
-		results := svc.SolveBatch(r.Context(), req.Problems)
+		out := make([]mwl.BatchResult, len(req.Problems))
+		svc.SolveBatchVia(r.Context(), req.Problems, batchSolve(r), func(i int, res mwl.BatchResult) {
+			out[i] = res
+		})
 		// Per-problem failures ride inside the 200 response; only a
 		// canceled request fails the batch as a whole.
 		if err := r.Context().Err(); err != nil {
 			writeError(w, solveStatus(err), err)
 			return
 		}
-		writeJSON(w, http.StatusOK, mwl.WireBatch(results))
+		writeJSON(w, http.StatusOK, mwl.WireBatch(out))
+	})
+	mux.HandleFunc("POST /v1/solve/stream", func(w http.ResponseWriter, r *http.Request) {
+		req, ok := decodeBatch(w, r)
+		if !ok {
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		flusher, _ := w.(http.Flusher)
+		if flusher != nil {
+			// Push the status line out now: a client must learn the stream
+			// is live before the first (possibly slow) solve completes.
+			flusher.Flush()
+		}
+		enc := json.NewEncoder(w)
+		// SolveBatchFunc serializes the callback, so the encoder needs no
+		// extra locking; each record is flushed so the client sees every
+		// result the moment its solve completes, not when the batch ends.
+		// A client disconnect cancels r.Context(), which stops unstarted
+		// solves and aborts in-flight ones.
+		svc.SolveBatchVia(r.Context(), req.Problems, batchSolve(r), func(i int, res mwl.BatchResult) {
+			if err := enc.Encode(mwl.WireStream(i, res)); err != nil {
+				return // client gone; ctx cancellation drains the rest
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		})
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		writeMetrics(w, svc.Metrics())
+		if cl != nil {
+			cl.writeShardMetrics(w)
+		}
 	})
 	return mux
 }
@@ -175,7 +297,18 @@ func newHandler(svc *mwl.Service, maxBody int64) http.Handler {
 // decodeBody decodes one JSON request body with the size cap applied,
 // rejecting trailing garbage after the document.
 func decodeBody(w http.ResponseWriter, r *http.Request, maxBody int64, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+	if err != nil {
+		return fmt.Errorf("reading request: %w", err)
+	}
+	return decodeJSON(body, v)
+}
+
+// decodeJSON decodes one already-read JSON document, rejecting trailing
+// garbage. The single-solve endpoint reads its body up front so cluster
+// mode can relay the raw bytes to the owner verbatim.
+func decodeJSON(body []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(body))
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("decoding request: %w", err)
 	}

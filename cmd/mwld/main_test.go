@@ -17,7 +17,7 @@ import (
 
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	srv := httptest.NewServer(newHandler(mwl.NewService(2), 1<<20))
+	srv := httptest.NewServer(newHandler(handlerConfig{svc: mwl.NewService(2), maxBody: 1 << 20, batchMax: defaultBatchMax}))
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -403,7 +403,7 @@ func TestStoreDirWarmRestart(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		srv := httptest.NewServer(newHandler(mwl.NewServiceWith(mwl.ServiceOptions{Workers: 2, Store: fs}), 1<<20))
+		srv := httptest.NewServer(newHandler(handlerConfig{svc: mwl.NewServiceWith(mwl.ServiceOptions{Workers: 2, Store: fs}), maxBody: 1 << 20}))
 		defer srv.Close()
 		resp, body := postSolve(t, srv, blob)
 		if resp.StatusCode != http.StatusOK {
@@ -433,7 +433,7 @@ func TestStoreDirWarmRestart(t *testing.T) {
 // running solve (client sees 499) and returns within the grace period
 // instead of abandoning the solve.
 func TestShutdownCancelsInFlightSolves(t *testing.T) {
-	srv := newServer("127.0.0.1:0", mwl.NewService(2), 1<<20)
+	srv := newServer("127.0.0.1:0", handlerConfig{svc: mwl.NewService(2), maxBody: 1 << 20})
 	ln, err := net.Listen("tcp", srv.Addr)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,217 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	mwl "repro"
+)
+
+// streamGateSolver is a registry stub with externally controlled
+// timing: problems with Lambda >= 1000 block until released (or their
+// context dies), everything else answers immediately. It lets the
+// stream tests hold a solve mid-flight deterministically.
+type streamGateSolver struct {
+	entered  chan struct{} // one signal per slow solve that has started
+	gate     chan struct{} // one token releases one slow solve
+	canceled chan struct{} // one signal per slow solve killed by ctx
+}
+
+var streamGate = &streamGateSolver{
+	entered:  make(chan struct{}, 64),
+	gate:     make(chan struct{}, 64),
+	canceled: make(chan struct{}, 64),
+}
+
+func (s *streamGateSolver) Solve(ctx context.Context, p mwl.Problem) (mwl.Solution, error) {
+	if p.Lambda >= 1000 {
+		s.entered <- struct{}{}
+		select {
+		case <-s.gate:
+		case <-ctx.Done():
+			s.canceled <- struct{}{}
+			return mwl.Solution{}, ctx.Err()
+		}
+	}
+	return mwl.Solution{Method: "test-stream-gate", Area: int64(p.Lambda)}, nil
+}
+
+func init() {
+	if err := mwl.Register("test-stream-gate", streamGate); err != nil {
+		panic(err)
+	}
+}
+
+func gateProblem(lambda int) mwl.Problem {
+	return mwl.Problem{Method: "test-stream-gate", Lambda: lambda}
+}
+
+func postStream(t *testing.T, url string, problems []mwl.Problem) *http.Response {
+	t.Helper()
+	blob, err := json.Marshal(mwl.BatchRequest{Problems: problems})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/solve/stream", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestStreamFirstRecordBeforeBatchCompletes: the stream endpoint must
+// emit (and flush) each result as its solve finishes — the fast
+// problem's NDJSON record arrives while the slow problem is still held
+// at the gate, index-tagged so the client can reassemble.
+func TestStreamFirstRecordBeforeBatchCompletes(t *testing.T) {
+	srv := testServer(t)
+	resp := postStream(t, srv.URL, []mwl.Problem{gateProblem(1000), gateProblem(7)})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "ndjson") {
+		t.Fatalf("content type %q", ct)
+	}
+	<-streamGate.entered // the slow solve is running and will stay running
+
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("no first record: %v", sc.Err())
+	}
+	var first mwl.StreamResultWire
+	if err := json.Unmarshal(sc.Bytes(), &first); err != nil {
+		t.Fatalf("first record %q: %v", sc.Text(), err)
+	}
+	// The slow solve has not been released: this record arriving at all
+	// proves streaming, and it must be the fast problem's.
+	if first.Index != 1 || first.Error != "" || first.Solution == nil || first.Solution.Area != 7 {
+		t.Fatalf("first record = %+v, want index 1 with area 7", first)
+	}
+
+	streamGate.gate <- struct{}{} // release the slow solve
+	if !sc.Scan() {
+		t.Fatalf("no second record: %v", sc.Err())
+	}
+	var second mwl.StreamResultWire
+	if err := json.Unmarshal(sc.Bytes(), &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.Index != 0 || second.Solution == nil || second.Solution.Area != 1000 {
+		t.Fatalf("second record = %+v, want index 0 with area 1000", second)
+	}
+	if sc.Scan() {
+		t.Fatalf("unexpected extra record %q", sc.Text())
+	}
+}
+
+// TestStreamClientDisconnectCancelsSolves: dropping the stream request
+// must cancel the in-flight solves (they see ctx.Done) and free the
+// worker pool for subsequent requests.
+func TestStreamClientDisconnectCancelsSolves(t *testing.T) {
+	srv := testServer(t) // 2 workers
+	blob, err := json.Marshal(mwl.BatchRequest{Problems: []mwl.Problem{
+		gateProblem(2000), gateProblem(2001), gateProblem(2002),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "POST", srv.URL+"/v1/solve/stream", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	<-streamGate.entered
+	<-streamGate.entered // both workers hold a slow solve
+	cancel()             // client walks away
+
+	for i := 0; i < 2; i++ {
+		select {
+		case <-streamGate.canceled:
+		case <-time.After(10 * time.Second):
+			t.Fatal("in-flight solve not canceled after client disconnect")
+		}
+	}
+	// The pool must be usable again: a fresh fast solve completes.
+	blob, _ = json.Marshal(gateProblem(5))
+	r2, err := http.Post(srv.URL+"/v1/solve", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("follow-up solve status %d: workers not reclaimed", r2.StatusCode)
+	}
+}
+
+// TestBatchMaxCapsBatchAndStream: a batch above -batch-max is rejected
+// with 413 and a JSON error on both endpoints; the byte cap alone would
+// have let it through.
+func TestBatchMaxCapsBatchAndStream(t *testing.T) {
+	srv := httptest.NewServer(newHandler(handlerConfig{svc: mwl.NewService(2), maxBody: 1 << 20, batchMax: 4}))
+	defer srv.Close()
+	problems := make([]mwl.Problem, 5)
+	for i := range problems {
+		problems[i] = gateProblem(i + 1)
+	}
+	blob, err := json.Marshal(mwl.BatchRequest{Problems: problems})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ep := range []string{"/v1/solve/batch", "/v1/solve/stream"} {
+		resp, err := http.Post(srv.URL+ep, "application/json", bytes.NewReader(blob))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("%s: status %d, want 413 (%s)", ep, resp.StatusCode, buf.String())
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &e); err != nil || e.Error == "" {
+			t.Fatalf("%s: 413 body not a JSON error: %q", ep, buf.String())
+		}
+		// At the cap is fine.
+		ok, _ := json.Marshal(mwl.BatchRequest{Problems: problems[:4]})
+		r2, err := http.Post(srv.URL+ep, "application/json", bytes.NewReader(ok))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2.Body.Close()
+		if r2.StatusCode != http.StatusOK {
+			t.Fatalf("%s: batch at the cap got %d", ep, r2.StatusCode)
+		}
+	}
+}
+
+// TestStreamRejectsMalformedAndEmpty mirrors the batch endpoint's
+// request validation.
+func TestStreamRejectsMalformedAndEmpty(t *testing.T) {
+	srv := testServer(t)
+	for _, bad := range []string{`{"problems": []}`, `{nope`, `{}`} {
+		resp, err := http.Post(srv.URL+"/v1/solve/stream", "application/json", strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("stream %q: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}

@@ -1,18 +1,19 @@
 package mwl_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	mwl "repro"
 )
 
-// ExampleAllocate builds the small system y = (a·b) + (c·d), where one
+// ExampleSolve builds the small system y = (a·b) + (c·d), where one
 // product is wide and one narrow, and allocates it with latency slack:
 // the heuristic implements the narrow multiplication in the wide
 // multiplier (slower there, but the slack absorbs it), saving the area
 // of a dedicated small unit.
-func ExampleAllocate() {
+func ExampleSolve() {
 	g := mwl.NewGraph()
 	m1 := g.AddOp("m1", mwl.Mul, mwl.MulSig(16, 14))
 	m2 := g.AddOp("m2", mwl.Mul, mwl.MulSig(8, 6))
@@ -29,12 +30,12 @@ func ExampleAllocate() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	dp, _, err := mwl.Allocate(g, lib, lmin+4, mwl.Options{})
+	sol, err := mwl.Solve(context.Background(), mwl.Problem{Graph: g, Lambda: lmin + 4})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("multipliers allocated: %d\n", countMuls(dp))
-	fmt.Printf("area: %d\n", dp.Area(lib))
+	fmt.Printf("multipliers allocated: %d\n", countMuls(sol.Datapath))
+	fmt.Printf("area: %d\n", sol.Area)
 	// Output:
 	// multipliers allocated: 1
 	// area: 248

@@ -4,13 +4,18 @@
 package mwl_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
 	mwl "repro"
+	"repro/internal/core"
+	"repro/internal/descend"
 	"repro/internal/exact"
 	"repro/internal/expt"
+	"repro/internal/ilp"
 	"repro/internal/tgff"
+	"repro/internal/twostage"
 )
 
 func TestAllMethodsLegalOnRandomGraphs(t *testing.T) {
@@ -27,21 +32,21 @@ func TestAllMethodsLegalOnRandomGraphs(t *testing.T) {
 			}
 			for _, relax := range []float64{0, 0.15, 0.30} {
 				lambda := expt.Lambda(lmin, relax)
-				h, _, err := mwl.Allocate(g, lib, lambda, mwl.Options{})
+				h, _, err := core.Allocate(g, lib, lambda, core.Options{})
 				if err != nil {
 					t.Fatalf("n=%d g=%d relax=%v heuristic: %v", n, gi, relax, err)
 				}
 				if err := h.Verify(g, lib, lambda); err != nil {
 					t.Fatalf("n=%d g=%d heuristic illegal: %v", n, gi, err)
 				}
-				ts, err := mwl.AllocateTwoStage(g, lib, lambda)
+				ts, _, err := twostage.Allocate(g, lib, lambda)
 				if err != nil {
 					t.Fatalf("n=%d g=%d twostage: %v", n, gi, err)
 				}
 				if err := ts.Verify(g, lib, lambda); err != nil {
 					t.Fatalf("n=%d g=%d twostage illegal: %v", n, gi, err)
 				}
-				de, err := mwl.AllocateDescending(g, lib, lambda)
+				de, err := descend.Allocate(g, lib, lambda)
 				if err != nil {
 					t.Fatalf("n=%d g=%d descend: %v", n, gi, err)
 				}
@@ -66,7 +71,7 @@ func TestOptimumOrdering(t *testing.T) {
 				t.Fatal(err)
 			}
 			lambda := expt.Lambda(lmin, 0.2)
-			h, _, err := mwl.Allocate(g, lib, lambda, mwl.Options{})
+			h, _, err := core.Allocate(g, lib, lambda, core.Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -87,7 +92,7 @@ func TestOptimumOrdering(t *testing.T) {
 				t.Fatalf("n=%d g=%d: optimum %d > heuristic %d", n, gi, opt.Area(lib), h.Area(lib))
 			}
 			// The ILP must agree with the exhaustive optimum.
-			r, err := mwl.SolveILP(g, lib, lambda, mwl.ILPOptions{Incumbent: h, TimeLimit: 5 * time.Second})
+			r, err := ilp.Solve(g, lib, lambda, ilp.Options{Incumbent: h, TimeLimit: 5 * time.Second})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -121,7 +126,7 @@ func TestWorkloadsEndToEnd(t *testing.T) {
 		}
 		for _, relax := range []float64{0, 0.25, 0.5} {
 			lambda := expt.Lambda(lmin, relax)
-			dp, stats, err := mwl.Allocate(g, lib, lambda, mwl.Options{})
+			dp, stats, err := core.Allocate(g, lib, lambda, core.Options{})
 			if err != nil {
 				t.Fatalf("%s relax=%v: %v", name, relax, err)
 			}
@@ -150,11 +155,11 @@ func TestSlackAggregateImprovement(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		a, _, err := mwl.Allocate(g, lib, lmin, mwl.Options{})
+		a, _, err := core.Allocate(g, lib, lmin, core.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, _, err := mwl.Allocate(g, lib, expt.Lambda(lmin, 0.3), mwl.Options{})
+		b, _, err := core.Allocate(g, lib, expt.Lambda(lmin, 0.3), core.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -180,11 +185,11 @@ func TestPublicAPISurface(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dp, stats, err := mwl.Allocate(g, lib, lmin+2, mwl.Options{})
+	sol, err := mwl.Solve(context.Background(), mwl.Problem{Graph: g, Lambda: lmin + 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stats.Iterations < 1 || dp.Render(g, lib) == "" {
+	if sol.Stats.Iterations < 1 || sol.Datapath.Render(g, lib) == "" {
 		t.Fatal("facade results empty")
 	}
 	rnd, err := mwl.GenerateRandom(mwl.RandomConfig{N: 5, Seed: 9})

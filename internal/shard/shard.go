@@ -1,0 +1,130 @@
+// Package shard maps problem hashes onto replica addresses with
+// rendezvous (highest-random-weight) hashing, the routing layer of a
+// multi-replica mwld cluster. Every replica running with the same peer
+// list computes the same owner for a key with no coordination, and
+// adding or removing one replica only remaps the keys that replica
+// owned — the rest of the cluster's caches and stores stay warm.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// Ring is an immutable set of replica addresses with a deterministic
+// key→owner mapping. The zero value owns nothing; construct with New.
+type Ring struct {
+	replicas []string
+}
+
+// New builds a Ring over the given replica addresses. Addresses are
+// deduplicated and order-normalized, so two replicas handed the same
+// set in any order agree on every owner. An error is returned for an
+// empty or blank list.
+func New(replicas []string) (*Ring, error) {
+	seen := make(map[string]bool, len(replicas))
+	out := make([]string, 0, len(replicas))
+	for _, r := range replicas {
+		r = strings.TrimSpace(r)
+		if r == "" {
+			continue
+		}
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("shard: no replica addresses")
+	}
+	sort.Strings(out)
+	return &Ring{replicas: out}, nil
+}
+
+// Replicas returns the normalized replica list, sorted.
+func (r *Ring) Replicas() []string {
+	out := make([]string, len(r.replicas))
+	copy(out, r.replicas)
+	return out
+}
+
+// Len reports the number of replicas.
+func (r *Ring) Len() int { return len(r.replicas) }
+
+// Contains reports whether addr is one of the ring's replicas.
+func (r *Ring) Contains(addr string) bool {
+	for _, rep := range r.replicas {
+		if rep == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// Owner returns the replica that owns key: the one with the highest
+// rendezvous score. Every replica with the same list returns the same
+// owner for the same key. An empty ring returns "".
+func (r *Ring) Owner(key string) string {
+	if len(r.replicas) == 0 {
+		return ""
+	}
+	best, bestScore := "", uint64(0)
+	for _, rep := range r.replicas {
+		s := score(key, rep)
+		// Ties are broken by address order; with a 64-bit hash they are
+		// vanishingly rare, but the tiebreak keeps Owner a pure function
+		// of the (key, set) pair.
+		if best == "" || s > bestScore || (s == bestScore && rep < best) {
+			best, bestScore = rep, s
+		}
+	}
+	return best
+}
+
+// Rank returns every replica ordered by descending rendezvous score for
+// key: Rank(key)[0] is Owner(key), and the rest are the deterministic
+// failover order.
+func (r *Ring) Rank(key string) []string {
+	type scored struct {
+		addr string
+		s    uint64
+	}
+	all := make([]scored, len(r.replicas))
+	for i, rep := range r.replicas {
+		all[i] = scored{rep, score(key, rep)}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].s != all[j].s {
+			return all[i].s > all[j].s
+		}
+		return all[i].addr < all[j].addr
+	})
+	out := make([]string, len(all))
+	for i, sc := range all {
+		out[i] = sc.addr
+	}
+	return out
+}
+
+// score is the rendezvous weight of (key, replica): FNV-1a over the
+// pair with a separator that cannot appear in a hex problem hash (so
+// distinct pairs cannot collide by concatenation), pushed through a
+// SplitMix64-style finalizer. The finalizer matters: raw FNV sums for
+// one key across replicas differ only in the few final input bytes and
+// stay correlated, which skews who wins the max; full-avalanche mixing
+// restores a uniform spread.
+func score(key, replica string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h.Write([]byte{0xff})
+	h.Write([]byte(replica))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

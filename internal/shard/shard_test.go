@@ -1,0 +1,148 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%064x", i*2654435761)
+	}
+	return out
+}
+
+func TestNewNormalizes(t *testing.T) {
+	a, err := New([]string{"b", "a", " c ", "a", ""})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New([]string{"c", "b", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fmt.Sprint(a.Replicas()), fmt.Sprint([]string{"a", "b", "c"}); got != want {
+		t.Fatalf("Replicas = %v, want %v", got, want)
+	}
+	if a.Len() != 3 || b.Len() != 3 {
+		t.Fatalf("Len = %d/%d, want 3", a.Len(), b.Len())
+	}
+	for _, k := range keys(100) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("order-sensitive ownership for %s", k)
+		}
+	}
+	if !a.Contains("b") || a.Contains("d") {
+		t.Fatal("Contains broken")
+	}
+}
+
+func TestNewRejectsEmpty(t *testing.T) {
+	for _, in := range [][]string{nil, {}, {"", "  "}} {
+		if _, err := New(in); err == nil {
+			t.Fatalf("New(%q) accepted", in)
+		}
+	}
+}
+
+// TestOwnerDeterministicAndTotal: every key has exactly one owner, the
+// same on every call, and it is a member of the ring.
+func TestOwnerDeterministicAndTotal(t *testing.T) {
+	r, err := New([]string{"http://a:1", "http://b:1", "http://c:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys(500) {
+		o := r.Owner(k)
+		if !r.Contains(o) {
+			t.Fatalf("owner %q not a replica", o)
+		}
+		if r.Owner(k) != o {
+			t.Fatalf("unstable owner for %s", k)
+		}
+	}
+}
+
+// TestDistributionRoughlyUniform: rendezvous hashing should spread keys
+// across replicas without a pathological skew.
+func TestDistributionRoughlyUniform(t *testing.T) {
+	reps := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r, err := New(reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	n := 4000
+	for _, k := range keys(n) {
+		counts[r.Owner(k)]++
+	}
+	want := n / len(reps)
+	for _, rep := range reps {
+		c := counts[rep]
+		if c < want/2 || c > want*2 {
+			t.Fatalf("replica %s owns %d of %d keys (counts %v)", rep, c, n, counts)
+		}
+	}
+}
+
+// TestMinimalRemapping: dropping one replica must only remap the keys it
+// owned; every other key keeps its owner. That is the property that
+// keeps sibling caches warm across membership changes.
+func TestMinimalRemapping(t *testing.T) {
+	full := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	before, err := New(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := New(full[:3]) // d removed
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for _, k := range keys(2000) {
+		was, is := before.Owner(k), after.Owner(k)
+		if was == "http://d:1" {
+			moved++
+			continue // had to move somewhere
+		}
+		if was != is {
+			t.Fatalf("key %s moved %s -> %s though its owner survived", k, was, is)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed replica owned no keys; distribution test should have caught this")
+	}
+}
+
+// TestRank: the failover order starts at the owner, covers every
+// replica exactly once, and is deterministic.
+func TestRank(t *testing.T) {
+	r, err := New([]string{"http://a:1", "http://b:1", "http://c:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys(50) {
+		rank := r.Rank(k)
+		if len(rank) != r.Len() {
+			t.Fatalf("rank %v misses replicas", rank)
+		}
+		if rank[0] != r.Owner(k) {
+			t.Fatalf("rank[0] %s != owner %s", rank[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, a := range rank {
+			if seen[a] {
+				t.Fatalf("rank %v repeats %s", rank, a)
+			}
+			seen[a] = true
+		}
+	}
+}
+
+func TestZeroRing(t *testing.T) {
+	var r Ring
+	if r.Owner("k") != "" || r.Len() != 0 {
+		t.Fatal("zero ring owns keys")
+	}
+}

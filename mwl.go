@@ -19,7 +19,8 @@
 // solver) and "pipelined" (DPAlloc under an initiation interval).
 // Problems and Solutions marshal to a canonical JSON wire schema, and
 // Service runs batches through a worker pool with per-problem
-// memoization — cmd/mwld serves the same schema over HTTP.
+// memoization — cmd/mwld serves the same schema over HTTP, standalone
+// or as a hash-sharded replica cluster.
 //
 // A minimal session:
 //
@@ -35,13 +36,13 @@
 //
 // The pre-registry entry points (Allocate, AllocateTwoStage,
 // AllocateDescending, AllocateOptimal, SolveILP, AllocatePipelined)
-// remain as thin deprecated shims for one release.
+// were deprecated when Solve landed and have been removed after their
+// release of overlap; every method is reached through Solve.
 package mwl
 
 import (
 	"repro/internal/core"
 	"repro/internal/datapath"
-	"repro/internal/descend"
 	"repro/internal/dfg"
 	"repro/internal/errspec"
 	"repro/internal/exact"
@@ -50,9 +51,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/regalloc"
 	"repro/internal/rtl"
-	"repro/internal/sched"
 	"repro/internal/tgff"
-	"repro/internal/twostage"
 	"repro/internal/workloads"
 )
 
@@ -76,18 +75,8 @@ type (
 	Datapath = datapath.Datapath
 	// Instance is one allocated resource of a Datapath.
 	Instance = datapath.Instance
-	// Options tunes Allocate; the zero value is the paper's algorithm.
-	Options = core.Options
-	// Stats reports how Allocate ran.
-	Stats = core.Stats
-	// Limits is the per-class resource constraint N_y.
-	Limits = sched.Limits
 	// RandomConfig parameterises random sequencing-graph generation.
 	RandomConfig = tgff.Config
-	// ILPOptions controls SolveILP.
-	ILPOptions = ilp.Options
-	// ILPResult reports an ILP solve.
-	ILPResult = ilp.Result
 )
 
 // Operation types.
@@ -115,54 +104,9 @@ func DefaultLibrary() *Library { return model.Default() }
 // can meet for the graph (critical path at minimum latencies).
 func MinLambda(g *Graph, lib *Library) (int, error) { return core.MinLambda(g, lib) }
 
-// Allocate runs Algorithm DPAlloc (the paper's heuristic) and returns a
-// verified minimum-area datapath meeting λ.
-//
-// Deprecated: use Solve with method "dpalloc" (the default), which adds
-// cancellation, serialization and the Service/mwld layers.
-func Allocate(g *Graph, lib *Library, lambda int, opt Options) (*Datapath, Stats, error) {
-	return core.Allocate(g, lib, lambda, opt)
-}
-
-// AllocateTwoStage runs the two-stage baseline of reference [4]:
-// wordlength-blind scheduling followed by optimal latency-preserving
-// binding.
-//
-// Deprecated: use Solve with method "twostage".
-func AllocateTwoStage(g *Graph, lib *Library, lambda int) (*Datapath, error) {
-	dp, _, err := twostage.Allocate(g, lib, lambda)
-	return dp, err
-}
-
-// AllocateDescending runs the descending-wordlength clique-partitioning
-// baseline of reference [14].
-//
-// Deprecated: use Solve with method "descend".
-func AllocateDescending(g *Graph, lib *Library, lambda int) (*Datapath, error) {
-	return descend.Allocate(g, lib, lambda)
-}
-
-// MaxOptimalOps is the largest graph AllocateOptimal accepts.
+// MaxOptimalOps is the largest graph the "optimal" exhaustive method
+// accepts.
 const MaxOptimalOps = exact.MaxOps
-
-// AllocateOptimal returns the true area optimum by exhaustive
-// branch-and-bound; only for small graphs (≤ MaxOptimalOps operations).
-//
-// Deprecated: use Solve with method "optimal".
-func AllocateOptimal(g *Graph, lib *Library, lambda int) (*Datapath, error) {
-	dp, _, err := exact.Allocate(g, lib, lambda, exact.Options{})
-	return dp, err
-}
-
-// SolveILP builds and solves the time-indexed ILP formulation of
-// reference [5] with the built-in MILP solver. A zero
-// ILPOptions.TimeLimit applies DefaultILPTimeLimit (the paper's Table 2
-// cap); a negative one disables the cap.
-//
-// Deprecated: use Solve with method "ilp".
-func SolveILP(g *Graph, lib *Library, lambda int, opt ILPOptions) (*ILPResult, error) {
-	return ilp.Solve(g, lib, lambda, opt)
-}
 
 // GenerateRandom builds a pseudo-random sequencing graph in the style of
 // TGFF (reference [8]); deterministic per seed.
@@ -226,19 +170,6 @@ func DeriveWordlengths(g *Graph, lib *Library, cfg ErrorSpecConfig) (*ErrorSpecR
 }
 
 // Functionally pipelined allocation (extension; see internal/pipeline).
-
-// PipelineOptions tunes AllocatePipelined.
-type PipelineOptions = pipeline.Options
-
-// AllocatePipelined produces a datapath that meets λ per iteration while
-// accepting a new iteration every ii cycles: resource sharing respects
-// occupancy modulo the initiation interval.
-//
-// Deprecated: use Solve with method "pipelined" and Problem.II set.
-func AllocatePipelined(g *Graph, lib *Library, lambda, ii int, opt PipelineOptions) (*Datapath, error) {
-	dp, _, err := pipeline.Allocate(g, lib, lambda, ii, opt)
-	return dp, err
-}
 
 // VerifyPipelined checks a datapath's legality under an initiation
 // interval in addition to single-iteration legality.

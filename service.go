@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -235,16 +236,70 @@ type BatchResult struct {
 // problems within (or across) batches solve once and share the result.
 func (s *Service) SolveBatch(ctx context.Context, problems []Problem) []BatchResult {
 	out := make([]BatchResult, len(problems))
-	var wg sync.WaitGroup
-	for i, p := range problems {
+	s.SolveBatchFunc(ctx, problems, func(i int, r BatchResult) { out[i] = r })
+	return out
+}
+
+// SolveBatchFunc solves every problem through the worker pool, invoking
+// fn once per problem as each completes — completion order, not input
+// order, which is what a streaming endpoint wants. Calls to fn are
+// serialized, so fn may write to a shared sink without locking. The
+// fan-out is bounded: at most the Service's worker count of batch
+// goroutines exist at once, regardless of len(problems), and once ctx is
+// canceled no further solves start — every remaining problem is reported
+// to fn with ctx.Err(). Returns ctx.Err() (nil if the batch ran to
+// completion).
+func (s *Service) SolveBatchFunc(ctx context.Context, problems []Problem, fn func(i int, r BatchResult)) error {
+	return s.SolveBatchVia(ctx, problems, nil, fn)
+}
+
+// SolveBatchVia is SolveBatchFunc with the per-problem solve pluggable:
+// each problem goes through solve instead of s.Solve (nil means
+// s.Solve). cmd/mwld uses it to route non-owned problems to their shard
+// owner while keeping the batch fan-out bounded by this Service's worker
+// pool.
+func (s *Service) SolveBatchVia(ctx context.Context, problems []Problem, solve func(context.Context, Problem) (Solution, error), fn func(i int, r BatchResult)) error {
+	if solve == nil {
+		solve = s.Solve
+	}
+	n := len(problems)
+	workers := cap(s.sem)
+	if workers > n {
+		workers = n
+	}
+	var (
+		next atomic.Int64
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+	)
+	emit := func(i int, r BatchResult) {
+		mu.Lock()
+		defer mu.Unlock()
+		fn(i, r)
+	}
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int, p Problem) {
+		go func() {
 			defer wg.Done()
-			out[i].Solution, out[i].Err = s.Solve(ctx, p)
-		}(i, p)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				// Checked per problem, not per worker: a cancellation
+				// mid-batch drains the remaining indices without starting
+				// their solves.
+				if err := ctx.Err(); err != nil {
+					emit(i, BatchResult{Err: err})
+					continue
+				}
+				sol, err := solve(ctx, problems[i])
+				emit(i, BatchResult{Solution: sol, Err: err})
+			}
+		}()
 	}
 	wg.Wait()
-	return out
+	return ctx.Err()
 }
 
 // CacheSize reports how many solutions the cache currently holds

@@ -6,6 +6,7 @@ import (
 	"context"
 	"errors"
 	"reflect"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -259,5 +260,154 @@ func TestServiceWaiterSurvivesLeaderCancellation(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("waiter never completed")
+	}
+}
+
+// ---- bounded batch runner ----
+
+// batchStubFn is the behaviour of the "test-batch-stub" method; tests
+// install their own function (tests in this package run sequentially).
+var batchStubFn atomic.Value // func(context.Context, mwl.Problem) (mwl.Solution, error)
+
+type batchStubSolver struct{}
+
+func (batchStubSolver) Solve(ctx context.Context, p mwl.Problem) (mwl.Solution, error) {
+	fn := batchStubFn.Load().(func(context.Context, mwl.Problem) (mwl.Solution, error))
+	return fn(ctx, p)
+}
+
+func init() {
+	if err := mwl.Register("test-batch-stub", batchStubSolver{}); err != nil {
+		panic(err)
+	}
+}
+
+func setBatchStub(t *testing.T, fn func(context.Context, mwl.Problem) (mwl.Solution, error)) {
+	t.Helper()
+	batchStubFn.Store(fn)
+}
+
+// stubBatch builds n distinct problems (distinct hashes via Lambda) all
+// solved by the test stub.
+func stubBatch(n int) []mwl.Problem {
+	out := make([]mwl.Problem, n)
+	for i := range out {
+		out[i] = mwl.Problem{Method: "test-batch-stub", Lambda: i + 1}
+	}
+	return out
+}
+
+// TestSolveBatchBoundedFanOut is the regression test for the
+// goroutine-per-problem bug: a 10k-problem batch against a 4-worker
+// service must run on ~4 batch goroutines, not 10k. The stub blocks
+// every in-flight solve so the batch is caught mid-stride with all
+// workers busy, then the goroutine count is compared against the
+// pre-batch baseline.
+func TestSolveBatchBoundedFanOut(t *testing.T) {
+	const workers, problems = 4, 10_000
+	svc := mwl.NewService(workers)
+	started := make(chan struct{}, problems)
+	release := make(chan struct{})
+	setBatchStub(t, func(ctx context.Context, p mwl.Problem) (mwl.Solution, error) {
+		started <- struct{}{}
+		select {
+		case <-release:
+			return mwl.Solution{Method: "test-batch-stub", Area: int64(p.Lambda)}, nil
+		case <-ctx.Done():
+			return mwl.Solution{}, ctx.Err()
+		}
+	})
+	base := runtime.NumGoroutine()
+	done := make(chan []mwl.BatchResult, 1)
+	go func() { done <- svc.SolveBatch(context.Background(), stubBatch(problems)) }()
+	for i := 0; i < workers; i++ {
+		<-started // all worker slots occupied, batch mid-stride
+	}
+	if g := runtime.NumGoroutine(); g > base+2*workers+8 {
+		t.Fatalf("%d goroutines during a %d-problem batch (baseline %d): fan-out not bounded by the worker count", g, problems, base)
+	}
+	close(release)
+	results := <-done
+	if len(results) != problems {
+		t.Fatalf("%d results for %d problems", len(results), problems)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("problem %d: %v", i, r.Err)
+		}
+		if r.Solution.Area != int64(i+1) {
+			t.Fatalf("problem %d answered with area %d", i, r.Solution.Area)
+		}
+	}
+}
+
+// TestSolveBatchCancellationStopsSpawning: once the batch context is
+// canceled, no further solver runs start — the two in-flight solves
+// unwind with ctx.Err() and every remaining problem is reported with
+// ctx.Err() without touching the solver.
+func TestSolveBatchCancellationStopsSpawning(t *testing.T) {
+	const workers, problems = 2, 64
+	svc := mwl.NewService(workers)
+	var calls atomic.Int64
+	entered := make(chan struct{}, problems)
+	setBatchStub(t, func(ctx context.Context, p mwl.Problem) (mwl.Solution, error) {
+		calls.Add(1)
+		entered <- struct{}{}
+		<-ctx.Done()
+		return mwl.Solution{}, ctx.Err()
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-entered
+		<-entered // both workers are inside the solver
+		cancel()
+	}()
+	results := svc.SolveBatch(ctx, stubBatch(problems))
+	if got := calls.Load(); got != workers {
+		t.Fatalf("solver ran %d times; want exactly %d (the in-flight solves at cancel)", got, workers)
+	}
+	for i, r := range results {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("result %d: err = %v, want context.Canceled", i, r.Err)
+		}
+	}
+}
+
+// TestSolveBatchFuncCompletionOrder: SolveBatchFunc must deliver each
+// result as its solve completes — a fast problem's callback fires while
+// a slow sibling is still running, which is what lets the stream
+// endpoint emit its first NDJSON record before the batch finishes.
+func TestSolveBatchFuncCompletionOrder(t *testing.T) {
+	svc := mwl.NewService(2)
+	slowGate := make(chan struct{})
+	setBatchStub(t, func(ctx context.Context, p mwl.Problem) (mwl.Solution, error) {
+		if p.Lambda == 1 { // the slow problem
+			select {
+			case <-slowGate:
+			case <-ctx.Done():
+				return mwl.Solution{}, ctx.Err()
+			}
+		}
+		return mwl.Solution{Method: "test-batch-stub", Area: int64(p.Lambda)}, nil
+	})
+	got := make(chan int, 2)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- svc.SolveBatchFunc(context.Background(), stubBatch(2), func(i int, r mwl.BatchResult) {
+			if r.Err != nil {
+				t.Errorf("problem %d: %v", i, r.Err)
+			}
+			got <- i
+		})
+	}()
+	if first := <-got; first != 1 {
+		t.Fatalf("first completion was problem %d; want the fast problem (1) while the slow one still runs", first)
+	}
+	close(slowGate)
+	if second := <-got; second != 0 {
+		t.Fatalf("second completion was %d, want 0", second)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("SolveBatchFunc returned %v for a completed batch", err)
 	}
 }

@@ -109,13 +109,22 @@ type SolveStats struct {
 // opposed to infeasible constraints or solver-internal failures.
 var ErrInvalidProblem = errors.New("mwl: invalid problem")
 
+// ErrInfeasible is the method-independent infeasibility sentinel:
+// errors wrapping it are recognised by IsInfeasible. The built-in
+// methods report their own internal sentinels (also recognised); this
+// one exists for layers that learn of infeasibility without running a
+// solver — the mwld shard forwarder wraps it when relaying a peer's
+// infeasible verdict so the classification survives the wire.
+var ErrInfeasible = errors.New("mwl: problem infeasible")
+
 // IsInfeasible reports whether a solve failed because no datapath can
 // meet the problem's constraints (λ below λ_min, resource limits too
 // tight, or no II-feasible kind), as opposed to a malformed problem or a
-// cancellation. It recognises the infeasibility sentinels of every
-// built-in method.
+// cancellation. It recognises ErrInfeasible and the infeasibility
+// sentinels of every built-in method.
 func IsInfeasible(err error) bool {
-	return errors.Is(err, core.ErrInfeasible) ||
+	return errors.Is(err, ErrInfeasible) ||
+		errors.Is(err, core.ErrInfeasible) ||
 		errors.Is(err, exact.ErrInfeasible) ||
 		errors.Is(err, ilp.ErrInfeasible) ||
 		errors.Is(err, pipeline.ErrInfeasible) ||

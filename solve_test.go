@@ -1,5 +1,5 @@
 // Tests for the Solver API: registry behaviour, bit-for-bit equivalence
-// of the registered methods with the legacy entry points, and prompt
+// of the registered methods with the underlying allocators, and prompt
 // cancellation through the context plumbing.
 package mwl_test
 
@@ -12,6 +12,13 @@ import (
 	"time"
 
 	mwl "repro"
+	"repro/internal/core"
+	"repro/internal/descend"
+	"repro/internal/exact"
+	"repro/internal/ilp"
+	"repro/internal/pipeline"
+	"repro/internal/sched"
+	"repro/internal/twostage"
 )
 
 func TestRegistryHasAllSixMethods(t *testing.T) {
@@ -105,10 +112,11 @@ func equivCorpus(t *testing.T, n int) []equivCase {
 	return out
 }
 
-// TestSolveMatchesLegacyEntryPoints: every registered method must
-// produce a datapath identical (schedule, binding, kinds) to its
-// pre-registry entry point on the equivalence corpus.
-func TestSolveMatchesLegacyEntryPoints(t *testing.T) {
+// TestSolveMatchesAllocators: every registered method must produce a
+// datapath identical (schedule, binding, kinds) to the underlying
+// allocator it wraps on the equivalence corpus — Solve adds the
+// envelope, never a different answer.
+func TestSolveMatchesAllocators(t *testing.T) {
 	ctx := context.Background()
 	lib := mwl.DefaultLibrary()
 
@@ -133,32 +141,32 @@ func TestSolveMatchesLegacyEntryPoints(t *testing.T) {
 		t.Run(c.name, func(t *testing.T) {
 			p := mwl.Problem{Graph: c.g, Lambda: c.lambda}
 
-			legacyH, _, err := mwl.Allocate(c.g, lib, c.lambda, mwl.Options{})
+			direct, _, err := core.Allocate(c.g, lib, c.lambda, core.Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
-			check(t, "dpalloc", p, legacyH)
+			check(t, "dpalloc", p, direct)
 
-			legacyTS, err := mwl.AllocateTwoStage(c.g, lib, c.lambda)
+			ts, _, err := twostage.Allocate(c.g, lib, c.lambda)
 			if err != nil {
 				t.Fatal(err)
 			}
-			check(t, "twostage", p, legacyTS)
+			check(t, "twostage", p, ts)
 
-			legacyDe, err := mwl.AllocateDescending(c.g, lib, c.lambda)
+			de, err := descend.Allocate(c.g, lib, c.lambda)
 			if err != nil {
 				t.Fatal(err)
 			}
-			check(t, "descend", p, legacyDe)
+			check(t, "descend", p, de)
 
 			ii := c.lambda // sequential initiation: the paper's setting
-			legacyPipe, err := mwl.AllocatePipelined(c.g, lib, c.lambda, ii, mwl.PipelineOptions{})
+			pipe, _, err := pipeline.Allocate(c.g, lib, c.lambda, ii, pipeline.Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
 			pp := p
 			pp.II = ii
-			check(t, "pipelined", pp, legacyPipe)
+			check(t, "pipelined", pp, pipe)
 		})
 	}
 
@@ -171,24 +179,24 @@ func TestSolveMatchesLegacyEntryPoints(t *testing.T) {
 		t.Run(c.name+"/exact", func(t *testing.T) {
 			p := mwl.Problem{Graph: c.g, Lambda: c.lambda}
 
-			legacyOpt, err := mwl.AllocateOptimal(c.g, lib, c.lambda)
+			opt, _, err := exact.Allocate(c.g, lib, c.lambda, exact.Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
-			check(t, "optimal", p, legacyOpt)
+			check(t, "optimal", p, opt)
 
-			legacyILP, err := mwl.SolveILP(c.g, lib, c.lambda, mwl.ILPOptions{})
+			r, err := ilp.Solve(c.g, lib, c.lambda, ilp.Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
-			check(t, "ilp", p, legacyILP.DP)
+			check(t, "ilp", p, r.DP)
 		})
 	}
 }
 
-// TestSolveLimitsMatchLegacy: the wire-level Limits map must reproduce
-// the legacy Options.Limits behaviour.
-func TestSolveLimitsMatchLegacy(t *testing.T) {
+// TestSolveLimitsMatchDirect: the wire-level Limits map must reproduce
+// the allocator's typed Options.Limits behaviour.
+func TestSolveLimitsMatchDirect(t *testing.T) {
 	lib := mwl.DefaultLibrary()
 	g := mwl.Fig1Graph()
 	lmin, err := mwl.MinLambda(g, lib)
@@ -196,8 +204,8 @@ func TestSolveLimitsMatchLegacy(t *testing.T) {
 		t.Fatal(err)
 	}
 	lambda := 2 * lmin
-	legacy, _, err := mwl.Allocate(g, lib, lambda, mwl.Options{
-		Limits: mwl.Limits{mwl.Mul: 2, mwl.Add: 1},
+	direct, _, err := core.Allocate(g, lib, lambda, core.Options{
+		Limits: sched.Limits{mwl.Mul: 2, mwl.Add: 1},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -209,7 +217,7 @@ func TestSolveLimitsMatchLegacy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(sol.Datapath, legacy) {
+	if !reflect.DeepEqual(sol.Datapath, direct) {
 		t.Fatal("fixed-limits datapaths differ")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"errors"
+	"fmt"
 )
 
 // Hash returns the canonical content hash of the problem: the SHA-256 of
@@ -67,4 +68,39 @@ func WireBatch(results []BatchResult) BatchResponse {
 		out.Results[i] = r.Wire()
 	}
 	return out
+}
+
+// StreamResultWire is one NDJSON record of the streaming batch endpoint
+// (POST /v1/solve/stream): a BatchResultWire tagged with the index of
+// the problem it answers in the request's Problems array. Records are
+// emitted as solves complete, so they arrive in completion order, not
+// input order — clients reassemble by Index.
+type StreamResultWire struct {
+	Index int `json:"index"`
+	BatchResultWire
+}
+
+// WireStream converts one indexed batch outcome into its NDJSON stream
+// record.
+func WireStream(i int, r BatchResult) StreamResultWire {
+	return StreamResultWire{Index: i, BatchResultWire: r.Wire()}
+}
+
+// FromWire converts a wire-form result back into a BatchResult, the
+// inverse of BatchResult.Wire up to error identity: a relayed error
+// becomes a plain error carrying the original message, wrapping
+// ErrInfeasible when the record was marked infeasible so the
+// classification survives another Wire round trip. The mwld shard
+// forwarder uses this to relay a peer's answer as its own.
+func (r BatchResultWire) FromWire() BatchResult {
+	if r.Error != "" {
+		if r.Infeasible {
+			return BatchResult{Err: fmt.Errorf("%w: %s", ErrInfeasible, r.Error)}
+		}
+		return BatchResult{Err: errors.New(r.Error)}
+	}
+	if r.Solution == nil {
+		return BatchResult{Err: errors.New("mwl: wire result carries neither solution nor error")}
+	}
+	return BatchResult{Solution: *r.Solution}
 }

@@ -171,3 +171,53 @@ func TestProblemHash(t *testing.T) {
 		t.Fatal("problem with Lib override hashed")
 	}
 }
+
+// TestStreamResultWire: the NDJSON stream record carries the problem
+// index alongside the standard batch result fields, and FromWire
+// reverses the conversion — including the infeasible classification,
+// which must survive a Wire/FromWire/Wire round trip so relayed
+// verdicts keep their 422-vs-500 meaning.
+func TestStreamResultWire(t *testing.T) {
+	ok := mwl.BatchResult{Solution: mwl.Solution{Method: "dpalloc", Area: 42}}
+	rec := mwl.WireStream(3, ok)
+	blob, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), `"index":3`) {
+		t.Fatalf("record not index-tagged: %s", blob)
+	}
+	var back mwl.StreamResultWire
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Index != 3 || back.Solution == nil || back.Solution.Area != 42 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if r := back.FromWire(); r.Err != nil || r.Solution.Area != 42 {
+		t.Fatalf("FromWire: %+v", r)
+	}
+
+	// Zero index must still appear on the wire: clients key on it.
+	if blob, _ := json.Marshal(mwl.WireStream(0, ok)); !strings.Contains(string(blob), `"index":0`) {
+		t.Fatalf("index 0 omitted: %s", blob)
+	}
+
+	infeasible := mwl.BatchResultWire{Error: "lambda below minimum", Infeasible: true}
+	r := infeasible.FromWire()
+	if r.Err == nil || !mwl.IsInfeasible(r.Err) {
+		t.Fatalf("FromWire dropped infeasibility: %v", r.Err)
+	}
+	if again := r.Wire(); !again.Infeasible || again.Error == "" {
+		t.Fatalf("Wire round trip lost infeasibility: %+v", again)
+	}
+
+	plain := mwl.BatchResultWire{Error: "solver exploded"}
+	if r := plain.FromWire(); r.Err == nil || mwl.IsInfeasible(r.Err) || r.Err.Error() != "solver exploded" {
+		t.Fatalf("plain error mangled: %v", r.Err)
+	}
+
+	if r := (mwl.BatchResultWire{}).FromWire(); r.Err == nil {
+		t.Fatal("empty wire record produced no error")
+	}
+}
