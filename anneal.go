@@ -1,0 +1,43 @@
+package mwl
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/anneal"
+)
+
+// The "anneal" method: a simulated-annealing allocator over joint
+// (schedule, binding) moves — operator merge/split, operation
+// re-binding, and scheduling-slot swaps — with Metropolis acceptance
+// and geometric cooling. It trades a move budget for solution quality:
+// on irregular graphs it can undercut the one-shot DPAlloc heuristic,
+// and with Options.Seed fixed it is bit-reproducible. Tuning knobs:
+// Options.Seed, AnnealMoves, AnnealInitTemp, AnnealCooling.
+
+func init() {
+	mustRegister("anneal", "simulated annealing over (schedule, binding) moves; seeded, geometric cooling",
+		SolverFunc(solveAnneal))
+}
+
+func solveAnneal(ctx context.Context, p Problem) (Solution, error) {
+	lib, err := p.prepare(ctx, false)
+	if err != nil {
+		return Solution{}, err
+	}
+	t0 := time.Now()
+	dp, st, err := anneal.AllocateCtx(ctx, p.Graph, lib, p.Lambda, anneal.Options{
+		Seed:     p.Options.Seed,
+		Moves:    p.Options.AnnealMoves,
+		InitTemp: p.Options.AnnealInitTemp,
+		Cooling:  p.Options.AnnealCooling,
+	})
+	if err != nil {
+		return Solution{}, err
+	}
+	return newSolution("anneal", lib, dp, time.Since(t0), SolveStats{
+		Iterations: st.Epochs,
+		Moves:      st.Moves,
+		Accepted:   st.Accepted,
+	}), nil
+}

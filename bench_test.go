@@ -473,3 +473,74 @@ func BenchmarkAllocateScaling(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkAnneal times the simulated-annealing backend across problem
+// sizes at a relaxed λ, reporting the achieved area next to DPAlloc's
+// on the same graphs so the quality/runtime trade-off is visible in
+// BENCH.json.
+func BenchmarkAnneal(b *testing.B) {
+	lib := mwl.DefaultLibrary()
+	for _, n := range []int{8, 12, 16} {
+		graphs, err := tgff.Batch(n, 10, benchSeed, tgff.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			var annArea, heurArea int64
+			for i := 0; i < b.N; i++ {
+				annArea, heurArea = 0, 0
+				for gi, g := range graphs {
+					lmin, err := g.MinMakespan(lib)
+					if err != nil {
+						b.Fatal(err)
+					}
+					lambda := lmin + lmin/5
+					sol, err := mwl.Solve(context.Background(), mwl.Problem{
+						Method: "anneal", Graph: g, Lambda: lambda,
+						Options: mwl.SolveOptions{Seed: int64(gi), AnnealMoves: 4000},
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					annArea += sol.Area
+					h, _, err := core.Allocate(g, lib, lambda, core.Options{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					heurArea += h.Area(lib)
+				}
+			}
+			b.ReportMetric(float64(annArea)/float64(len(graphs)), "anneal-mean-area")
+			b.ReportMetric(float64(heurArea)/float64(len(graphs)), "dpalloc-mean-area")
+		})
+	}
+}
+
+// BenchmarkPortfolio times the portfolio race over the default heuristic
+// entrants, reporting the winning area.
+func BenchmarkPortfolio(b *testing.B) {
+	lib := mwl.DefaultLibrary()
+	graphs, err := tgff.Batch(12, 10, benchSeed, tgff.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var winArea int64
+	for i := 0; i < b.N; i++ {
+		winArea = 0
+		for gi, g := range graphs {
+			lmin, err := g.MinMakespan(lib)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sol, err := mwl.Solve(context.Background(), mwl.Problem{
+				Method: "portfolio", Graph: g, Lambda: lmin + lmin/5,
+				Options: mwl.SolveOptions{Seed: int64(gi), AnnealMoves: 2000},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			winArea += sol.Area
+		}
+	}
+	b.ReportMetric(float64(winArea)/float64(len(graphs)), "portfolio-mean-area")
+}

@@ -36,6 +36,8 @@ func main() {
 	var (
 		fig      = flag.Int("fig", 0, "figure to regenerate (3, 4 or 5); 0 = all")
 		table    = flag.Int("table", 0, "table to regenerate (2); 0 = all")
+		methods  = flag.Bool("methods", false, "run the backend comparison sweep (dpalloc/twostage/descend/anneal/portfolio) instead of the paper figures")
+		annMoves = flag.Int("annealmoves", 4000, "simulated-annealing proposal budget per graph in -methods")
 		graphs   = flag.Int("graphs", 0, "graphs per configuration (0 = per-experiment default)")
 		seed     = flag.Int64("seed", 2001, "base RNG seed")
 		sizesF   = flag.String("sizes", "", "comma-separated problem sizes (default per experiment)")
@@ -69,7 +71,7 @@ func main() {
 		fmt.Printf("(csv written to %s)\n", path)
 	}
 
-	all := *fig == 0 && *table == 0
+	all := *fig == 0 && *table == 0 && !*methods
 	cfg := expt.Config{Seed: *seed}
 
 	pick := func(def int) int {
@@ -88,6 +90,20 @@ func main() {
 		return def
 	}
 
+	if *methods {
+		cfg.Graphs = pick(25)
+		szs := sizes([]int{4, 8, 12, 16})
+		relaxes := []float64{0, 0.10, 0.20, 0.30}
+		fmt.Printf("# Methods — %d graphs/point, sizes %v, anneal budget %d moves\n",
+			cfg.Graphs, szs, *annMoves)
+		pts, err := expt.Methods(ctx, cfg, szs, relaxes, *annMoves)
+		if err != nil {
+			log.Fatal(err)
+		}
+		expt.WriteMethods(os.Stdout, pts)
+		writeCSV("methods.csv", func(w io.Writer) error { return expt.WriteMethodsCSV(w, pts) })
+		fmt.Println()
+	}
 	if all || *fig == 3 {
 		cfg.Graphs = pick(25)
 		cfg.FullArea = *fullArea

@@ -48,6 +48,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"time"
 
@@ -67,6 +68,7 @@ func main() {
 		storeDir     = flag.String("store-dir", "", "persistent result store directory (empty = no persistence)")
 		peers        = flag.String("peers", "", "comma-separated replica addresses of the whole cluster, this one included (empty = single replica)")
 		self         = flag.String("self", "", "this replica's address exactly as it appears in -peers")
+		verify       = flag.Bool("verify", false, "validate every solution with mwl.Verify before serving; re-verify store entries on load")
 	)
 	flag.Parse()
 
@@ -79,6 +81,7 @@ func main() {
 		Workers:      *workers,
 		CacheEntries: *cacheEntries,
 		CacheBytes:   *cacheBytes,
+		Verify:       *verify,
 	}
 	if *storeDir != "" {
 		fs, err := mwl.NewFileStore(*storeDir)
@@ -361,9 +364,22 @@ func writeMetrics(w io.Writer, m mwl.Metrics) {
 		{"mwld_store_hits_total", "Persistent-store hits on cache misses.", c.StoreHits},
 		{"mwld_store_misses_total", "Persistent-store misses on cache misses.", c.StoreMisses},
 		{"mwld_store_put_errors_total", "Failed persistent-store write-throughs (best-effort).", c.StorePutErrors},
+		{"mwld_verify_failures_total", "Solutions rejected by mwl.Verify (corrupted store entries and misbehaving solvers).", c.VerifyFailures},
 	}
 	for _, ct := range counters {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", ct.name, ct.help, ct.name, ct.name, ct.v)
+	}
+	if wins := mwl.PortfolioWins(); len(wins) > 0 {
+		fmt.Fprintln(w, "# HELP mwld_portfolio_wins_total Portfolio race wins by method.")
+		fmt.Fprintln(w, "# TYPE mwld_portfolio_wins_total counter")
+		names := make([]string, 0, len(wins))
+		for name := range wins {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(w, "mwld_portfolio_wins_total{method=%q} %d\n", name, wins[name])
+		}
 	}
 	gauges := []struct {
 		name, help string
@@ -399,7 +415,8 @@ func promFloat(f float64) string {
 // gone either way); anything else is a solver-internal fault (500).
 func solveStatus(err error) int {
 	switch {
-	case errors.Is(err, mwl.ErrUnknownMethod), errors.Is(err, mwl.ErrInvalidProblem):
+	case errors.Is(err, mwl.ErrUnknownMethod), errors.Is(err, mwl.ErrInvalidProblem),
+		errors.Is(err, mwl.ErrVerify):
 		return http.StatusBadRequest
 	case errors.Is(err, context.Canceled):
 		return 499

@@ -54,7 +54,7 @@ func TestMethodsEndpoint(t *testing.T) {
 	for _, m := range out.Methods {
 		names[m.Name] = true
 	}
-	for _, want := range []string{"dpalloc", "twostage", "descend", "optimal", "ilp", "pipelined"} {
+	for _, want := range []string{"dpalloc", "twostage", "descend", "optimal", "ilp", "pipelined", "anneal", "portfolio"} {
 		if !names[want] {
 			t.Fatalf("method %q missing from %v", want, names)
 		}
@@ -483,5 +483,99 @@ func TestShutdownCancelsInFlightSolves(t *testing.T) {
 		}
 	case <-time.After(2 * time.Second):
 		t.Fatal("client still blocked after Shutdown returned")
+	}
+}
+
+// brokenSolver returns a parseable-but-illegal solution, standing in
+// for a misbehaving backend behind the registry.
+type brokenSolver struct{}
+
+func (brokenSolver) Solve(ctx context.Context, p mwl.Problem) (mwl.Solution, error) {
+	return mwl.Solution{Method: "test-broken", Datapath: &mwl.Datapath{}, Area: 3}, nil
+}
+
+func init() {
+	if err := mwl.Register("test-broken", brokenSolver{}); err != nil {
+		panic(err)
+	}
+}
+
+// TestVerifyFlagRejectsIllegalSolution: with -verify the Service runs
+// mwl.Verify on every solution; an internal inconsistency answers 400
+// with the validator's diagnostic instead of serving the bad datapath.
+func TestVerifyFlagRejectsIllegalSolution(t *testing.T) {
+	srv := httptest.NewServer(newHandler(handlerConfig{
+		svc:     mwl.NewServiceWith(mwl.ServiceOptions{Workers: 2, Verify: true}),
+		maxBody: 1 << 20,
+	}))
+	defer srv.Close()
+	g := mwl.Fig1Graph()
+	blob, _ := json.Marshal(mwl.Problem{Method: "test-broken", Graph: g, Lambda: 40})
+	resp, body := postSolve(t, srv, blob)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "failed verification") {
+		t.Fatalf("diagnostic missing from %s", body)
+	}
+
+	// Honest solves still work through the same verifying service, and
+	// the failure shows up on /metrics.
+	good, _ := json.Marshal(mwl.Problem{Graph: g, Lambda: 40})
+	if resp, body := postSolve(t, srv, good); resp.StatusCode != http.StatusOK {
+		t.Fatalf("honest solve under -verify: status %d: %s", resp.StatusCode, body)
+	}
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(mresp.Body)
+	if !strings.Contains(buf.String(), "mwld_verify_failures_total 1") {
+		t.Fatalf("verify failure not counted:\n%s", buf.String())
+	}
+}
+
+// TestPortfolioWinsMetric: a portfolio solve through the HTTP surface
+// moves the per-method win counter on /metrics.
+func TestPortfolioWinsMetric(t *testing.T) {
+	srv := testServer(t)
+	g := mwl.Fig1Graph()
+	lmin, err := mwl.MinLambda(g, mwl.DefaultLibrary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := json.Marshal(mwl.Problem{
+		Method: "portfolio",
+		Graph:  g,
+		Lambda: lmin + 2,
+		Options: mwl.SolveOptions{
+			Portfolio:   []string{"dpalloc", "twostage"},
+			Seed:        1,
+			AnnealMoves: 200,
+		},
+	})
+	resp, body := postSolve(t, srv, blob)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sol mwl.Solution
+	if err := json.Unmarshal(body, &sol); err != nil {
+		t.Fatal(err)
+	}
+	if sol.Method != "portfolio" || sol.Stats.Winner == "" {
+		t.Fatalf("portfolio envelope missing: method %q winner %q", sol.Method, sol.Stats.Winner)
+	}
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(mresp.Body)
+	want := fmt.Sprintf("mwld_portfolio_wins_total{method=%q}", sol.Stats.Winner)
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("metrics missing %q:\n%s", want, buf.String())
 	}
 }

@@ -1,0 +1,462 @@
+// Package anneal implements a simulated-annealing datapath allocator
+// over joint (schedule, binding) moves, an alternative point in the
+// quality/runtime trade-off space next to the paper's one-shot DPAlloc
+// heuristic: stochastic search routinely beats constructive heuristics
+// on irregular graphs at the price of a move budget.
+//
+// The state is a partition of the operations into operator instances
+// (each instance's concrete kind is the element-wise join of its
+// members' signatures, so an instance always covers everything bound to
+// it) plus a scheduling-priority permutation. A binding-aware list
+// scheduler derives the schedule: operations become ready when their
+// predecessors finish and serialize on their shared instance, so every
+// evaluated state is a structurally legal datapath and only the latency
+// constraint λ can fail. Moves are the classic allocation neighborhood:
+//
+//   - merge: fuse two instances of one hardware class (area drops to the
+//     joined kind's cost, latencies may grow);
+//   - split: evict one operation onto a fresh minimal instance;
+//   - rebind: move one operation to another existing instance;
+//   - slot swap: exchange two operations' scheduling priorities, which
+//     re-times the derived schedule without touching the binding.
+//
+// Acceptance is standard Metropolis with geometric cooling: improving
+// feasible moves always pass, worsening feasible moves pass with
+// probability exp(-ΔA/T), infeasible proposals (makespan > λ) are
+// rejected outright. The RNG is seeded from Options, so a fixed seed
+// reproduces the identical solution bit for bit; the inner loop polls
+// ctx every proposal and returns promptly on cancellation.
+package anneal
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/datapath"
+	"repro/internal/dfg"
+	"repro/internal/model"
+)
+
+// ErrInfeasible is returned when no datapath can meet the latency
+// constraint (λ below λ_min).
+var ErrInfeasible = errors.New("anneal: latency constraint infeasible")
+
+// Options tunes the annealer. The zero value applies the documented
+// defaults; Seed 0 is a valid (and the default) seed.
+type Options struct {
+	// Seed seeds the move RNG. Identical seeds (with identical inputs
+	// and options) produce identical solutions.
+	Seed int64
+	// Moves is the total proposal budget; default 20000.
+	Moves int
+	// InitTemp is the starting temperature in area units; <= 0 derives
+	// it from the initial area (5% of it, at least 1).
+	InitTemp float64
+	// Cooling is the geometric decay applied per epoch, in (0, 1);
+	// default 0.95. An epoch is max(64, 8·n) proposals.
+	Cooling float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Moves <= 0 {
+		o.Moves = 20000
+	}
+	if o.Cooling <= 0 || o.Cooling >= 1 {
+		o.Cooling = 0.95
+	}
+	return o
+}
+
+// Stats reports how the annealer ran.
+type Stats struct {
+	Moves    int // proposals evaluated
+	Accepted int // proposals accepted (including sideways/worsening)
+	Improved int // times a new best-so-far was recorded
+	Epochs   int // completed cooling epochs
+}
+
+// state is one point of the search space. Groups hold operation IDs per
+// instance (empty groups are dead slots awaiting reuse); prio ranks
+// operations for the list scheduler (lower rank schedules first among
+// simultaneously ready operations).
+type state struct {
+	groups  [][]dfg.OpID
+	groupOf []int
+	prio    []int
+}
+
+func (s *state) clone() *state {
+	c := &state{
+		groups:  make([][]dfg.OpID, len(s.groups)),
+		groupOf: append([]int(nil), s.groupOf...),
+		prio:    append([]int(nil), s.prio...),
+	}
+	for i, g := range s.groups {
+		if len(g) > 0 {
+			c.groups[i] = append([]dfg.OpID(nil), g...)
+		}
+	}
+	return c
+}
+
+// evaluation is the derived schedule and cost of a state.
+type evaluation struct {
+	start    []int
+	makespan int
+	area     int64
+	kinds    []model.Kind // per group; zero Kind for empty groups
+}
+
+// allocator carries the immutable problem facts shared by every
+// evaluation.
+type allocator struct {
+	d      *dfg.Graph
+	lib    *model.Library
+	lambda int
+	class  []model.OpType // hardware class per op
+	sig    []model.Signature
+	order  []dfg.OpID // topological order
+}
+
+// AllocateCtx runs the simulated-annealing allocator and returns the
+// best feasible datapath found within the move budget.
+func AllocateCtx(ctx context.Context, d *dfg.Graph, lib *model.Library, lambda int, opt Options) (*datapath.Datapath, Stats, error) {
+	var stats Stats
+	if err := d.Validate(); err != nil {
+		return nil, stats, err
+	}
+	n := d.N()
+	if n == 0 {
+		return &datapath.Datapath{}, stats, nil
+	}
+	opt = opt.withDefaults()
+	order, err := d.TopoOrder()
+	if err != nil {
+		return nil, stats, err
+	}
+	a := &allocator{
+		d: d, lib: lib, lambda: lambda,
+		class: make([]model.OpType, n),
+		sig:   make([]model.Signature, n),
+		order: order,
+	}
+	for _, o := range d.Ops() {
+		a.class[o.ID] = o.Spec.Type.HardwareClass()
+		a.sig[o.ID] = o.Spec.Sig
+	}
+
+	// Initial state: dedicated minimal instance per operation, priorities
+	// in topological order. Its list schedule is ASAP at minimum
+	// latencies, so it is feasible exactly when λ ≥ λ_min.
+	cur := &state{
+		groups:  make([][]dfg.OpID, n),
+		groupOf: make([]int, n),
+		prio:    make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		cur.groups[i] = []dfg.OpID{dfg.OpID(i)}
+		cur.groupOf[i] = i
+	}
+	for rank, id := range order {
+		cur.prio[id] = rank
+	}
+	curEval := a.evaluate(cur)
+	if curEval.makespan > lambda {
+		return nil, stats, fmt.Errorf("%w: λ=%d below λ_min=%d", ErrInfeasible, lambda, curEval.makespan)
+	}
+
+	best, bestEval := cur.clone(), curEval
+	rnd := rand.New(rand.NewSource(opt.Seed))
+	temp := opt.InitTemp
+	if temp <= 0 {
+		temp = float64(curEval.area) * 0.05
+		if temp < 1 {
+			temp = 1
+		}
+	}
+	epochLen := 8 * n
+	if epochLen < 64 {
+		epochLen = 64
+	}
+
+	for move := 0; move < opt.Moves; move++ {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
+		if move > 0 && move%epochLen == 0 {
+			temp *= opt.Cooling
+			stats.Epochs++
+		}
+		cand := a.propose(rnd, cur)
+		if cand == nil {
+			continue // no applicable move of the drawn type; not counted
+		}
+		stats.Moves++
+		candEval := a.evaluate(cand)
+		if candEval.makespan > lambda {
+			continue
+		}
+		delta := float64(candEval.area - curEval.area)
+		if delta <= 0 || rnd.Float64() < math.Exp(-delta/temp) {
+			cur, curEval = cand, candEval
+			stats.Accepted++
+			if curEval.area < bestEval.area {
+				best, bestEval = cur.clone(), curEval
+				stats.Improved++
+			}
+		}
+	}
+
+	dp := a.toDatapath(best, bestEval)
+	if err := dp.Verify(d, lib, lambda); err != nil {
+		return nil, stats, fmt.Errorf("anneal: internal error, produced illegal datapath: %w", err)
+	}
+	return dp, stats, nil
+}
+
+// groupKind returns the minimal kind covering every member of the group:
+// the member class plus the element-wise join of the member signatures.
+func (a *allocator) groupKind(ops []dfg.OpID) model.Kind {
+	k := model.Kind{Class: a.class[ops[0]], Sig: a.sig[ops[0]]}
+	for _, o := range ops[1:] {
+		k.Sig = k.Sig.Join(a.sig[o])
+	}
+	return k
+}
+
+// evaluate derives the schedule and cost of a state with a
+// binding-aware list scheduler: among ready operations the one with the
+// lowest priority rank is placed at the earliest step that respects its
+// predecessors' finish times and its instance's existing occupancy.
+func (a *allocator) evaluate(st *state) evaluation {
+	n := a.d.N()
+	ev := evaluation{
+		start: make([]int, n),
+		kinds: make([]model.Kind, len(st.groups)),
+	}
+	lat := make([]int, len(st.groups))
+	for gi, g := range st.groups {
+		if len(g) == 0 {
+			continue
+		}
+		ev.kinds[gi] = a.groupKind(g)
+		lat[gi] = a.lib.Latency(ev.kinds[gi])
+		ev.area += a.lib.Area(ev.kinds[gi])
+	}
+
+	type span struct{ s, e int }
+	busy := make([][]span, len(st.groups))
+	indeg := make([]int, n)
+	finish := make([]int, n)
+	for i := 0; i < n; i++ {
+		indeg[i] = len(a.d.Pred(dfg.OpID(i)))
+	}
+	ready := make([]dfg.OpID, 0, n)
+	for _, id := range a.order {
+		if indeg[id] == 0 {
+			ready = append(ready, id)
+		}
+	}
+	for placed := 0; placed < n; placed++ {
+		// Lowest-rank ready operation; the ready set is tiny.
+		bi := 0
+		for i := 1; i < len(ready); i++ {
+			if st.prio[ready[i]] < st.prio[ready[bi]] {
+				bi = i
+			}
+		}
+		o := ready[bi]
+		ready[bi] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+
+		g := st.groupOf[o]
+		l := lat[g]
+		t := 0
+		for _, p := range a.d.Pred(o) {
+			if finish[p] > t {
+				t = finish[p]
+			}
+		}
+		// Earliest gap of length l in the instance's occupancy. Spans are
+		// appended in nondecreasing placement order per group only when
+		// priorities respect it, so walk the whole list.
+		for changed := true; changed; {
+			changed = false
+			for _, sp := range busy[g] {
+				if sp.s < t+l && t < sp.e {
+					t = sp.e
+					changed = true
+				}
+			}
+		}
+		busy[g] = append(busy[g], span{t, t + l})
+		ev.start[o] = t
+		finish[o] = t + l
+		if t+l > ev.makespan {
+			ev.makespan = t + l
+		}
+		for _, s := range a.d.Succ(o) {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	return ev
+}
+
+// propose draws one move and returns the mutated clone, or nil when the
+// drawn move has no applicable candidates in this state.
+func (a *allocator) propose(rnd *rand.Rand, cur *state) *state {
+	switch roll := rnd.Float64(); {
+	case roll < 0.35:
+		return a.proposeRebind(rnd, cur)
+	case roll < 0.60:
+		return a.proposeMerge(rnd, cur)
+	case roll < 0.80:
+		return a.proposeSplit(rnd, cur)
+	default:
+		return a.proposeSwap(rnd, cur)
+	}
+}
+
+// proposeRebind moves one operation onto another existing instance of
+// its hardware class.
+func (a *allocator) proposeRebind(rnd *rand.Rand, cur *state) *state {
+	n := len(cur.groupOf)
+	o := dfg.OpID(rnd.Intn(n))
+	var targets []int
+	for gi, g := range cur.groups {
+		if gi != cur.groupOf[o] && len(g) > 0 && a.class[g[0]] == a.class[o] {
+			targets = append(targets, gi)
+		}
+	}
+	if len(targets) == 0 {
+		return nil
+	}
+	st := cur.clone()
+	moveOp(st, o, targets[rnd.Intn(len(targets))])
+	return st
+}
+
+// proposeMerge fuses two instances of one hardware class.
+func (a *allocator) proposeMerge(rnd *rand.Rand, cur *state) *state {
+	var live []int
+	for gi, g := range cur.groups {
+		if len(g) > 0 {
+			live = append(live, gi)
+		}
+	}
+	if len(live) < 2 {
+		return nil
+	}
+	src := live[rnd.Intn(len(live))]
+	var targets []int
+	for _, gi := range live {
+		if gi != src && a.class[cur.groups[gi][0]] == a.class[cur.groups[src][0]] {
+			targets = append(targets, gi)
+		}
+	}
+	if len(targets) == 0 {
+		return nil
+	}
+	dst := targets[rnd.Intn(len(targets))]
+	st := cur.clone()
+	for _, o := range st.groups[src] {
+		st.groupOf[o] = dst
+	}
+	st.groups[dst] = append(st.groups[dst], st.groups[src]...)
+	st.groups[src] = nil
+	return st
+}
+
+// proposeSplit evicts one operation from a shared instance onto a fresh
+// minimal one.
+func (a *allocator) proposeSplit(rnd *rand.Rand, cur *state) *state {
+	var shared []int
+	for gi, g := range cur.groups {
+		if len(g) >= 2 {
+			shared = append(shared, gi)
+		}
+	}
+	if len(shared) == 0 {
+		return nil
+	}
+	gi := shared[rnd.Intn(len(shared))]
+	o := cur.groups[gi][rnd.Intn(len(cur.groups[gi]))]
+	st := cur.clone()
+	moveOp(st, o, freeSlot(st))
+	return st
+}
+
+// proposeSwap exchanges two operations' scheduling priorities.
+func (a *allocator) proposeSwap(rnd *rand.Rand, cur *state) *state {
+	n := len(cur.prio)
+	if n < 2 {
+		return nil
+	}
+	i := rnd.Intn(n)
+	j := rnd.Intn(n - 1)
+	if j >= i {
+		j++
+	}
+	st := cur.clone()
+	st.prio[i], st.prio[j] = st.prio[j], st.prio[i]
+	return st
+}
+
+// moveOp reassigns one operation to group dst, removing it from its
+// current group (which may become a dead slot).
+func moveOp(st *state, o dfg.OpID, dst int) {
+	src := st.groupOf[o]
+	g := st.groups[src]
+	for i, m := range g {
+		if m == o {
+			st.groups[src] = append(g[:i], g[i+1:]...)
+			break
+		}
+	}
+	if len(st.groups[src]) == 0 {
+		st.groups[src] = nil
+	}
+	st.groups[dst] = append(st.groups[dst], o)
+	st.groupOf[o] = dst
+}
+
+// freeSlot returns the index of an empty group slot, growing the slice
+// when none is free.
+func freeSlot(st *state) int {
+	for gi, g := range st.groups {
+		if len(g) == 0 {
+			return gi
+		}
+	}
+	st.groups = append(st.groups, nil)
+	return len(st.groups) - 1
+}
+
+// toDatapath converts the best state into the common result
+// representation, dropping dead group slots.
+func (a *allocator) toDatapath(st *state, ev evaluation) *datapath.Datapath {
+	dp := &datapath.Datapath{
+		Start:  append([]int(nil), ev.start...),
+		InstOf: make([]int, len(st.groupOf)),
+	}
+	for gi, g := range st.groups {
+		if len(g) == 0 {
+			continue
+		}
+		idx := len(dp.Instances)
+		dp.Instances = append(dp.Instances, datapath.Instance{
+			Kind: ev.kinds[gi],
+			Ops:  append([]dfg.OpID(nil), g...),
+		})
+		for _, o := range g {
+			dp.InstOf[o] = idx
+		}
+	}
+	return dp
+}

@@ -1,0 +1,183 @@
+package anneal
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dfg"
+	"repro/internal/model"
+	"repro/internal/tgff"
+)
+
+func TestAnnealProducesLegalDatapaths(t *testing.T) {
+	lib := model.Default()
+	for seed := int64(0); seed < 10; seed++ {
+		g, err := tgff.Generate(tgff.Config{N: 9, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lmin, err := g.MinMakespan(lib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lambda := lmin + lmin/5
+		dp, st, err := AllocateCtx(context.Background(), g, lib, lambda, Options{Seed: seed, Moves: 4000})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := dp.Verify(g, lib, lambda); err != nil {
+			t.Fatalf("seed %d: illegal datapath: %v", seed, err)
+		}
+		if st.Moves == 0 || st.Accepted == 0 {
+			t.Fatalf("seed %d: annealer did not search (stats %+v)", seed, st)
+		}
+	}
+}
+
+// TestAnnealSharesResources: with slack, annealing must beat the trivial
+// one-instance-per-operation allocation on at least some graphs — the
+// whole point of the merge moves.
+func TestAnnealSharesResources(t *testing.T) {
+	lib := model.Default()
+	improved := 0
+	for seed := int64(0); seed < 8; seed++ {
+		g, err := tgff.Generate(tgff.Config{N: 10, Seed: 40 + seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dedicated int64
+		for _, o := range g.Ops() {
+			dedicated += lib.Area(o.Spec.MinKind())
+		}
+		lmin, err := g.MinMakespan(lib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dp, _, err := AllocateCtx(context.Background(), g, lib, lmin+lmin/3, Options{Seed: seed, Moves: 6000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dp.Area(lib) < dedicated {
+			improved++
+		}
+	}
+	if improved == 0 {
+		t.Fatal("annealing never improved on dedicated per-operation instances")
+	}
+}
+
+func TestAnnealDeterministicPerSeed(t *testing.T) {
+	lib := model.Default()
+	g, err := tgff.Generate(tgff.Config{N: 11, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmin, err := g.MinMakespan(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Seed: 42, Moves: 3000}
+	a, sa, err := AllocateCtx(context.Background(), g, lib, lmin+4, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, sb, err := AllocateCtx(context.Background(), g, lib, lmin+4, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different datapaths")
+	}
+	if sa != sb {
+		t.Fatalf("same seed produced different stats: %+v vs %+v", sa, sb)
+	}
+}
+
+func TestAnnealInfeasibleLambda(t *testing.T) {
+	lib := model.Default()
+	g, err := tgff.Generate(tgff.Config{N: 6, Seed: 3, Shape: tgff.ShapeChain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmin, err := g.MinMakespan(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = AllocateCtx(context.Background(), g, lib, lmin-1, Options{Seed: 1, Moves: 100})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+// countdownCtx cancels deterministically at the Nth Err poll, proving
+// the inner loop polls ctx every proposal.
+type countdownCtx struct {
+	context.Context
+	left int
+}
+
+func (c *countdownCtx) Err() error {
+	if c.left--; c.left < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestAnnealCancellation(t *testing.T) {
+	lib := model.Default()
+	g, err := tgff.Generate(tgff.Config{N: 12, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmin, err := g.MinMakespan(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &countdownCtx{Context: context.Background(), left: 10}
+	_, st, err := AllocateCtx(ctx, g, lib, lmin+3, Options{Seed: 5, Moves: 100000})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st.Moves > 10 {
+		t.Fatalf("%d proposals evaluated after cancellation at poll 10", st.Moves)
+	}
+}
+
+func TestAnnealEmptyGraphAndQuality(t *testing.T) {
+	lib := model.Default()
+	dp, _, err := AllocateCtx(context.Background(), dfg.New(), lib, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dp.Instances) != 0 {
+		t.Fatal("empty graph produced instances")
+	}
+
+	// On a small graph with slack, annealing should be in the same area
+	// league as DPAlloc (not necessarily better, but never wildly worse
+	// than 2x — it starts from the feasible dedicated allocation and
+	// only accepts feasible states).
+	g, err := tgff.Generate(tgff.Config{N: 8, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmin, err := g.MinMakespan(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda := lmin + lmin/4
+	h, _, err := core.AllocateCtx(context.Background(), g, lib, lambda, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adp, _, err := AllocateCtx(context.Background(), g, lib, lambda, Options{Seed: 7, Moves: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adp.Area(lib) > 2*h.Area(lib) {
+		t.Fatalf("anneal area %d vs heuristic %d: unreasonably worse", adp.Area(lib), h.Area(lib))
+	}
+}

@@ -1,0 +1,113 @@
+// Package check is the cross-method solution validator: a structural
+// oracle that accepts a (problem, solution) pair from *any* allocation
+// method — the paper's heuristic, the baselines, the exact optima, or
+// the stochastic/portfolio backends — and proves the solution is a legal
+// implementation of the input graph with honestly reported numbers.
+// Every registered method produces datapaths by a different algorithm;
+// this package is what lets the method set grow safely, because the
+// differential test harness and the serving layer both trust it instead
+// of any individual solver.
+//
+// Beyond datapath.Datapath.Verify (binding, wordlength coverage,
+// instance disjointness, precedence, λ) it also checks that the datapath
+// admits a legal register completion — every dependency edge's value is
+// carried by a derived register wide enough for the producer's result —
+// and that the reported headline numbers (area, makespan, per-kind area
+// breakdown) equal the values recomputed from the library, so a
+// bit-flipped store entry or a buggy solver cannot smuggle a wrong
+// answer past the Service.
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/datapath"
+	"repro/internal/dfg"
+	"repro/internal/model"
+	"repro/internal/pipeline"
+	"repro/internal/regalloc"
+)
+
+// Reported carries a solution's headline numbers for cross-checking
+// against values recomputed from the datapath and library. AreaByKind
+// may be nil to skip the breakdown check (it is an optional wire field).
+type Reported struct {
+	Area       int64
+	Makespan   int
+	AreaByKind map[string]int64
+}
+
+// Verify structurally checks a solution datapath against its problem:
+//
+//  1. every operation is bound to exactly one instance whose kind covers
+//     its type and wordlength signature (datapath.Verify);
+//  2. no two schedule-overlapping operations share an instance, data
+//     dependencies hold under bound latencies, and the makespan meets λ
+//     (datapath.Verify);
+//  3. for pipelined problems (ii > 0), resource sharing is additionally
+//     legal modulo the initiation interval (pipeline.Verify);
+//  4. for non-pipelined problems, the datapath admits a legal register
+//     completion: value lifetimes derived from the schedule bind to
+//     registers at least as wide as each value they carry, with disjoint
+//     occupancy (regalloc.Build + Plan.Check) — i.e. every dependency
+//     edge is carried by a register/mux path wide enough for the
+//     producer's result;
+//  5. the reported area, makespan and (if present) per-kind area
+//     breakdown equal the values recomputed from the library.
+//
+// A nil error means the solution is a legal, honestly-reported
+// implementation.
+func Verify(g *dfg.Graph, lib *model.Library, lambda, ii int, dp *datapath.Datapath, rep Reported) error {
+	if g == nil {
+		return fmt.Errorf("check: no graph")
+	}
+	if dp == nil {
+		return fmt.Errorf("check: no datapath")
+	}
+	if err := g.Validate(); err != nil {
+		return fmt.Errorf("check: invalid graph: %w", err)
+	}
+	if err := dp.Verify(g, lib, lambda); err != nil {
+		return err
+	}
+	if ii > 0 {
+		if err := pipeline.Verify(g, lib, dp, lambda, ii); err != nil {
+			return err
+		}
+	} else if g.N() > 0 {
+		// Register completion: lifetimes under the schedule must admit a
+		// register binding wide enough for every value. Build derives the
+		// left-edge plan; Check proves its invariants independently.
+		// Pipelined datapaths are excluded: their values live across
+		// iteration boundaries, which the single-iteration lifetime model
+		// does not describe.
+		plan, err := regalloc.Build(g, lib, dp, regalloc.Options{})
+		if err != nil {
+			return fmt.Errorf("check: no legal register completion: %w", err)
+		}
+		if err := plan.Check(g, lib, dp); err != nil {
+			return fmt.Errorf("check: register completion invalid: %w", err)
+		}
+	}
+	if got := dp.Area(lib); rep.Area != got {
+		return fmt.Errorf("check: reported area %d, recomputed library cost %d", rep.Area, got)
+	}
+	if got := dp.Makespan(lib); rep.Makespan != got {
+		return fmt.Errorf("check: reported makespan %d, recomputed %d", rep.Makespan, got)
+	}
+	if rep.AreaByKind != nil {
+		want := make(map[string]int64, len(dp.Instances))
+		for _, in := range dp.Instances {
+			want[in.Kind.String()] += lib.Area(in.Kind)
+		}
+		if len(rep.AreaByKind) != len(want) {
+			return fmt.Errorf("check: area breakdown lists %d kinds, recomputed %d", len(rep.AreaByKind), len(want))
+		}
+		for kind, a := range want {
+			if rep.AreaByKind[kind] != a {
+				return fmt.Errorf("check: area breakdown reports %q = %d, recomputed %d", kind, rep.AreaByKind[kind], a)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datapath"
+	"repro/internal/dfg"
+	"repro/internal/model"
+)
+
+// chainGraph builds mul -> add -> mul, small enough to hand-schedule.
+func chainGraph(t *testing.T) *dfg.Graph {
+	t.Helper()
+	g := dfg.New()
+	a := g.AddOp("a", model.Mul, model.Sig(8, 8))
+	b := g.AddOp("b", model.Add, model.AddSig(12))
+	c := g.AddOp("c", model.Mul, model.Sig(12, 8))
+	if err := g.AddDep(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddDep(b, c); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// legalDatapath allocates the graph with the reference heuristic so the
+// tests mutate from a known-good starting point.
+func legalDatapath(t *testing.T, g *dfg.Graph, lib *model.Library, lambda int) *datapath.Datapath {
+	t.Helper()
+	dp, _, err := core.Allocate(g, lib, lambda, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dp
+}
+
+func reported(dp *datapath.Datapath, lib *model.Library) Reported {
+	rep := Reported{Area: dp.Area(lib), Makespan: dp.Makespan(lib), AreaByKind: map[string]int64{}}
+	for _, in := range dp.Instances {
+		rep.AreaByKind[in.Kind.String()] += lib.Area(in.Kind)
+	}
+	return rep
+}
+
+func TestVerifyAcceptsLegalSolution(t *testing.T) {
+	g := chainGraph(t)
+	lib := model.Default()
+	lambda, err := g.MinMakespan(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := legalDatapath(t, g, lib, lambda+2)
+	if err := Verify(g, lib, lambda+2, 0, dp, reported(dp, lib)); err != nil {
+		t.Fatalf("legal solution rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsDoubleBookedOperator(t *testing.T) {
+	g := dfg.New()
+	// Two independent multiplies forced onto one instance at the same
+	// start step: a double-booked operator.
+	a := g.AddOp("a", model.Mul, model.Sig(8, 8))
+	b := g.AddOp("b", model.Mul, model.Sig(8, 8))
+	_ = a
+	_ = b
+	lib := model.Default()
+	dp := &datapath.Datapath{
+		Start: []int{0, 0},
+		Instances: []datapath.Instance{
+			{Kind: model.Kind{Class: model.Mul, Sig: model.Sig(8, 8)}, Ops: []dfg.OpID{0, 1}},
+		},
+		InstOf: []int{0, 0},
+	}
+	err := Verify(g, lib, 10, 0, dp, reported(dp, lib))
+	if err == nil {
+		t.Fatal("double-booked operator accepted")
+	}
+	if !strings.Contains(err.Error(), "overlap") {
+		t.Fatalf("unexpected diagnostic: %v", err)
+	}
+}
+
+func TestVerifyRejectsNarrowOperator(t *testing.T) {
+	g := dfg.New()
+	g.AddOp("a", model.Mul, model.Sig(16, 12))
+	lib := model.Default()
+	// Bound to an 8x8 multiplier: too narrow for a 16x12 multiply.
+	dp := &datapath.Datapath{
+		Start: []int{0},
+		Instances: []datapath.Instance{
+			{Kind: model.Kind{Class: model.Mul, Sig: model.Sig(8, 8)}, Ops: []dfg.OpID{0}},
+		},
+		InstOf: []int{0},
+	}
+	err := Verify(g, lib, 10, 0, dp, reported(dp, lib))
+	if err == nil {
+		t.Fatal("under-width operator accepted")
+	}
+	if !strings.Contains(err.Error(), "cannot execute") {
+		t.Fatalf("unexpected diagnostic: %v", err)
+	}
+}
+
+func TestVerifyRejectsMisreportedNumbers(t *testing.T) {
+	g := chainGraph(t)
+	lib := model.Default()
+	lambda, err := g.MinMakespan(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := legalDatapath(t, g, lib, lambda+2)
+	good := reported(dp, lib)
+
+	area := good
+	area.Area++ // the bit-flipped-store shape
+	if err := Verify(g, lib, lambda+2, 0, dp, area); err == nil || !strings.Contains(err.Error(), "reported area") {
+		t.Fatalf("misreported area: err = %v", err)
+	}
+	ms := good
+	ms.Makespan--
+	if err := Verify(g, lib, lambda+2, 0, dp, ms); err == nil || !strings.Contains(err.Error(), "reported makespan") {
+		t.Fatalf("misreported makespan: err = %v", err)
+	}
+	byKind := good
+	byKind.AreaByKind = map[string]int64{"mul 99x99": 1}
+	if err := Verify(g, lib, lambda+2, 0, dp, byKind); err == nil || !strings.Contains(err.Error(), "breakdown") {
+		t.Fatalf("misreported breakdown: err = %v", err)
+	}
+}
+
+func TestVerifyRejectsLatencyViolation(t *testing.T) {
+	g := chainGraph(t)
+	lib := model.Default()
+	lambda, err := g.MinMakespan(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := legalDatapath(t, g, lib, lambda)
+	// The datapath is legal at λ_min but must be rejected against a
+	// tighter constraint.
+	if err := Verify(g, lib, lambda-1, 0, dp, reported(dp, lib)); err == nil {
+		t.Fatal("makespan above λ accepted")
+	}
+}
+
+func TestVerifyRejectsUnboundAndMissingDatapath(t *testing.T) {
+	g := chainGraph(t)
+	lib := model.Default()
+	if err := Verify(g, lib, 10, 0, nil, Reported{}); err == nil {
+		t.Fatal("nil datapath accepted")
+	}
+	dp := &datapath.Datapath{Start: []int{0}, InstOf: []int{0}}
+	if err := Verify(g, lib, 10, 0, dp, Reported{}); err == nil {
+		t.Fatal("shape-mismatched datapath accepted")
+	}
+}
+
+func TestVerifyPipelinedSolution(t *testing.T) {
+	g := chainGraph(t)
+	lib := model.Default()
+	lambda, err := g.MinMakespan(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := legalDatapath(t, g, lib, lambda)
+	// Fully serial chain on dedicated units: legal for II = λ, illegal
+	// for an II shorter than the busiest instance's occupancy.
+	if err := Verify(g, lib, lambda, lambda, dp, reported(dp, lib)); err != nil {
+		t.Fatalf("legal pipelined solution rejected: %v", err)
+	}
+	if err := Verify(g, lib, lambda, 1, dp, reported(dp, lib)); err == nil {
+		t.Fatal("II=1 overlap accepted")
+	}
+}

@@ -174,3 +174,46 @@ func TestCompareOrdering(t *testing.T) {
 		}
 	}
 }
+
+// TestMethodsSweep: the backend-comparison sweep runs, the portfolio
+// column is the per-graph minimum (so its mean can never exceed any
+// single column's mean), and win counts tally to the batch size.
+func TestMethodsSweep(t *testing.T) {
+	pts, err := Methods(context.Background(), Config{Graphs: 6, Seed: 11}, []int{6, 9}, []float64{0, 0.2}, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("%d points for 2 sizes × 2 relaxations", len(pts))
+	}
+	for _, p := range pts {
+		if p.Graphs != 6 {
+			t.Fatalf("cell used %d graphs, want 6", p.Graphs)
+		}
+		for _, col := range MethodColumns[:len(MethodColumns)-1] {
+			if p.MeanArea["portfolio"] > p.MeanArea[col]+1e-9 {
+				t.Fatalf("n=%d relax=%.2f: portfolio mean %.1f exceeds %s mean %.1f",
+					p.N, p.Relax, p.MeanArea["portfolio"], col, p.MeanArea[col])
+			}
+		}
+		wins := 0
+		for _, n := range p.Wins {
+			wins += n
+		}
+		if wins != p.Graphs {
+			t.Fatalf("win tally %d for %d graphs", wins, p.Graphs)
+		}
+	}
+
+	var text, csv strings.Builder
+	WriteMethods(&text, pts)
+	if !strings.Contains(text.String(), "portfolio") {
+		t.Fatal("renderer lost the portfolio column")
+	}
+	if err := WriteMethodsCSV(&csv, pts); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(csv.String(), "\n"); lines != 5 {
+		t.Fatalf("csv has %d lines, want header + 4", lines)
+	}
+}

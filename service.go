@@ -30,6 +30,13 @@ type ServiceOptions struct {
 	// cache misses, so a restarted process re-serves previous answers
 	// (Solution.Cached set) instead of recomputing them.
 	Store Store
+	// Verify runs mwl.Verify on every solution before it is served:
+	// fresh solves fail with an ErrVerify-wrapped diagnostic when a
+	// solver misbehaves, and store entries are re-verified once on load,
+	// so a corrupted-but-parseable entry (e.g. a bit-flipped area) is
+	// recomputed and repaired instead of served. Solutions entering the
+	// in-memory LRU have passed verification, so cache hits stay cheap.
+	Verify bool
 }
 
 // Service is a concurrent solve front end: it bounds the number of
@@ -40,8 +47,9 @@ type ServiceOptions struct {
 // concurrent use; the zero value is not usable — construct one with
 // NewService or NewServiceWith.
 type Service struct {
-	sem   chan struct{} // worker-pool slots
-	store Store         // optional persistence under the LRU
+	sem    chan struct{} // worker-pool slots
+	store  Store         // optional persistence under the LRU
+	verify bool          // validate every solution before serving it
 
 	mu       sync.Mutex
 	cache    *lruCache             // completed solutions, bounded
@@ -86,6 +94,7 @@ func NewServiceWith(opts ServiceOptions) *Service {
 	return &Service{
 		sem:      make(chan struct{}, workers),
 		store:    opts.Store,
+		verify:   opts.Verify,
 		cache:    newLRUCache(entries, bytes),
 		inflight: make(map[string]*memoEntry),
 		methods:  make(map[string]*methodMetrics),
@@ -150,7 +159,19 @@ func (s *Service) Solve(ctx context.Context, p Problem) (Solution, error) {
 	// Leader path. Consult the persistent store first — only the leader
 	// touches disk, so concurrent duplicates cost one read, not N.
 	if s.store != nil {
-		if sol, ok := s.store.Get(key); ok {
+		sol, ok := s.store.Get(key)
+		if ok && s.verify {
+			if verr := Verify(p, sol); verr != nil {
+				// Corrupted but parseable (e.g. a bit-flipped area):
+				// demote to a miss so the solve below recomputes and the
+				// write-through repairs the entry.
+				s.mu.Lock()
+				s.stats.VerifyFailures++
+				s.mu.Unlock()
+				ok = false
+			}
+		}
+		if ok {
 			sol.Cached = false
 			s.finish(key, e, sol, nil, true)
 			sol.Cached = true
@@ -210,6 +231,17 @@ func (s *Service) solveOne(ctx context.Context, p Problem) (Solution, error) {
 	}
 	t0 := time.Now()
 	sol, err := Solve(ctx, p)
+	if err == nil && s.verify {
+		if verr := Verify(p, sol); verr != nil {
+			// A solver handing back an illegal or misreported datapath is
+			// an internal inconsistency; surface the diagnostic rather
+			// than caching or serving the bad answer.
+			s.mu.Lock()
+			s.stats.VerifyFailures++
+			s.mu.Unlock()
+			sol, err = Solution{}, verr
+		}
+	}
 	s.record(metricLabel(p.method()), time.Since(t0), err)
 	return sol, err
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/anneal"
 	"repro/internal/core"
 	"repro/internal/descend"
 	"repro/internal/exact"
@@ -67,6 +68,21 @@ type SolveOptions struct {
 	// Incumbent primes "ilp" and "optimal" with a known feasible
 	// datapath, exactly like handing lp_solve a known solution.
 	Incumbent *Datapath `json:"incumbent,omitempty"`
+	// Seed seeds the "anneal" method's move RNG. A fixed seed makes the
+	// annealer bit-reproducible; different seeds explore differently.
+	Seed int64 `json:"seed,omitempty"`
+	// AnnealMoves caps the "anneal" proposal budget; 0 applies the
+	// annealer's default (20000).
+	AnnealMoves int `json:"anneal_moves,omitempty"`
+	// AnnealInitTemp sets the "anneal" starting temperature in area
+	// units; 0 derives it from the initial area.
+	AnnealInitTemp float64 `json:"anneal_init_temp,omitempty"`
+	// AnnealCooling sets the "anneal" geometric cooling factor per
+	// epoch, in (0, 1); 0 applies the default (0.95).
+	AnnealCooling float64 `json:"anneal_cooling,omitempty"`
+	// Portfolio names the registered methods the "portfolio" solver
+	// races; empty races the default set (see DefaultPortfolio).
+	Portfolio []string `json:"portfolio,omitempty"`
 }
 
 // Solution is the uniform result of a Solve: the datapath plus its
@@ -100,6 +116,11 @@ type SolveStats struct {
 	Vars        int   `json:"vars,omitempty"`        // ILP model columns
 	Rows        int   `json:"rows,omitempty"`        // ILP model rows
 	TimedOut    bool  `json:"timed_out,omitempty"`   // ILP budget hit: best found, not proven optimal
+	Moves       int   `json:"moves,omitempty"`       // annealing proposals evaluated (anneal)
+	Accepted    int   `json:"accepted,omitempty"`    // annealing proposals accepted (anneal)
+	// Winner names the registered method whose solution a "portfolio"
+	// race returned.
+	Winner string `json:"winner,omitempty"`
 }
 
 // ErrInvalidProblem is wrapped by solve errors caused by a malformed
@@ -124,6 +145,7 @@ var ErrInfeasible = errors.New("mwl: problem infeasible")
 // sentinels of every built-in method.
 func IsInfeasible(err error) bool {
 	return errors.Is(err, ErrInfeasible) ||
+		errors.Is(err, anneal.ErrInfeasible) ||
 		errors.Is(err, core.ErrInfeasible) ||
 		errors.Is(err, exact.ErrInfeasible) ||
 		errors.Is(err, ilp.ErrInfeasible) ||

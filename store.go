@@ -216,4 +216,8 @@ type CacheStats struct {
 	StoreHits      uint64 `json:"store_hits"`
 	StoreMisses    uint64 `json:"store_misses"`
 	StorePutErrors uint64 `json:"store_put_errors"`
+	// VerifyFailures counts solutions rejected by mwl.Verify on a
+	// Service with verification enabled: corrupted store entries demoted
+	// to misses plus fresh solves that failed validation.
+	VerifyFailures uint64 `json:"verify_failures"`
 }

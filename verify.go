@@ -1,0 +1,48 @@
+package mwl
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/check"
+)
+
+// ErrVerify is wrapped by every Verify failure, so callers can classify
+// "the solution does not legally implement the problem" apart from a
+// malformed problem or a solver error. The Service wraps it when a
+// -verify'd solve or a loaded store entry fails validation.
+var ErrVerify = errors.New("mwl: solution failed verification")
+
+// Verify structurally checks that sol is a legal solution of p: every
+// operation bound to exactly one instance of sufficient wordlength, no
+// two schedule-overlapping operations sharing an instance, dependencies
+// and the latency constraint λ respected under bound latencies, a legal
+// register completion carrying every dependency edge at full width (for
+// pipelined problems, legality modulo the initiation interval instead),
+// and the reported area/makespan/breakdown equal to the costs recomputed
+// from the problem's library.
+//
+// Verify is method-agnostic — it never runs a solver — which makes it
+// the shared oracle for differential testing across every registered
+// method and for detecting corrupted store entries. A nil error means
+// sol is legal and honestly reported; any failure wraps ErrVerify.
+func Verify(p Problem, sol Solution) error {
+	if p.Graph == nil {
+		return fmt.Errorf("%w: no graph", ErrVerify)
+	}
+	lib, err := p.library()
+	if err != nil {
+		return fmt.Errorf("%w: %w", ErrVerify, err)
+	}
+	if sol.Datapath == nil {
+		return fmt.Errorf("%w: no datapath", ErrVerify)
+	}
+	if err := check.Verify(p.Graph, lib, p.Lambda, p.II, sol.Datapath, check.Reported{
+		Area:       sol.Area,
+		Makespan:   sol.Makespan,
+		AreaByKind: sol.AreaByKind,
+	}); err != nil {
+		return fmt.Errorf("%w: %w", ErrVerify, err)
+	}
+	return nil
+}

@@ -1,0 +1,238 @@
+// Differential/property tests: mwl.Verify is the shared oracle proving
+// that every registered method returns a legal, honestly-reported
+// datapath on a corpus of seeded random TGFF-style graphs, that no
+// method beats the proven optimum, and that the portfolio never returns
+// a solution worse than the best of its raced methods. Failures print
+// the offending problem's canonical JSON so a case replays with a
+// two-line test.
+package mwl_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	mwl "repro"
+)
+
+// problemJSON renders the canonical wire form of a problem for replay.
+func problemJSON(t *testing.T, p mwl.Problem) string {
+	t.Helper()
+	blob, err := json.Marshal(p)
+	if err != nil {
+		return "<unencodable: " + err.Error() + ">"
+	}
+	return string(blob)
+}
+
+// TestDifferentialAllMethods is the cross-method oracle run: ~300 seeded
+// random graphs, every registered production method solved and verified,
+// areas sanity-ordered against the exhaustive optimum where it is
+// tractable, and the portfolio compared against its entrants.
+func TestDifferentialAllMethods(t *testing.T) {
+	graphs := 300
+	if testing.Short() {
+		graphs = 60
+	}
+	ctx := context.Background()
+
+	// Heuristic entrants raced by the portfolio; anneal rides a fixed
+	// seed and a small move budget so the whole corpus stays fast and
+	// the direct solve reproduces the portfolio's entrant bit for bit.
+	entrants := []string{"anneal", "descend", "dpalloc", "twostage"}
+
+	for i := 0; i < graphs; i++ {
+		n := 3 + i%8 // sizes 3..10
+		g, err := mwl.GenerateRandom(mwl.RandomConfig{N: n, Seed: int64(9000 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lmin, err := mwl.MinLambda(g, mwl.DefaultLibrary())
+		if err != nil {
+			t.Fatal(err)
+		}
+		lambda := lmin + (i%4)*lmin/10 // relaxations 0–30%
+		base := mwl.Problem{Graph: g, Lambda: lambda, Options: mwl.SolveOptions{
+			Seed:        int64(i),
+			AnnealMoves: 1200,
+		}}
+
+		areas := make(map[string]int64, len(entrants))
+		for _, m := range entrants {
+			p := base
+			p.Method = m
+			sol, err := mwl.Solve(ctx, p)
+			if err != nil {
+				t.Fatalf("graph %d: %s failed: %v\nproblem: %s", i, m, err, problemJSON(t, p))
+			}
+			if err := mwl.Verify(p, sol); err != nil {
+				t.Fatalf("graph %d: %s solution failed verification: %v\nproblem: %s", i, m, err, problemJSON(t, p))
+			}
+			areas[m] = sol.Area
+		}
+
+		// The portfolio races the same entrants under the same options
+		// and must return the best of them.
+		pp := base
+		pp.Method = "portfolio"
+		pp.Options.Portfolio = entrants
+		psol, err := mwl.Solve(ctx, pp)
+		if err != nil {
+			t.Fatalf("graph %d: portfolio failed: %v\nproblem: %s", i, err, problemJSON(t, pp))
+		}
+		if err := mwl.Verify(pp, psol); err != nil {
+			t.Fatalf("graph %d: portfolio solution failed verification: %v\nproblem: %s", i, err, problemJSON(t, pp))
+		}
+		bestEntrant := areas[entrants[0]]
+		for _, a := range areas {
+			if a < bestEntrant {
+				bestEntrant = a
+			}
+		}
+		if psol.Area > bestEntrant {
+			t.Fatalf("graph %d: portfolio area %d worse than best entrant %d (%v)\nproblem: %s",
+				i, psol.Area, bestEntrant, areas, problemJSON(t, pp))
+		}
+		if areas[psol.Stats.Winner] != psol.Area {
+			t.Fatalf("graph %d: portfolio winner %q reported area %d, direct solve got %d\nproblem: %s",
+				i, psol.Stats.Winner, psol.Area, areas[psol.Stats.Winner], problemJSON(t, pp))
+		}
+
+		// Exhaustive optimum where tractable: every method's area bounds
+		// from above.
+		if n <= 6 {
+			po := base
+			po.Method = "optimal"
+			osol, err := mwl.Solve(ctx, po)
+			if err != nil {
+				t.Fatalf("graph %d: optimal failed: %v\nproblem: %s", i, err, problemJSON(t, po))
+			}
+			if err := mwl.Verify(po, osol); err != nil {
+				t.Fatalf("graph %d: optimal solution failed verification: %v\nproblem: %s", i, err, problemJSON(t, po))
+			}
+			for m, a := range areas {
+				if a < osol.Area {
+					t.Fatalf("graph %d: %s area %d beats the proven optimum %d\nproblem: %s",
+						i, m, a, osol.Area, problemJSON(t, po))
+				}
+			}
+		}
+
+		// The ILP and pipelined methods are slower; sample them across
+		// the corpus rather than running every graph.
+		if n <= 5 && i%10 == 0 {
+			pi := base
+			pi.Method = "ilp"
+			isol, err := mwl.Solve(ctx, pi)
+			if err != nil {
+				t.Fatalf("graph %d: ilp failed: %v\nproblem: %s", i, err, problemJSON(t, pi))
+			}
+			if err := mwl.Verify(pi, isol); err != nil {
+				t.Fatalf("graph %d: ilp solution failed verification: %v\nproblem: %s", i, err, problemJSON(t, pi))
+			}
+		}
+		if i%7 == 0 {
+			pl := base
+			pl.Method = "pipelined"
+			pl.II = lambda
+			lsol, err := mwl.Solve(ctx, pl)
+			switch {
+			case err == nil:
+				if verr := mwl.Verify(pl, lsol); verr != nil {
+					t.Fatalf("graph %d: pipelined solution failed verification: %v\nproblem: %s", i, verr, problemJSON(t, pl))
+				}
+			case mwl.IsInfeasible(err):
+				// An II-infeasible sample is a legitimate verdict, not a
+				// harness failure.
+			default:
+				t.Fatalf("graph %d: pipelined failed: %v\nproblem: %s", i, err, problemJSON(t, pl))
+			}
+		}
+	}
+}
+
+// TestVerifyRejectsTamperedSolutions: the oracle must catch the failure
+// modes the Service relies on it for.
+func TestVerifyRejectsTamperedSolutions(t *testing.T) {
+	g, err := mwl.GenerateRandom(mwl.RandomConfig{N: 8, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmin, err := mwl.MinLambda(g, mwl.DefaultLibrary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := mwl.Problem{Graph: g, Lambda: lmin + 2}
+	sol, err := mwl.Solve(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mwl.Verify(p, sol); err != nil {
+		t.Fatalf("legal solution rejected: %v", err)
+	}
+
+	flipped := sol
+	flipped.Area ^= 1 // the bit-flipped store entry
+	if err := mwl.Verify(p, flipped); !errors.Is(err, mwl.ErrVerify) {
+		t.Fatalf("bit-flipped area: err = %v, want ErrVerify", err)
+	}
+
+	var none mwl.Solution
+	if err := mwl.Verify(p, none); !errors.Is(err, mwl.ErrVerify) {
+		t.Fatalf("empty solution: err = %v, want ErrVerify", err)
+	}
+
+	tight := p
+	tight.Lambda = lmin - 1
+	if err := mwl.Verify(tight, sol); !errors.Is(err, mwl.ErrVerify) {
+		t.Fatalf("λ violation: err = %v, want ErrVerify", err)
+	}
+	if err := mwl.Verify(mwl.Problem{Lambda: 1}, sol); err == nil || !strings.Contains(err.Error(), "no graph") {
+		t.Fatalf("graphless problem: err = %v", err)
+	}
+}
+
+// TestAnnealReproducibleThroughSolve: the registry-level contract — a
+// fixed Options.Seed reproduces the anneal solution bit for bit, and
+// the method appears in the registry.
+func TestAnnealReproducibleThroughSolve(t *testing.T) {
+	g, err := mwl.GenerateRandom(mwl.RandomConfig{N: 10, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmin, err := mwl.MinLambda(g, mwl.DefaultLibrary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := mwl.Problem{Method: "anneal", Graph: g, Lambda: lmin + 3,
+		Options: mwl.SolveOptions{Seed: 99, AnnealMoves: 2500}}
+	a, err := mwl.Solve(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mwl.Solve(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Datapath, b.Datapath) || a.Area != b.Area || a.Stats != b.Stats {
+		t.Fatal("fixed seed did not reproduce the anneal solution")
+	}
+	if err := mwl.Verify(p, a); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, m := range []string{"anneal", "portfolio"} {
+		found := false
+		for _, name := range mwl.Methods() {
+			if name == m {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%q not in registry: %v", m, mwl.Methods())
+		}
+	}
+}
