@@ -1,0 +1,92 @@
+package main_test
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles the mwlvet binary once per test binary and returns
+// its path plus the repo root.
+func buildTool(t *testing.T) (tool, repoRoot string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool = filepath.Join(t.TempDir(), "mwlvet")
+	cmd := exec.Command("go", "build", "-o", tool, "./cmd/mwlvet")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building mwlvet: %v\n%s", err, out)
+	}
+	return tool, root
+}
+
+// TestProtocolVersionAndFlags covers the two query invocations the go
+// command makes before running any unit: the version line feeding its
+// build cache key and the (empty) analyzer flag list.
+func TestProtocolVersionAndFlags(t *testing.T) {
+	tool, _ := buildTool(t)
+
+	out, err := exec.Command(tool, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	fields := strings.Fields(string(out))
+	if len(fields) < 3 || fields[1] != "version" || !strings.Contains(string(out), "buildID=") {
+		t.Fatalf("-V=full output %q does not match the \"<name> version ... buildID=...\" shape cmd/go hashes", out)
+	}
+
+	out, err = exec.Command(tool, "-flags").Output()
+	if err != nil {
+		t.Fatalf("-flags: %v", err)
+	}
+	if got := strings.TrimSpace(string(out)); got != "[]" {
+		t.Fatalf("-flags printed %q, want []", got)
+	}
+}
+
+// TestBadModuleFiresEveryAnalyzer runs the suite through the real
+// `go vet -vettool` pipeline over a module with one violation per
+// analyzer and asserts each one is diagnosed.
+func TestBadModuleFiresEveryAnalyzer(t *testing.T) {
+	tool, root := buildTool(t)
+	badmod := filepath.Join(root, "internal", "analysis", "testdata", "badmod")
+
+	cmd := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	cmd.Dir = badmod
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	if err == nil {
+		t.Fatalf("go vet over badmod succeeded; want failure\nstderr:\n%s", stderr.String())
+	}
+	for _, analyzer := range []string{"ctxpoll", "boundedspawn", "seededrand", "wiretag", "metricname"} {
+		if !strings.Contains(stderr.String(), "[mwlvet:"+analyzer+"]") {
+			t.Errorf("analyzer %s did not fire over badmod", analyzer)
+		}
+	}
+	if t.Failed() {
+		t.Logf("go vet stderr:\n%s", stderr.String())
+	}
+}
+
+// TestRepoIsClean asserts the suite's end state: the repository itself
+// carries no violations (modulo reviewed //mwlvet:allow sites).
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("vetting the whole repository is not a -short test")
+	}
+	tool, root := buildTool(t)
+
+	cmd := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	cmd.Dir = root
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("mwlvet found violations in the repository:\n%s", stderr.String())
+	}
+}

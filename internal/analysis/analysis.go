@@ -1,0 +1,177 @@
+// Package analysis is a deliberately small, dependency-free analogue of
+// golang.org/x/tools/go/analysis: just enough framework to write
+// project-specific vet checks against the standard library's go/ast and
+// go/types. The container this repo builds in has no module proxy, so
+// vendoring x/tools is not an option; the subset implemented here —
+// Analyzer, Pass, positional diagnostics, and comment-based suppression
+// — covers everything the mwlvet suite needs.
+//
+// Suppression: a diagnostic is dropped when the line it points at, or
+// the line directly above it, carries a comment of the form
+//
+//	//mwlvet:allow <analyzer>[,<analyzer>...] -- <reason>
+//
+// The reason is mandatory by convention (reviewed, not enforced): an
+// allow site must say why the invariant does not apply.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics ("[mwlvet:name]")
+	// and in //mwlvet:allow comments. Lowercase, no spaces.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Run inspects one package and reports violations via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report  func(Diagnostic)
+	allowed map[allowKey]bool
+}
+
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+var allowRe = regexp.MustCompile(`mwlvet:allow\s+([a-z][a-z0-9_,\s]*)`)
+
+// Reportf records a violation at pos unless an //mwlvet:allow comment
+// covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	posn := p.Fset.Position(pos)
+	if p.allowed[allowKey{posn.Filename, posn.Line, p.Analyzer.Name}] {
+		return
+	}
+	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// IsTestFile reports whether the file holding pos is a _test.go file.
+// The suite's invariants are production-code contracts; every analyzer
+// skips test files so that, e.g., a test spawning goroutines in a loop
+// or asserting on metric literals does not trip the checks.
+func (p *Pass) IsTestFile(f *ast.File) bool {
+	name := p.Fset.Position(f.Pos()).Filename
+	return strings.HasSuffix(filepath.Base(name), "_test.go")
+}
+
+// Run executes each analyzer over one type-checked package and returns
+// the surviving (non-suppressed) diagnostics in source order.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	allowed := collectAllows(fset, files)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			allowed:   allowed,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	sortDiagnostics(fset, diags)
+	return diags, nil
+}
+
+// collectAllows maps every (file, line, analyzer) covered by an
+// //mwlvet:allow comment: the comment's own lines and the line after its
+// end, so both trailing and preceding-line placements work.
+func collectAllows(fset *token.FileSet, files []*ast.File) map[allowKey]bool {
+	allowed := make(map[allowKey]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				names := m[1]
+				if i := strings.Index(names, "--"); i >= 0 {
+					names = names[:i]
+				}
+				start := fset.Position(c.Pos())
+				end := fset.Position(c.End())
+				for _, name := range strings.FieldsFunc(names, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+					for line := start.Line; line <= end.Line+1; line++ {
+						allowed[allowKey{start.Filename, line, name}] = true
+					}
+				}
+			}
+		}
+	}
+	return allowed
+}
+
+func sortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	// Insertion sort: diagnostic counts are tiny.
+	for i := 1; i < len(diags); i++ {
+		for j := i; j > 0 && diagLess(fset, diags[j], diags[j-1]); j-- {
+			diags[j], diags[j-1] = diags[j-1], diags[j]
+		}
+	}
+}
+
+func diagLess(fset *token.FileSet, a, b Diagnostic) bool {
+	pa, pb := fset.Position(a.Pos), fset.Position(b.Pos)
+	if pa.Filename != pb.Filename {
+		return pa.Filename < pb.Filename
+	}
+	if pa.Line != pb.Line {
+		return pa.Line < pb.Line
+	}
+	if pa.Column != pb.Column {
+		return pa.Column < pb.Column
+	}
+	return a.Analyzer < b.Analyzer
+}
+
+// PkgFunc resolves a package-qualified identifier expression like
+// rand.Intn: it returns the imported package path and selector name when
+// expr is a selection on a package name, or ("", "") otherwise.
+func PkgFunc(info *types.Info, expr ast.Expr) (pkgPath, name string) {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), sel.Sel.Name
+}

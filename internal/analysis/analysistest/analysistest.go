@@ -1,0 +1,149 @@
+// Package analysistest runs an analyzer over source fixtures and checks
+// its diagnostics against expectations embedded in the fixtures — the
+// same contract as golang.org/x/tools/go/analysis/analysistest, rebuilt
+// on the standard library.
+//
+// A fixture line that should trigger a diagnostic carries a trailing
+// comment of the form
+//
+//	// want "regexp"
+//
+// Each diagnostic must match exactly one pending want on its line, and
+// every want must be consumed. Fixtures live under
+// <dir>/src/<pkg>/*.go and are type-checked with the source importer,
+// so they may import standard-library packages but nothing else.
+package analysistest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(` + "`[^`]*`" + `|"(?:[^"\\]|\\.)*")`)
+
+type expectation struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// Run analyzes the fixture package at dir/src/pkg and reports every
+// mismatch between produced diagnostics and // want expectations as a
+// test error.
+func Run(t *testing.T, dir, pkg string, a *analysis.Analyzer) {
+	t.Helper()
+	srcDir := filepath.Join(dir, "src", pkg)
+	entries, err := os.ReadDir(srcDir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var expects []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		name := filepath.Join(srcDir, e.Name())
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+		expects = append(expects, parseWants(t, name, src)...)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", srcDir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tc := &types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	typesPkg, err := tc.Check(pkg, fset, files, info)
+	if err != nil {
+		t.Fatalf("typechecking fixture: %v", err)
+	}
+
+	diags, err := analysis.Run(fset, files, typesPkg, info, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		if !consume(expects, posn.Filename, posn.Line, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", posn, d.Message)
+		}
+	}
+	sort.Slice(expects, func(i, j int) bool {
+		if expects[i].file != expects[j].file {
+			return expects[i].file < expects[j].file
+		}
+		return expects[i].line < expects[j].line
+	})
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.rx)
+		}
+	}
+}
+
+func parseWants(t *testing.T, filename string, src []byte) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for i, line := range strings.Split(string(src), "\n") {
+		m := wantRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		pattern := m[1]
+		if pattern[0] == '`' {
+			pattern = pattern[1 : len(pattern)-1]
+		} else {
+			var err error
+			pattern, err = strconv.Unquote(pattern)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern %s: %v", filename, i+1, m[1], err)
+			}
+		}
+		rx, err := regexp.Compile(pattern)
+		if err != nil {
+			t.Fatalf("%s:%d: bad want regexp: %v", filename, i+1, err)
+		}
+		out = append(out, &expectation{file: filename, line: i + 1, rx: rx})
+	}
+	return out
+}
+
+func consume(expects []*expectation, file string, line int, msg string) bool {
+	for _, e := range expects {
+		if !e.matched && e.file == file && e.line == line && e.rx.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}

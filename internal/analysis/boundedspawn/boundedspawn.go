@@ -1,0 +1,76 @@
+// Package boundedspawn enforces the fan-out invariant PR 4 fixed by
+// hand: no `go` statement lexically inside a loop. One goroutine per
+// iterated item is exactly the one-goroutine-per-problem bug that let a
+// single batch request explode the scheduler; concurrent fan-out must
+// flow through the bounded worker-pool runner (Service.SolveBatchVia,
+// whose fixed-size worker loop is the one approved spawning loop) or be
+// explicitly annotated:
+//
+//	//mwlvet:allow boundedspawn -- <why this fan-out is bounded>
+package boundedspawn
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+// approvedRunners are the functions allowed to start goroutines in a
+// loop without annotation: the repo's canonical bounded batch runners,
+// whose loop bound is the worker-pool size rather than the input size.
+var approvedRunners = map[string]bool{
+	"SolveBatchVia":  true,
+	"SolveBatchFunc": true,
+}
+
+// Analyzer is the boundedspawn check.
+var Analyzer = &analysis.Analyzer{
+	Name: "boundedspawn",
+	Doc: "goroutines must not be spawned inside loops outside the approved bounded " +
+		"runners (SolveBatchVia/SolveBatchFunc) or an annotated allow site",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || approvedRunners[fd.Name.Name] {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkFunc walks one function body tracking lexical loop depth. A
+// function literal defined inside a loop inherits the loop context: the
+// literal is (almost always) invoked from the iteration that created
+// it, so a `go` inside it is still per-iteration fan-out.
+func checkFunc(pass *analysis.Pass, body ast.Node) {
+	var walk func(n ast.Node, inLoop bool)
+	walk = func(n ast.Node, inLoop bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				walk(n.Body, true)
+				return false
+			case *ast.RangeStmt:
+				walk(n.Body, true)
+				return false
+			case *ast.GoStmt:
+				if inLoop {
+					pass.Reportf(n.Pos(),
+						"goroutine spawned inside a loop: unbounded fan-out; "+
+							"use Service.SolveBatchVia or annotate with //mwlvet:allow boundedspawn -- <reason>")
+				}
+			}
+			return true
+		})
+	}
+	walk(body, false)
+}

@@ -1,0 +1,12 @@
+package boundedspawn_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/boundedspawn"
+)
+
+func TestBoundedSpawn(t *testing.T) {
+	analysistest.Run(t, "testdata", "a", boundedspawn.Analyzer)
+}

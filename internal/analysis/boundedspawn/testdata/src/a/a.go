@@ -1,0 +1,58 @@
+package a
+
+import "sync"
+
+// fanOut spawns one goroutine per item: the PR 4 bug shape.
+func fanOut(xs []int) {
+	var wg sync.WaitGroup
+	for range xs {
+		wg.Add(1)
+		go func() { // want `goroutine spawned inside a loop`
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// nested loops are still loops.
+func nested(grid [][]int) {
+	for _, row := range grid {
+		for range row {
+			go background() // want `goroutine spawned inside a loop`
+		}
+	}
+}
+
+// deferredSpawn hides the go statement in a closure built per
+// iteration; the lexical check still sees it.
+func deferredSpawn(xs []int) {
+	for range xs {
+		f := func() {
+			go background() // want `goroutine spawned inside a loop`
+		}
+		f()
+	}
+}
+
+// single goroutines outside loops are fine.
+func single() {
+	go background()
+}
+
+// SolveBatchVia is the approved bounded runner: its spawning loop is
+// bounded by the worker-pool size, not the input size.
+func SolveBatchVia(workers int) {
+	for i := 0; i < workers; i++ {
+		go background()
+	}
+}
+
+// annotated sites are reviewed exemptions.
+func annotated(xs []int) {
+	for range xs {
+		//mwlvet:allow boundedspawn -- fixture: bounded by an external semaphore
+		go background()
+	}
+}
+
+func background() {}

@@ -1,0 +1,121 @@
+// Package ctxpoll enforces the cancellation contract PRs 1 and 3 fixed
+// by hand in twostage and descend: an exported solver entry point that
+// accepts a context and iterates (over graph nodes, branch-and-bound
+// nodes, anneal proposals, ...) must observe that context on its loop
+// path — by calling ctx.Err(), selecting on ctx.Done(), or passing ctx
+// to a callee inside a loop. A solver whose loops never mention ctx is
+// uncancelable mid-solve, which the Service's worker pool and the
+// portfolio racer both depend on never happening.
+package ctxpoll
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the ctxpoll check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxpoll",
+	Doc: "exported solver functions (Solve*/Allocate*/Optimize*/Anneal*/Search*/*Ctx) " +
+		"taking a context.Context and containing loops must use ctx inside at least one loop",
+	Run: run,
+}
+
+// solverShaped reports whether name looks like a solver entry point:
+// the prefixes of the method registry's public surface, plus the repo's
+// *Ctx convention for cancellation-aware variants.
+func solverShaped(name string) bool {
+	for _, prefix := range []string{"Solve", "Allocate", "Optimize", "Anneal", "Search"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return strings.HasSuffix(name, "Ctx")
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() || !solverShaped(fd.Name.Name) {
+				continue
+			}
+			ctxObj := contextParam(pass, fd)
+			if ctxObj == nil {
+				continue
+			}
+			check(pass, fd, ctxObj)
+		}
+	}
+	return nil
+}
+
+// contextParam returns the types.Object of the function's first
+// context.Context parameter, or nil.
+func contextParam(pass *analysis.Pass, fd *ast.FuncDecl) types.Object {
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj != nil && isContext(obj.Type()) {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// check reports fd unless some loop in its body references the ctx
+// parameter. Any reference counts: ctx.Err()/ctx.Done() are direct
+// polls, and passing ctx onward delegates the polling obligation to the
+// callee, which this intra-package check cannot see into.
+func check(pass *analysis.Pass, fd *ast.FuncDecl, ctxObj types.Object) {
+	usesCtx := func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == ctxObj {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	hasLoop := false
+	polled := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			body = n.Body
+		case *ast.RangeStmt:
+			body = n.Body
+		default:
+			return true
+		}
+		hasLoop = true
+		if usesCtx(body) {
+			polled = true
+		}
+		return !polled
+	})
+	if hasLoop && !polled {
+		pass.Reportf(fd.Name.Pos(),
+			"exported solver %s loops but never uses its context inside a loop; "+
+				"poll ctx.Err(), select on ctx.Done(), or pass ctx to a callee on the loop path",
+			fd.Name.Name)
+	}
+}

@@ -1,0 +1,92 @@
+package a
+
+import "context"
+
+// Solve iterates but never looks at ctx: uncancelable mid-solve.
+func Solve(ctx context.Context, xs []int) int { // want `exported solver Solve loops but never uses its context`
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// SolveGood polls ctx.Err on the loop path.
+func SolveGood(ctx context.Context, xs []int) (int, error) {
+	total := 0
+	for _, x := range xs {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		total += x
+	}
+	return total, nil
+}
+
+// AllocateCtx delegates ctx to a callee inside the loop, which is an
+// acceptable hand-off of the polling obligation.
+func AllocateCtx(ctx context.Context, xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += step(ctx, x)
+	}
+	return total
+}
+
+// OptimizeSelect selects on Done inside its loop.
+func OptimizeSelect(ctx context.Context, ch <-chan int) int {
+	for {
+		select {
+		case <-ctx.Done():
+			return 0
+		case v := <-ch:
+			if v < 0 {
+				return v
+			}
+		}
+	}
+}
+
+// AnnealOuter polls in its outer loop only: one polled loop is enough
+// for the function-level contract.
+func AnnealOuter(ctx context.Context, xs []int) int {
+	total := 0
+	for i := 0; i < 3; i++ {
+		if ctx.Err() != nil {
+			return total
+		}
+		for _, x := range xs {
+			total += x
+		}
+	}
+	return total
+}
+
+// Search has no loop, so there is nothing to poll.
+func Search(ctx context.Context, x int) int { return x }
+
+// Maximize is not solver-shaped; the check does not apply.
+func Maximize(ctx context.Context, xs []int) int {
+	n := 0
+	for range xs {
+		n++
+	}
+	return n
+}
+
+// helper is unexported; internal helpers are the caller's concern.
+func helper(ctx context.Context, xs []int) {
+	for range xs {
+	}
+}
+
+//mwlvet:allow ctxpoll -- fixture: demonstrates an annotated exemption
+func SolveExempt(ctx context.Context, xs []int) int {
+	n := 0
+	for range xs {
+		n++
+	}
+	return n
+}
+
+func step(ctx context.Context, x int) int { return x }

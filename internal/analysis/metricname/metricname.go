@@ -1,0 +1,144 @@
+// Package metricname lints the hand-rolled Prometheus exposition in
+// cmd/mwld: every metric name literal must follow the project
+// convention, and a metric family must not be registered (given a
+// "# TYPE" header) more than once per package — double headers are an
+// exposition-format violation scrapers reject.
+//
+// Conventions enforced on any string literal containing an mwld_ name:
+//
+//   - names match mwld_[a-z][a-z0-9_]* — lowercase, no dashes, no
+//     double or trailing underscores;
+//   - counters end in _total, never _totals/_count/_num;
+//   - durations and sizes use base units: _seconds and _bytes, never
+//     _ms/_millis/_micros/_nanos/_sec/_secs;
+//   - the histogram series suffixes _bucket/_sum/_count hang only off a
+//     unit-suffixed histogram base (..._seconds, ..._bytes);
+//   - an explicit "# TYPE <name> counter|gauge|histogram" header agrees
+//     with the name's suffix (counter => _total; histogram => _seconds
+//     or _bytes; gauge => not _total) and appears at most once.
+package metricname
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the metricname check.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricname",
+	Doc: "mwld_* metric literals must follow Prometheus naming conventions and " +
+		"each family may be registered (# TYPE) only once per package",
+	Run: run,
+}
+
+var (
+	nameRe  = regexp.MustCompile(`mwld_[A-Za-z0-9_-]*`)
+	validRe = regexp.MustCompile(`^mwld_[a-z][a-z0-9_]*$`)
+	typeRe  = regexp.MustCompile(`# TYPE (mwld_[A-Za-z0-9_-]*) ([a-z]+)`)
+)
+
+// badUnits maps forbidden suffixes to the convention they violate.
+var badUnits = map[string]string{
+	"_ms": "_seconds", "_millis": "_seconds", "_milliseconds": "_seconds",
+	"_micros": "_seconds", "_microseconds": "_seconds",
+	"_nanos": "_seconds", "_nanoseconds": "_seconds",
+	"_sec": "_seconds", "_secs": "_seconds",
+	"_totals": "_total", "_num": "_total", "_counter": "_total",
+}
+
+var seriesSuffixes = []string{"_bucket", "_sum", "_count"}
+
+func run(pass *analysis.Pass) error {
+	type registration struct {
+		kind string
+		pos  token.Pos
+	}
+	families := make(map[string]registration)
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			text, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			for _, name := range nameRe.FindAllString(text, -1) {
+				checkName(pass, lit.Pos(), name)
+			}
+			for _, m := range typeRe.FindAllStringSubmatch(text, -1) {
+				name, kind := m[1], m[2]
+				if prev, dup := families[name]; dup {
+					pass.Reportf(lit.Pos(),
+						"metric family %s registered more than once in this package (previous # TYPE was %s)",
+						name, pass.Fset.Position(prev.pos))
+				} else {
+					families[name] = registration{kind: kind, pos: lit.Pos()}
+				}
+				checkKind(pass, lit.Pos(), name, kind)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkName(pass *analysis.Pass, pos token.Pos, name string) {
+	if name == "mwld_" {
+		// A bare prefix is a prefix (HasPrefix checks, docs, regexps —
+		// including this analyzer's own), not a metric name.
+		return
+	}
+	if !validRe.MatchString(name) || strings.Contains(name, "__") || strings.HasSuffix(name, "_") {
+		pass.Reportf(pos, "metric name %q is not of the form mwld_[a-z][a-z0-9_]*", name)
+		return
+	}
+	base, isSeries := stripSeriesSuffix(name)
+	if isSeries && !strings.HasSuffix(base, "_seconds") && !strings.HasSuffix(base, "_bytes") {
+		pass.Reportf(pos,
+			"histogram series %q hangs off base %q, which lacks a unit suffix (_seconds or _bytes)",
+			name, base)
+	}
+	for bad, good := range badUnits {
+		if strings.HasSuffix(base, bad) {
+			pass.Reportf(pos, "metric name %q uses suffix %s; the convention is %s", name, bad, good)
+		}
+	}
+}
+
+func checkKind(pass *analysis.Pass, pos token.Pos, name, kind string) {
+	switch kind {
+	case "counter":
+		if !strings.HasSuffix(name, "_total") {
+			pass.Reportf(pos, "counter %q must end in _total", name)
+		}
+	case "histogram":
+		if !strings.HasSuffix(name, "_seconds") && !strings.HasSuffix(name, "_bytes") {
+			pass.Reportf(pos, "histogram %q must carry a base unit suffix (_seconds or _bytes)", name)
+		}
+	case "gauge":
+		if strings.HasSuffix(name, "_total") {
+			pass.Reportf(pos, "gauge %q must not end in _total (that suffix is reserved for counters)", name)
+		}
+	default:
+		pass.Reportf(pos, "metric family %s has unknown type %q (want counter, gauge or histogram)", name, kind)
+	}
+}
+
+func stripSeriesSuffix(name string) (base string, isSeries bool) {
+	for _, s := range seriesSuffixes {
+		if strings.HasSuffix(name, s) {
+			return strings.TrimSuffix(name, s), true
+		}
+	}
+	return name, false
+}

@@ -1,0 +1,12 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/metricname"
+)
+
+func TestMetricName(t *testing.T) {
+	analysistest.Run(t, "testdata", "a", metricname.Analyzer)
+}

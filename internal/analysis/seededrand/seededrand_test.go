@@ -1,0 +1,12 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/seededrand"
+)
+
+func TestSeededRand(t *testing.T) {
+	analysistest.Run(t, "testdata", "a", seededrand.Analyzer)
+}

@@ -1,0 +1,37 @@
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+// globalDraw uses the shared process-seeded generator.
+func globalDraw() int {
+	return rand.Intn(10) // want `global process-seeded generator`
+}
+
+// globalShuffle too — any top-level selector counts.
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global process-seeded generator`
+}
+
+// timeSeeded defeats reproducibility even with a local generator.
+func timeSeeded() rand.Source {
+	return rand.NewSource(time.Now().UnixNano()) // want `seeded from the clock`
+}
+
+// seeded is the approved shape: the seed comes from the caller.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// derived seeds are fine as long as no clock is involved.
+func derived(base int64, i int) *rand.Rand {
+	return rand.New(rand.NewSource(base + int64(i)))
+}
+
+// annotated sites are reviewed exemptions.
+func annotated() int {
+	//mwlvet:allow seededrand -- fixture: jitter only, determinism not required
+	return rand.Intn(3)
+}

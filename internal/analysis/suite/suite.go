@@ -1,0 +1,24 @@
+// Package suite assembles the mwlvet analyzer set in one place so the
+// vettool binary and the integration tests agree on what "the suite"
+// is.
+package suite
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/boundedspawn"
+	"repro/internal/analysis/ctxpoll"
+	"repro/internal/analysis/metricname"
+	"repro/internal/analysis/seededrand"
+	"repro/internal/analysis/wiretag"
+)
+
+// Analyzers returns the full mwlvet suite.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		boundedspawn.Analyzer,
+		ctxpoll.Analyzer,
+		metricname.Analyzer,
+		seededrand.Analyzer,
+		wiretag.Analyzer,
+	}
+}

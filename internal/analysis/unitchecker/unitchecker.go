@@ -1,0 +1,233 @@
+// Package unitchecker implements the command-line protocol that
+// `go vet -vettool=...` speaks to an analysis driver, using only the
+// standard library (the x/tools unitchecker is unavailable offline).
+//
+// The protocol, reverse-engineered from cmd/go/internal/work and the
+// x/tools driver it was designed for:
+//
+//	tool -V=full    print "<name> version <v> ... buildID=<hash>" (cache key)
+//	tool -flags     print a JSON list of analyzer flags (none here)
+//	tool foo.cfg    analyze one compilation unit described by foo.cfg
+//
+// The .cfg file is JSON carrying the unit's file list plus the compiler
+// export-data files of every dependency; go/importer's gc importer reads
+// those directly, so a full types.Info is available without x/tools.
+// Diagnostics go to stderr as "file:line:col: message [mwlvet:analyzer]"
+// and any finding makes the tool (and hence `go vet`) exit non-zero.
+// Facts are not supported: mwlvet's analyzers are all intra-package, so
+// dependency units (VetxOnly) are acknowledged without being parsed.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Config mirrors the JSON emitted by cmd/go for each vetted unit.
+// Fields the driver does not consume are listed anyway so the schema is
+// documented in one place; unknown fields are ignored by encoding/json.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main runs the vettool protocol with the given analyzer suite and does
+// not return.
+func Main(analyzers ...*analysis.Analyzer) {
+	vFlag := flag.String("V", "", "print version and exit (protocol flag set by the go command)")
+	flagsFlag := flag.Bool("flags", false, "print analyzer flags as JSON and exit (protocol flag)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [go vet protocol args]\n\nAnalyzers:\n", progName())
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, firstLine(a.Doc))
+		}
+		fmt.Fprintf(os.Stderr, "\nRun via: go vet -vettool=$(command -v %s) ./...\n", progName())
+	}
+	flag.Parse()
+
+	if *vFlag != "" {
+		// cmd/go hashes this line into its build cache key, so it must
+		// change whenever the tool binary changes: hash the executable.
+		if *vFlag != "full" {
+			fmt.Printf("%s version devel\n", progName())
+			os.Exit(0)
+		}
+		self, err := os.Executable()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		f, err := os.Open(self)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		h := sha256.New()
+		if _, err := io.Copy(h, f); err != nil {
+			fatalf("%v", err)
+		}
+		f.Close()
+		fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progName(), string(h.Sum(nil)))
+		os.Exit(0)
+	}
+	if *flagsFlag {
+		// No per-analyzer flags: the suite is all-on, always.
+		fmt.Println("[]")
+		os.Exit(0)
+	}
+
+	args := flag.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		flag.Usage()
+		os.Exit(2)
+	}
+	diags, err := checkUnit(args[0], analyzers)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+// checkUnit analyzes the compilation unit described by cfgFile and
+// prints its diagnostics. An error return means the unit could not be
+// analyzed at all.
+func checkUnit(cfgFile string, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", cfgFile, err)
+	}
+
+	// cmd/go requires the facts file to exist for every unit, including
+	// dependency-only ones, before it will cache the result.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("mwlvet: no facts\n"), 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency unit: only its (empty) facts were wanted.
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				os.Exit(0)
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// ImportMap resolves as-written paths (vendoring, test variants)
+		// to the canonical path keying PackageFile.
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	tc := &types.Config{
+		Importer:  compilerImporter,
+		GoVersion: langVersion(cfg.GoVersion),
+		Sizes:     types.SizesFor("gc", targetArch()),
+		Error:     func(error) {}, // keep going; Check's return reports the first
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			// The build itself already failed (or will) with a better
+			// message; vet should not add noise.
+			os.Exit(0)
+		}
+		return nil, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
+	}
+
+	diags, err := analysis.Run(fset, files, pkg, info, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [mwlvet:%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	return diags, nil
+}
+
+// langVersion trims a toolchain version like "go1.23.4" to the language
+// version go/types accepts ("go1.23").
+func langVersion(v string) string {
+	if !strings.HasPrefix(v, "go1.") {
+		return ""
+	}
+	parts := strings.SplitN(v, ".", 3)
+	return parts[0] + "." + parts[1]
+}
+
+func targetArch() string {
+	if a := os.Getenv("GOARCH"); a != "" {
+		return a
+	}
+	return runtime.GOARCH
+}
+
+func progName() string { return filepath.Base(os.Args[0]) }
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "%s: %s\n", progName(), fmt.Sprintf(format, args...))
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+package a
+
+// Message participates in the wire schema (it has json tags), so every
+// exported field needs one.
+type Message struct {
+	ID    string `json:"id"`
+	Name  string // want `exported field Message.Name of wire-schema struct has no json tag`
+	Count int    `json:"count"`
+	note  string // unexported fields never marshal; no tag needed
+}
+
+// Dup maps two fields onto one key.
+type Dup struct {
+	A string `json:"x"`
+	B string `json:"x"` // want `json key "x" of Dup.B already used by field A`
+}
+
+// Plain has no json tags at all: it is not a wire struct, and Go-name
+// marshalling is whatever its (non-wire) users want.
+type Plain struct {
+	X int
+	Y int
+}
+
+// Envelope embeds a wire struct; the embedded field inlines fields that
+// are checked at their own declaration.
+type Envelope struct {
+	Message
+	Extra string `json:"extra"`
+}
+
+// Skipped fields are explicitly out of the schema.
+type WithSkip struct {
+	Kept   string `json:"kept"`
+	Memory []byte `json:"-"`
+}
+
+// canonicalKeys is on the hashing path, so map order must be fixed.
+func canonicalKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { // want `map iteration in canonical-encoding function canonicalKeys`
+		out = append(out, k)
+	}
+	return out
+}
+
+// Hash is canonical by name — and this file is wire.go, so every
+// function here is under the no-map-range rule anyway.
+func Hash(m map[string]int) int {
+	h := 0
+	for _, v := range m { // want `map iteration in canonical-encoding function Hash`
+		h = h*31 + v
+	}
+	return h
+}
+
+func fine(m map[string]int) int {
+	t := 0
+	for _, v := range sortedVals(m) {
+		t += v
+	}
+	return t
+}
+
+func sortedVals(m map[string]int) []int {
+	_ = m
+	return nil
+}
+
+var _ = []any{Message{}, Dup{}, Plain{}, Envelope{}, WithSkip{}}

@@ -1,0 +1,133 @@
+// Package wiretag guards the canonical wire schema that Problem.Hash()
+// content addressing and the persistent result store depend on.
+//
+// Three checks:
+//
+//  1. In any struct that participates in the JSON wire schema (it has at
+//     least one `json:"..."`-tagged field), every exported non-embedded
+//     field must carry an explicit json tag. An untagged field silently
+//     marshals under its Go name, changing the canonical encoding — and
+//     therefore every content hash — when someone renames it.
+//  2. No two fields of a struct may map to the same json key.
+//  3. Canonical-encoding code (functions named Hash or *[Cc]anonical*,
+//     and everything in a wire.go file) must not range over a map:
+//     Go's map iteration order is randomized per run, so a map range on
+//     the encoding path makes equal problems hash unequal. Collect and
+//     sort the keys instead.
+package wiretag
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the wiretag check.
+var Analyzer = &analysis.Analyzer{
+	Name: "wiretag",
+	Doc: "wire-schema structs need explicit json tags on every exported field, " +
+		"and canonical-encoding code must not range over maps",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		isWireFile := filepath.Base(pass.Fset.Position(f.Pos()).Filename) == "wire.go"
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.TypeSpec:
+				if st, ok := n.Type.(*ast.StructType); ok {
+					checkStruct(pass, n.Name.Name, st)
+				}
+			case *ast.FuncDecl:
+				if n.Body != nil && (isWireFile || canonicalName(n.Name.Name)) {
+					checkNoMapRange(pass, n)
+				}
+				return false // struct literals inside funcs are not schema decls
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func canonicalName(name string) bool {
+	return name == "Hash" || strings.Contains(strings.ToLower(name), "canonical")
+}
+
+func checkStruct(pass *analysis.Pass, structName string, st *ast.StructType) {
+	type tagged struct {
+		field *ast.Ident
+		key   string
+	}
+	var fields []tagged
+	hasJSON := false
+	for _, field := range st.Fields.List {
+		key := ""
+		if field.Tag != nil {
+			tag, err := strconv.Unquote(field.Tag.Value)
+			if err == nil {
+				if v, ok := reflect.StructTag(tag).Lookup("json"); ok {
+					hasJSON = true
+					key = strings.Split(v, ",")[0]
+				}
+			}
+		}
+		if len(field.Names) == 0 {
+			// Embedded fields inline their own (checked) fields.
+			continue
+		}
+		for _, name := range field.Names {
+			fields = append(fields, tagged{field: name, key: key})
+		}
+	}
+	if !hasJSON {
+		return // not a wire struct
+	}
+	seen := make(map[string]string)
+	for _, f := range fields {
+		if f.key == "" && f.field.IsExported() {
+			pass.Reportf(f.field.Pos(),
+				"exported field %s.%s of wire-schema struct has no json tag; "+
+					"an implicit key ties the canonical encoding (and Problem.Hash) to the Go field name",
+				structName, f.field.Name)
+			continue
+		}
+		if f.key == "" || f.key == "-" {
+			continue
+		}
+		if prev, dup := seen[f.key]; dup {
+			pass.Reportf(f.field.Pos(), "json key %q of %s.%s already used by field %s",
+				f.key, structName, f.field.Name, prev)
+		}
+		seen[f.key] = f.field.Name
+	}
+}
+
+func checkNoMapRange(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+			pass.Reportf(rs.Pos(),
+				"map iteration in canonical-encoding function %s has randomized order; "+
+					"collect the keys, sort them, and iterate the sorted slice",
+				fd.Name.Name)
+		}
+		return true
+	})
+}

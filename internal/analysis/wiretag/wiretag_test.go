@@ -1,0 +1,12 @@
+package wiretag_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/wiretag"
+)
+
+func TestWireTag(t *testing.T) {
+	analysistest.Run(t, "testdata", "a", wiretag.Analyzer)
+}

@@ -1,6 +1,7 @@
 package errspec
 
 import (
+	"fmt"
 	"math/big"
 	"testing"
 
@@ -295,5 +296,36 @@ func TestOptimizeEmptyGraph(t *testing.T) {
 	}
 	if res.Graph.N() != 0 || len(res.Trims) != 0 {
 		t.Fatalf("unexpected result %+v", res)
+	}
+}
+
+// TestSeedReachesEvaluation: the Monte-Carlo error measurement must
+// consume the configured seed — distinct seeds should measure (at least
+// slightly) different errors on a design with real trims, while each
+// individual seed stays perfectly reproducible.
+func TestSeedReachesEvaluation(t *testing.T) {
+	lib := model.Default()
+	g, err := tgff.Generate(tgff.Config{N: 9, Seed: 404})
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := map[string]bool{}
+	for seed := int64(1); seed <= 6; seed++ {
+		cfg := Config{MaxAbsError: 0.5, Seed: seed, Vectors: 8}
+		a, err := Optimize(g, lib, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Optimize(g, lib, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.MeasuredError != b.MeasuredError || a.AreaAfter != b.AreaAfter {
+			t.Fatalf("seed %d not reproducible: %+v vs %+v", seed, a, b)
+		}
+		measured[fmt.Sprintf("%v/%v", a.MeasuredError, a.Trims)] = true
+	}
+	if len(measured) < 2 {
+		t.Fatalf("6 seeds produced %d distinct measurements; seed is not reaching the evaluator", len(measured))
 	}
 }

@@ -2,17 +2,21 @@ package rtl
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
 // Lint structurally checks generated Verilog: every identifier used in
 // an expression must be declared (as a port, reg or wire), module/
-// endmodule and begin/end must balance, and no line may reference a
-// negative bit index. It is not a Verilog parser — just enough of one
-// to catch generation bugs (undeclared registers, unbalanced blocks) in
-// tests without an external simulator.
+// endmodule and begin/end must balance, no line may reference a
+// negative bit index, and simple assignments must connect buses of
+// equal declared width (or truncate explicitly with a part-select).
+// It is not a Verilog parser — just enough of one to catch generation
+// bugs (undeclared registers, unbalanced blocks, silently zero-extended
+// or truncated buses) in tests without an external simulator.
 func Lint(src string) error {
 	declared := map[string]bool{}
+	widths := map[string]int{}
 	keywords := map[string]bool{
 		"module": true, "endmodule": true, "input": true, "output": true,
 		"wire": true, "reg": true, "always": true, "posedge": true,
@@ -21,10 +25,7 @@ func Lint(src string) error {
 
 	// Pass 1: declarations.
 	for _, line := range strings.Split(src, "\n") {
-		trimmed := strings.TrimSpace(line)
-		if i := strings.Index(trimmed, "//"); i >= 0 {
-			trimmed = trimmed[:i]
-		}
+		trimmed := stripComment(line)
 		words := identifiers(trimmed)
 		if len(words) == 0 {
 			continue
@@ -37,10 +38,12 @@ func Lint(src string) error {
 		case "input", "output", "reg", "wire":
 			// Forms: "input wire [..] name", "output reg name",
 			// "reg [..] name;", "wire [..] name = expr;". The declared
-			// identifier is the first non-keyword word.
+			// identifier is the first non-keyword word; its bus width
+			// comes from the optional [hi:lo] range before it.
 			for _, w := range words {
 				if !keywords[w] {
 					declared[w] = true
+					widths[w] = declWidth(trimmed, w)
 					break
 				}
 			}
@@ -51,10 +54,7 @@ func Lint(src string) error {
 	depth := 0
 	beginDepth := 0
 	for ln, line := range strings.Split(src, "\n") {
-		trimmed := strings.TrimSpace(line)
-		if i := strings.Index(trimmed, "//"); i >= 0 {
-			trimmed = trimmed[:i]
-		}
+		trimmed := stripComment(line)
 		if strings.Contains(trimmed, "[-") {
 			return fmt.Errorf("rtl lint: line %d: negative bit index: %s", ln+1, trimmed)
 		}
@@ -64,6 +64,9 @@ func Lint(src string) error {
 			}
 			return fmt.Errorf("rtl lint: line %d: undeclared identifier %q: %s", ln+1, w, trimmed)
 		}
+		if err := checkAssignWidth(trimmed, widths); err != nil {
+			return fmt.Errorf("rtl lint: line %d: %w: %s", ln+1, err, trimmed)
+		}
 		depth += strings.Count(trimmed, "module") - strings.Count(trimmed, "endmodule")*2
 		beginDepth += countWord(trimmed, "begin") - countWord(trimmed, "end")
 	}
@@ -72,6 +75,150 @@ func Lint(src string) error {
 	}
 	if !strings.Contains(src, "endmodule") {
 		return fmt.Errorf("rtl lint: missing endmodule")
+	}
+	return nil
+}
+
+func stripComment(line string) string {
+	trimmed := strings.TrimSpace(line)
+	if i := strings.Index(trimmed, "//"); i >= 0 {
+		trimmed = trimmed[:i]
+	}
+	return strings.TrimSpace(trimmed)
+}
+
+// declWidth extracts the bus width of a declaration line for name: the
+// [hi:lo] range appearing before name, or 1 when the declaration has no
+// range. Unparseable ranges yield 0 ("unknown"), which disables width
+// checking for that net.
+func declWidth(line, name string) int {
+	at := indexWord(line, name)
+	open := strings.Index(line, "[")
+	if open < 0 || open > at {
+		return 1
+	}
+	w, _, ok := parseRange(line[open:])
+	if !ok {
+		return 0
+	}
+	return w
+}
+
+// parseRange parses a leading "[hi:lo]" or "[idx]" select, returning
+// its width and the number of bytes consumed.
+func parseRange(s string) (width, n int, ok bool) {
+	if len(s) == 0 || s[0] != '[' {
+		return 0, 0, false
+	}
+	close := strings.IndexByte(s, ']')
+	if close < 0 {
+		return 0, 0, false
+	}
+	body := s[1:close]
+	if colon := strings.IndexByte(body, ':'); colon >= 0 {
+		hi, err1 := strconv.Atoi(strings.TrimSpace(body[:colon]))
+		lo, err2 := strconv.Atoi(strings.TrimSpace(body[colon+1:]))
+		if err1 != nil || err2 != nil || hi < lo || lo < 0 {
+			return 0, 0, false
+		}
+		return hi - lo + 1, close + 1, true
+	}
+	if _, err := strconv.Atoi(strings.TrimSpace(body)); err != nil {
+		return 0, 0, false
+	}
+	return 1, close + 1, true
+}
+
+// term parses one simple operand at the start of s: an identifier with
+// an optional bit/part select, or a sized literal like 5'd12. It
+// returns the operand's width in bits (0 when unknown), whether the
+// width came from an explicit select, and the rest of the string.
+// ok is false when s does not start with a simple operand.
+func term(s string, widths map[string]int) (width int, selected bool, rest string, ok bool) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, false, s, false
+	}
+	if s[0] >= '0' && s[0] <= '9' {
+		// Sized literal: width'<base>value.
+		q := strings.IndexByte(s, '\'')
+		if q < 0 {
+			return 0, false, s, false // plain integer: width unknown by design
+		}
+		w, err := strconv.Atoi(s[:q])
+		if err != nil {
+			return 0, false, s, false
+		}
+		j := q + 1
+		for j < len(s) && isWordByte(s[j]) {
+			j++
+		}
+		return w, false, s[j:], true
+	}
+	if !isIdentStart(s[0]) {
+		return 0, false, s, false
+	}
+	j := 0
+	for j < len(s) && isWordByte(s[j]) {
+		j++
+	}
+	name := s[:j]
+	rest = s[j:]
+	width = widths[name]
+	if strings.HasPrefix(rest, "[") {
+		w, n, rok := parseRange(rest)
+		if !rok {
+			return 0, false, rest, false
+		}
+		return w, true, rest[n:], true
+	}
+	return width, false, rest, true
+}
+
+// checkAssignWidth applies the bus-width rule to one line when it is a
+// simple connection — `assign lhs = rhs;`, `lhs <= rhs;`, or a wire/reg
+// declaration with an initializer — whose right-hand side is a single
+// identifier, select, or sized literal. Compound right-hand sides
+// (arithmetic, muxes, concatenations) are out of scope: their widths
+// are context-dependent in Verilog and the emitter pads or truncates
+// them explicitly. Widths must agree exactly; an explicit part-select
+// is the sanctioned way to truncate.
+func checkAssignWidth(line string, widths map[string]int) error {
+	var lhsStr, rhsStr string
+	switch {
+	case strings.HasPrefix(line, "if") || strings.HasPrefix(line, "end"):
+		return nil // `<=` in a condition is a comparison, not a connection
+	case strings.Contains(line, "<="):
+		parts := strings.SplitN(line, "<=", 2)
+		lhsStr, rhsStr = parts[0], parts[1]
+	case strings.HasPrefix(line, "assign "):
+		parts := strings.SplitN(strings.TrimPrefix(line, "assign "), "=", 2)
+		if len(parts) != 2 {
+			return nil
+		}
+		lhsStr, rhsStr = parts[0], parts[1]
+	case (strings.HasPrefix(line, "wire") || strings.HasPrefix(line, "reg")) && strings.Contains(line, "="):
+		parts := strings.SplitN(line, "=", 2)
+		decl := identifiers(parts[0])
+		if len(decl) < 2 {
+			return nil
+		}
+		lhsStr, rhsStr = decl[len(decl)-1], parts[1]
+	default:
+		return nil
+	}
+
+	lw, _, lrest, ok := term(strings.TrimSpace(lhsStr), widths)
+	if !ok || strings.TrimSpace(lrest) != "" || lw == 0 {
+		return nil
+	}
+	rw, _, rrest, ok := term(strings.TrimSpace(rhsStr), widths)
+	rrest = strings.TrimSpace(rrest)
+	if !ok || (rrest != ";" && rrest != "") || rw == 0 {
+		return nil // compound or unknown-width RHS: not a simple connection
+	}
+	if lw != rw {
+		return fmt.Errorf("bus width mismatch: lhs is %d bits, rhs is %d bits (truncate explicitly with a part-select)", lw, rw)
 	}
 	return nil
 }
@@ -110,6 +257,24 @@ func identifiers(s string) []string {
 		}
 	}
 	return out
+}
+
+// indexWord finds word in s as a whole token (not a substring of a
+// longer identifier, so "r" never matches inside "reg").
+func indexWord(s, word string) int {
+	for i := 0; ; {
+		j := strings.Index(s[i:], word)
+		if j < 0 {
+			return -1
+		}
+		j += i
+		before := j == 0 || !isWordByte(s[j-1])
+		after := j+len(word) == len(s) || !isWordByte(s[j+len(word)])
+		if before && after {
+			return j
+		}
+		i = j + 1
+	}
 }
 
 func isIdentStart(c byte) bool {

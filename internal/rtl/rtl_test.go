@@ -136,27 +136,6 @@ func TestSubtractionUnits(t *testing.T) {
 	}
 }
 
-func TestLintCatchesUndeclared(t *testing.T) {
-	src := "module m (\n  input wire clk\n);\n  assign x = y;\nendmodule\n"
-	if err := Lint(src); err == nil {
-		t.Error("undeclared identifier accepted")
-	}
-}
-
-func TestLintCatchesUnbalancedBegin(t *testing.T) {
-	src := "module m (\n  input wire clk\n);\n  always @(posedge clk) begin\nendmodule\n"
-	if err := Lint(src); err == nil {
-		t.Error("unbalanced begin accepted")
-	}
-}
-
-func TestLintCatchesNegativeIndex(t *testing.T) {
-	src := "module m (\n  input wire [-1:0] x\n);\nendmodule\n"
-	if err := Lint(src); err == nil {
-		t.Error("negative index accepted")
-	}
-}
-
 func TestCounterWidth(t *testing.T) {
 	cases := map[int]int{1: 1, 2: 2, 3: 2, 4: 3, 15: 4, 16: 5}
 	for ms, want := range cases {

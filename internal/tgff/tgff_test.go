@@ -1,6 +1,7 @@
 package tgff
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/dfg"
@@ -176,5 +177,26 @@ func TestBatch(t *testing.T) {
 		if gs[i].NumEdges() != gs2[i].NumEdges() {
 			t.Fatal("batch not reproducible")
 		}
+	}
+}
+
+// TestSeedSteersGeneration: the seed is not decorative — distinct seeds
+// must be able to produce structurally distinct graphs, so experiments
+// that sweep seeds actually sample different workloads.
+func TestSeedSteersGeneration(t *testing.T) {
+	prints := map[string]bool{}
+	for seed := int64(0); seed < 8; seed++ {
+		g, err := Generate(Config{N: 12, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp := fmt.Sprintf("%d/%d", g.N(), g.NumEdges())
+		for i := 0; i < g.N(); i++ {
+			fp += fmt.Sprintf("|%v%v", g.Op(dfg.OpID(i)).Spec, g.Succ(dfg.OpID(i)))
+		}
+		prints[fp] = true
+	}
+	if len(prints) < 2 {
+		t.Fatalf("8 seeds produced %d distinct graphs; seed is not reaching the generator", len(prints))
 	}
 }

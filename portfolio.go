@@ -50,6 +50,7 @@ type portfolioSolver struct {
 	board portfolio.Scoreboard
 }
 
+//mwlvet:allow ctxpoll -- loops here are O(len(methods)) setup; the race itself runs under rctx via SolveBatchVia below
 func (ps *portfolioSolver) Solve(ctx context.Context, p Problem) (Solution, error) {
 	if err := ctx.Err(); err != nil {
 		return Solution{}, err
