@@ -39,5 +39,7 @@ func solveAnneal(ctx context.Context, p Problem) (Solution, error) {
 		Iterations: st.Epochs,
 		Moves:      st.Moves,
 		Accepted:   st.Accepted,
+		Merges:     st.Merges,
+		Evals:      st.Evals,
 	}), nil
 }

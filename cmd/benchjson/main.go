@@ -191,11 +191,12 @@ func parseLine(line string) (string, Benchmark, bool) {
 	return cpuSuffix.ReplaceAllString(fields[0], ""), b, true
 }
 
-// regression is one over-threshold ns/op increase.
+// regression is one over-threshold increase in a gated unit.
 type regression struct {
 	Name    string
-	OldNs   float64
-	NewNs   float64
+	Unit    string
+	Old     float64
+	New     float64
 	Percent float64
 }
 
@@ -241,9 +242,12 @@ func runCompare(args []string) (regressed bool, err error) {
 	return len(regressions) > 0, nil
 }
 
-// compareReports diffs ns/op for benchmarks present in both reports
-// (filtered by re, skipping baselines under the minNs noise floor) and
-// returns the over-threshold regressions plus a human-readable summary.
+// compareReports diffs ns/op, B/op and allocs/op for benchmarks present
+// in both reports (filtered by re, skipping baselines under the minNs
+// noise floor) and returns the over-threshold regressions plus a
+// human-readable summary. Memory units are gated only when the baseline
+// recorded them (a baseline taken without -benchmem has zeros there),
+// so adding -benchmem never fails the first gated run.
 func compareReports(base, cur *Report, re *regexp.Regexp, threshold, minNs float64) ([]regression, string) {
 	var names []string
 	for name := range cur.Benchmarks {
@@ -259,30 +263,42 @@ func compareReports(base, cur *Report, re *regexp.Regexp, threshold, minNs float
 	var regressions []regression
 	var sb strings.Builder
 	for _, name := range names {
-		oldNs := base.Benchmarks[name].NsPerOp
-		newNs := cur.Benchmarks[name].NsPerOp
-		if oldNs <= 0 {
+		ob, nb := base.Benchmarks[name], cur.Benchmarks[name]
+		if ob.NsPerOp <= 0 {
 			continue
 		}
-		if oldNs < minNs {
-			fmt.Fprintf(&sb, "- %-48s %14.0f ns/op baseline under the %.0f ns noise floor; not gated\n", name, oldNs, minNs)
+		if ob.NsPerOp < minNs {
+			fmt.Fprintf(&sb, "- %-48s %14.0f ns/op baseline under the %.0f ns noise floor; not gated\n", name, ob.NsPerOp, minNs)
 			continue
 		}
-		pct := 100 * (newNs - oldNs) / oldNs
-		mark := " "
-		if pct > threshold {
-			mark = "✗"
-			regressions = append(regressions, regression{name, oldNs, newNs, pct})
+		units := []struct {
+			unit     string
+			old, new float64
+		}{
+			{"ns/op", ob.NsPerOp, nb.NsPerOp},
+			{"B/op", ob.BytesPerOp, nb.BytesPerOp},
+			{"allocs/op", ob.AllocsPerOp, nb.AllocsPerOp},
 		}
-		fmt.Fprintf(&sb, "%s %-48s %14.0f → %14.0f ns/op  %+7.1f%%\n", mark, name, oldNs, newNs, pct)
+		for _, u := range units {
+			if u.old <= 0 {
+				continue // unit not recorded in the baseline
+			}
+			pct := 100 * (u.new - u.old) / u.old
+			mark := " "
+			if pct > threshold {
+				mark = "✗"
+				regressions = append(regressions, regression{name, u.unit, u.old, u.new, pct})
+			}
+			fmt.Fprintf(&sb, "%s %-48s %14.0f → %14.0f %-9s %+7.1f%%\n", mark, name, u.old, u.new, u.unit, pct)
+		}
 	}
 	if len(names) == 0 {
 		sb.WriteString("benchjson: no overlapping benchmarks to compare\n")
 	}
 	if len(regressions) > 0 {
-		fmt.Fprintf(&sb, "benchjson: %d benchmark(s) regressed more than %.0f%% in ns/op\n", len(regressions), threshold)
+		fmt.Fprintf(&sb, "benchjson: %d benchmark unit(s) regressed more than %.0f%%\n", len(regressions), threshold)
 	} else {
-		fmt.Fprintf(&sb, "benchjson: no ns/op regression above %.0f%% across %d gated benchmark(s)\n", threshold, len(names))
+		fmt.Fprintf(&sb, "benchjson: no ns/op, B/op or allocs/op regression above %.0f%% across %d gated benchmark(s)\n", threshold, len(names))
 	}
 	return regressions, sb.String()
 }

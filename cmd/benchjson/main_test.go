@@ -92,8 +92,38 @@ func TestCompareReports(t *testing.T) {
 	if regs[0].Name != "BenchmarkFig5ILP/N=8" || regs[0].Percent < 29 || regs[0].Percent > 31 {
 		t.Fatalf("%+v", regs[0])
 	}
-	if !strings.Contains(report, "1 benchmark(s) regressed") {
+	if !strings.Contains(report, "1 benchmark unit(s) regressed") {
 		t.Fatalf("report: %s", report)
+	}
+}
+
+// TestCompareReportsMemoryGate: B/op and allocs/op regressions trip the
+// same threshold, and a baseline recorded without -benchmem (zeros)
+// leaves the memory units ungated instead of dividing by zero.
+func TestCompareReportsMemoryGate(t *testing.T) {
+	base := &Report{Schema: 1, Benchmarks: map[string]Benchmark{
+		"BenchmarkAnneal":  {Iterations: 1, NsPerOp: 1000, BytesPerOp: 10_000, AllocsPerOp: 100},
+		"BenchmarkNoMem":   {Iterations: 1, NsPerOp: 1000},
+		"BenchmarkHealthy": {Iterations: 1, NsPerOp: 1000, BytesPerOp: 10_000, AllocsPerOp: 100},
+	}}
+	cur := &Report{Schema: 1, Benchmarks: map[string]Benchmark{
+		"BenchmarkAnneal":  {Iterations: 1, NsPerOp: 1100, BytesPerOp: 20_000, AllocsPerOp: 200}, // mem doubled
+		"BenchmarkNoMem":   {Iterations: 1, NsPerOp: 1100, BytesPerOp: 99_999, AllocsPerOp: 999}, // no mem baseline
+		"BenchmarkHealthy": {Iterations: 1, NsPerOp: 900, BytesPerOp: 9_000, AllocsPerOp: 90},
+	}}
+	regs, report := compareReports(base, cur, nil, 25, 0)
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %+v\n%s", regs, report)
+	}
+	units := map[string]bool{}
+	for _, r := range regs {
+		if r.Name != "BenchmarkAnneal" {
+			t.Fatalf("unexpected regression %+v", r)
+		}
+		units[r.Unit] = true
+	}
+	if !units["B/op"] || !units["allocs/op"] {
+		t.Fatalf("memory units not gated: %+v", regs)
 	}
 }
 
@@ -104,7 +134,7 @@ func TestCompareReportsClean(t *testing.T) {
 	if len(regs) != 0 {
 		t.Fatalf("%+v", regs)
 	}
-	if !strings.Contains(report, "no ns/op regression") {
+	if !strings.Contains(report, "no ns/op, B/op or allocs/op regression") {
 		t.Fatalf("report: %s", report)
 	}
 }

@@ -63,6 +63,7 @@ func main() {
 		workers      = flag.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
 		maxBody      = flag.Int64("maxbody", 16<<20, "max request body bytes")
 		batchMax     = flag.Int("batch-max", defaultBatchMax, "max problems per batch/stream request (<= 0 = unlimited)")
+		maxNodes     = flag.Int("max-nodes", defaultMaxNodes, "max operations per problem graph (<= 0 = unlimited)")
 		cacheEntries = flag.Int("cache-entries", mwl.DefaultCacheEntries, "in-memory solution cache entry cap (negative = unlimited)")
 		cacheBytes   = flag.Int64("cache-bytes", 256<<20, "approximate in-memory solution cache byte cap (0 = unlimited)")
 		storeDir     = flag.String("store-dir", "", "persistent result store directory (empty = no persistence)")
@@ -98,6 +99,7 @@ func main() {
 		svc:      mwl.NewServiceWith(opts),
 		maxBody:  *maxBody,
 		batchMax: *batchMax,
+		maxNodes: *maxNodes,
 		cluster:  cl,
 	})
 
@@ -127,12 +129,19 @@ func main() {
 // and the response size; the count cap closes that hole.
 const defaultBatchMax = 1024
 
+// defaultMaxNodes is the default per-problem operation cap. Solver
+// effort grows superlinearly in operations, so a single huge graph can
+// stall a worker for minutes while staying far under -maxbody; the node
+// cap makes admitting such problems a deliberate operator choice.
+const defaultMaxNodes = 10000
+
 // handlerConfig assembles a route table: the solve service plus the
 // request caps and the optional cluster routing state.
 type handlerConfig struct {
 	svc      *mwl.Service
 	maxBody  int64
 	batchMax int      // max problems per batch/stream request; <= 0 = unlimited
+	maxNodes int      // max operations per problem graph; <= 0 = unlimited
 	cluster  *cluster // nil = single-replica mode
 }
 
@@ -194,6 +203,19 @@ func newHandler(cfg handlerConfig) http.Handler {
 		}
 		return nil // SolveBatchVia defaults to svc.Solve
 	}
+	// admitSize enforces the per-problem node cap; a violation is the
+	// same class of refusal as an oversized batch (413 with JSON body).
+	admitSize := func(w http.ResponseWriter, p mwl.Problem) bool {
+		if cfg.maxNodes <= 0 {
+			return true
+		}
+		if nodes, _ := p.Size(); nodes > cfg.maxNodes {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("problem graph of %d operations exceeds the per-problem cap of %d; shrink the graph or raise -max-nodes", nodes, cfg.maxNodes))
+			return false
+		}
+		return true
+	}
 	// decodeBatch parses and caps a batch/stream request, writing the
 	// error response itself when the request is unusable.
 	decodeBatch := func(w http.ResponseWriter, r *http.Request) (mwl.BatchRequest, bool) {
@@ -211,6 +233,11 @@ func newHandler(cfg handlerConfig) http.Handler {
 				fmt.Errorf("batch of %d problems exceeds the per-request cap of %d; split the batch or raise -batch-max", len(req.Problems), cfg.batchMax))
 			return req, false
 		}
+		for _, p := range req.Problems {
+			if !admitSize(w, p) {
+				return req, false
+			}
+		}
 		return req, true
 	}
 
@@ -223,6 +250,9 @@ func newHandler(cfg handlerConfig) http.Handler {
 		var p mwl.Problem
 		if err := decodeJSON(body, &p); err != nil {
 			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if !admitSize(w, p) {
 			return
 		}
 		if routed(r) {

@@ -156,6 +156,58 @@ func TestStreamClientDisconnectCancelsSolves(t *testing.T) {
 	}
 }
 
+// TestMaxNodesCapsProblems: a problem whose graph exceeds -max-nodes is
+// rejected with 413 and a JSON error on the single-solve and batch
+// endpoints, while a problem at the cap is admitted — the byte and
+// batch-count caps alone would have let the big graph through.
+func TestMaxNodesCapsProblems(t *testing.T) {
+	srv := httptest.NewServer(newHandler(handlerConfig{svc: mwl.NewService(2), maxBody: 1 << 20, batchMax: 4, maxNodes: 10}))
+	defer srv.Close()
+	big, err := mwl.GenerateRandom(mwl.RandomConfig{N: 11, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := mwl.GenerateRandom(mwl.RandomConfig{N: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func(ep string, v any) (int, []byte) {
+		blob, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(srv.URL+ep, "application/json", bytes.NewReader(blob))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, buf.Bytes()
+	}
+
+	bigProblem := mwl.Problem{Graph: big, Lambda: 200}
+	status, body := post("/v1/solve", bigProblem)
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("/v1/solve: status %d, want 413 (%s)", status, body)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("/v1/solve: 413 body not a JSON error: %q", body)
+	}
+	status, body = post("/v1/solve/batch", mwl.BatchRequest{Problems: []mwl.Problem{{Graph: small, Lambda: 200}, bigProblem}})
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("/v1/solve/batch: status %d, want 413 (%s)", status, body)
+	}
+	// At the cap is fine.
+	status, body = post("/v1/solve", mwl.Problem{Graph: small, Lambda: 200})
+	if status != http.StatusOK {
+		t.Fatalf("/v1/solve at the cap: status %d (%s)", status, body)
+	}
+}
+
 // TestBatchMaxCapsBatchAndStream: a batch above -batch-max is rejected
 // with 413 and a JSON error on both endpoints; the byte cap alone would
 // have let it through.

@@ -26,6 +26,21 @@
 // rejected outright. The RNG is seeded from Options, so a fixed seed
 // reproduces the identical solution bit for bit; the inner loop polls
 // ctx every proposal and returns promptly on cancellation.
+//
+// The mover is allocation-free in steady state. Moves mutate the
+// current state in place and are undone on rejection instead of cloning
+// per proposal; instance kinds, latencies and areas are cached per
+// group and repaired incrementally for the one or two groups a move
+// touches, so the area delta driving Metropolis costs O(|group|), not a
+// rescheduling pass. Scheduling — the expensive part — is skipped
+// entirely when it cannot matter: worsening moves draw their Metropolis
+// verdict from the incremental delta first, and growing groups are
+// screened by a sound makespan lower bound (serialized instance
+// occupancy between the group's min-latency head and tail paths,
+// sharpened per member with ancestor/descendant counts from the
+// precedence closure in dfg.Reach) that proves many merges infeasible
+// without a schedule. Only surviving proposals pay for the list
+// scheduler, which itself reuses flat scratch buffers across calls.
 package anneal
 
 import (
@@ -35,6 +50,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/bitset"
 	"repro/internal/datapath"
 	"repro/internal/dfg"
 	"repro/internal/model"
@@ -76,6 +92,8 @@ type Stats struct {
 	Accepted int // proposals accepted (including sideways/worsening)
 	Improved int // times a new best-so-far was recorded
 	Epochs   int // completed cooling epochs
+	Merges   int // accepted merge moves (instances fused)
+	Evals    int // full list-schedule evaluations run
 }
 
 // state is one point of the search space. Groups hold operation IDs per
@@ -102,16 +120,40 @@ func (s *state) clone() *state {
 	return c
 }
 
-// evaluation is the derived schedule and cost of a state.
-type evaluation struct {
-	start    []int
-	makespan int
-	area     int64
-	kinds    []model.Kind // per group; zero Kind for empty groups
+// span is one occupied slot of an instance's schedule.
+type span struct{ s, e int }
+
+// moveKind discriminates the undo records.
+type moveKind uint8
+
+const (
+	mvRebind moveKind = iota
+	mvMerge
+	mvSplit
+	mvSwap
+)
+
+// groupSave snapshots one group's cached cost facts for undo.
+type groupSave struct {
+	kind model.Kind
+	lat  int
+	area int64
 }
 
-// allocator carries the immutable problem facts shared by every
-// evaluation.
+// move is the undo record of one in-place mutation: which groups were
+// touched and their cached facts before the move.
+type move struct {
+	kind     moveKind
+	o        dfg.OpID
+	src, dst int
+	srcOps   []dfg.OpID // merge: src's member slice before fusion
+	dstLen   int        // merge: len(groups[dst]) before fusion
+	i, j     int        // swap: the two operations
+	saved    [2]groupSave
+}
+
+// allocator carries the immutable problem facts plus the incrementally
+// maintained cost caches and reusable scratch shared by every proposal.
 type allocator struct {
 	d      *dfg.Graph
 	lib    *model.Library
@@ -119,6 +161,27 @@ type allocator struct {
 	class  []model.OpType // hardware class per op
 	sig    []model.Signature
 	order  []dfg.OpID // topological order
+	reach  *dfg.Reach // precedence closure (static: the DFG never changes)
+	minLat []int      // latency of each op's minimal dedicated kind
+	head   []int      // min-latency ASAP start per op
+	tail   []int      // min-latency path from an op's finish to the sink
+	indeg0 []int      // predecessor counts, copied into scratch per eval
+
+	// Per-group cost caches, indexed like state.groups, plus the total.
+	kinds []model.Kind
+	glat  []int
+	garea []int64
+	area  int64
+
+	// Scratch reused across evaluations and proposals.
+	start   []int
+	finish  []int
+	indeg   []int
+	ready   []dfg.OpID
+	busy    [][]span
+	mask    bitset.Set // group membership, for closure intersections
+	cands   []int      // candidate group indices in proposals
+	targets []int
 }
 
 // AllocateCtx runs the simulated-annealing allocator and returns the
@@ -137,15 +200,50 @@ func AllocateCtx(ctx context.Context, d *dfg.Graph, lib *model.Library, lambda i
 	if err != nil {
 		return nil, stats, err
 	}
+	reach, err := dfg.NewReach(d)
+	if err != nil {
+		return nil, stats, err
+	}
 	a := &allocator{
 		d: d, lib: lib, lambda: lambda,
-		class: make([]model.OpType, n),
-		sig:   make([]model.Signature, n),
-		order: order,
+		class:  make([]model.OpType, n),
+		sig:    make([]model.Signature, n),
+		order:  order,
+		reach:  reach,
+		minLat: make([]int, n),
+		head:   make([]int, n),
+		tail:   make([]int, n),
+		indeg0: make([]int, n),
+		start:  make([]int, n),
+		finish: make([]int, n),
+		indeg:  make([]int, n),
+		ready:  make([]dfg.OpID, 0, n),
+		mask:   bitset.New(n),
 	}
 	for _, o := range d.Ops() {
 		a.class[o.ID] = o.Spec.Type.HardwareClass()
 		a.sig[o.ID] = o.Spec.Sig
+		a.minLat[o.ID] = lib.Latency(o.Spec.MinKind())
+	}
+	for i := 0; i < n; i++ {
+		a.indeg0[i] = len(d.Pred(dfg.OpID(i)))
+	}
+	// Longest min-latency paths into each op's start and out of its
+	// finish: the static head/tail terms of the merge lower bound.
+	for _, o := range order {
+		for _, p := range d.Pred(o) {
+			if v := a.head[p] + a.minLat[p]; v > a.head[o] {
+				a.head[o] = v
+			}
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		o := order[i]
+		for _, s := range d.Succ(o) {
+			if v := a.minLat[s] + a.tail[s]; v > a.tail[o] {
+				a.tail[o] = v
+			}
+		}
 	}
 
 	// Initial state: dedicated minimal instance per operation, priorities
@@ -156,23 +254,33 @@ func AllocateCtx(ctx context.Context, d *dfg.Graph, lib *model.Library, lambda i
 		groupOf: make([]int, n),
 		prio:    make([]int, n),
 	}
+	a.kinds = make([]model.Kind, n)
+	a.glat = make([]int, n)
+	a.garea = make([]int64, n)
+	a.busy = make([][]span, n)
 	for i := 0; i < n; i++ {
 		cur.groups[i] = []dfg.OpID{dfg.OpID(i)}
 		cur.groupOf[i] = i
+		a.refreshGroup(cur, i)
 	}
 	for rank, id := range order {
 		cur.prio[id] = rank
 	}
-	curEval := a.evaluate(cur)
-	if curEval.makespan > lambda {
-		return nil, stats, fmt.Errorf("%w: λ=%d below λ_min=%d", ErrInfeasible, lambda, curEval.makespan)
+	stats.Evals++
+	makespan := a.schedule(cur)
+	if makespan > lambda {
+		return nil, stats, fmt.Errorf("%w: λ=%d below λ_min=%d", ErrInfeasible, lambda, makespan)
 	}
 
-	best, bestEval := cur.clone(), curEval
+	best := cur.clone()
+	bestArea := a.area
+	bestStart := append([]int(nil), a.start...)
+	bestKinds := append([]model.Kind(nil), a.kinds...)
+
 	rnd := rand.New(rand.NewSource(opt.Seed))
 	temp := opt.InitTemp
 	if temp <= 0 {
-		temp = float64(curEval.area) * 0.05
+		temp = float64(a.area) * 0.05
 		if temp < 1 {
 			temp = 1
 		}
@@ -182,39 +290,71 @@ func AllocateCtx(ctx context.Context, d *dfg.Graph, lib *model.Library, lambda i
 		epochLen = 64
 	}
 
-	for move := 0; move < opt.Moves; move++ {
+	for moveNo := 0; moveNo < opt.Moves; moveNo++ {
 		if err := ctx.Err(); err != nil {
 			return nil, stats, err
 		}
-		if move > 0 && move%epochLen == 0 {
+		if moveNo > 0 && moveNo%epochLen == 0 {
 			temp *= opt.Cooling
 			stats.Epochs++
 		}
-		cand := a.propose(rnd, cur)
-		if cand == nil {
+		prevArea := a.area
+		mv, ok := a.propose(rnd, cur)
+		if !ok {
 			continue // no applicable move of the drawn type; not counted
 		}
 		stats.Moves++
-		candEval := a.evaluate(cand)
-		if candEval.makespan > lambda {
+
+		// The area delta is known from the incremental group caches
+		// before any scheduling. Worsening moves face the Metropolis
+		// draw first: a temperature rejection costs no schedule at all.
+		accept := true
+		if delta := float64(a.area - prevArea); delta > 0 {
+			accept = rnd.Float64() < math.Exp(-delta/temp)
+		}
+		// A growing group may be provably unable to meet λ; the bound
+		// replaces a doomed schedule with a few bitset intersections.
+		if accept {
+			if gi := mv.grownGroup(); gi >= 0 && a.lbExceedsLambda(cur, gi) {
+				accept = false
+			}
+		}
+		if accept {
+			stats.Evals++
+			accept = a.schedule(cur) <= lambda
+		}
+		if !accept {
+			a.undo(cur, mv)
 			continue
 		}
-		delta := float64(candEval.area - curEval.area)
-		if delta <= 0 || rnd.Float64() < math.Exp(-delta/temp) {
-			cur, curEval = cand, candEval
-			stats.Accepted++
-			if curEval.area < bestEval.area {
-				best, bestEval = cur.clone(), curEval
-				stats.Improved++
-			}
+		stats.Accepted++
+		if mv.kind == mvMerge {
+			stats.Merges++
+		}
+		if a.area < bestArea {
+			best = cur.clone()
+			bestArea = a.area
+			bestStart = append(bestStart[:0], a.start...)
+			bestKinds = append(bestKinds[:0], a.kinds...)
+			stats.Improved++
 		}
 	}
 
-	dp := a.toDatapath(best, bestEval)
+	dp := a.toDatapath(best, bestStart, bestKinds)
 	if err := dp.Verify(d, lib, lambda); err != nil {
 		return nil, stats, fmt.Errorf("anneal: internal error, produced illegal datapath: %w", err)
 	}
 	return dp, stats, nil
+}
+
+// grownGroup returns the group a move enlarged (the lower-bound screen
+// applies only to groups that gained members), or -1.
+func (mv move) grownGroup() int {
+	switch mv.kind {
+	case mvRebind, mvMerge:
+		return mv.dst
+	}
+	return -1
 }
 
 // groupKind returns the minimal kind covering every member of the group:
@@ -227,39 +367,105 @@ func (a *allocator) groupKind(ops []dfg.OpID) model.Kind {
 	return k
 }
 
-// evaluate derives the schedule and cost of a state with a
-// binding-aware list scheduler: among ready operations the one with the
-// lowest priority rank is placed at the earliest step that respects its
-// predecessors' finish times and its instance's existing occupancy.
-func (a *allocator) evaluate(st *state) evaluation {
-	n := a.d.N()
-	ev := evaluation{
-		start: make([]int, n),
-		kinds: make([]model.Kind, len(st.groups)),
+// refreshGroup recomputes one group's cached kind, latency and area from
+// its current members and folds the difference into the total area.
+func (a *allocator) refreshGroup(st *state, gi int) {
+	a.area -= a.garea[gi]
+	if len(st.groups[gi]) == 0 {
+		a.kinds[gi] = model.Kind{}
+		a.glat[gi] = 0
+		a.garea[gi] = 0
+		return
 	}
-	lat := make([]int, len(st.groups))
-	for gi, g := range st.groups {
-		if len(g) == 0 {
-			continue
-		}
-		ev.kinds[gi] = a.groupKind(g)
-		lat[gi] = a.lib.Latency(ev.kinds[gi])
-		ev.area += a.lib.Area(ev.kinds[gi])
-	}
+	k := a.groupKind(st.groups[gi])
+	a.kinds[gi] = k
+	a.glat[gi] = a.lib.Latency(k)
+	a.garea[gi] = a.lib.Area(k)
+	a.area += a.garea[gi]
+}
 
-	type span struct{ s, e int }
-	busy := make([][]span, len(st.groups))
-	indeg := make([]int, n)
-	finish := make([]int, n)
-	for i := 0; i < n; i++ {
-		indeg[i] = len(a.d.Pred(dfg.OpID(i)))
+// saveGroup snapshots a group's cached facts into the undo record.
+func (a *allocator) saveGroup(gi int) groupSave {
+	return groupSave{kind: a.kinds[gi], lat: a.glat[gi], area: a.garea[gi]}
+}
+
+// restoreGroup reinstates a snapshot, repairing the total area.
+func (a *allocator) restoreGroup(gi int, s groupSave) {
+	a.area += s.area - a.garea[gi]
+	a.kinds[gi] = s.kind
+	a.glat[gi] = s.lat
+	a.garea[gi] = s.area
+}
+
+// lbExceedsLambda reports whether group gi provably cannot fit any
+// λ-feasible schedule: its members serialize on one instance of latency
+// l, so every schedule spends |g|·l consecutive-or-better steps on it
+// between the group's earliest min-latency head and its latest
+// min-latency tail. Per member the bound sharpens through the
+// precedence closure: an operation's in-group ancestors must all finish
+// before it starts and its in-group descendants start after it
+// finishes, each holding the instance for l steps. Latency is monotone
+// under signature covering, so min-latency heads and tails
+// under-approximate every grouping's true paths and the bound is sound:
+// it only rejects states the scheduler would reject too.
+func (a *allocator) lbExceedsLambda(st *state, gi int) bool {
+	ops := st.groups[gi]
+	k := len(ops)
+	if k < 2 {
+		return false
 	}
-	ready := make([]dfg.OpID, 0, n)
+	l := a.glat[gi]
+	minHead, minTail := a.head[ops[0]], a.tail[ops[0]]
+	for _, o := range ops[1:] {
+		if a.head[o] < minHead {
+			minHead = a.head[o]
+		}
+		if a.tail[o] < minTail {
+			minTail = a.tail[o]
+		}
+	}
+	if minHead+k*l+minTail > a.lambda {
+		return true
+	}
+	a.mask.Clear()
+	for _, o := range ops {
+		a.mask.Add(int(o))
+	}
+	for _, o := range ops {
+		after := a.reach.ToSet(o).IntersectCount(a.mask)
+		before := a.reach.FromSet(o).IntersectCount(a.mask)
+		if a.head[o]+(1+after)*l+minTail > a.lambda {
+			return true
+		}
+		if minHead+(1+before)*l+a.tail[o] > a.lambda {
+			return true
+		}
+	}
+	return false
+}
+
+// schedule derives the current state's schedule with a binding-aware
+// list scheduler: among ready operations the one with the lowest
+// priority rank is placed at the earliest step that respects its
+// predecessors' finish times and its instance's existing occupancy.
+// Start times land in a.start; the return value is the makespan. All
+// working storage is reused across calls.
+func (a *allocator) schedule(st *state) int {
+	n := a.d.N()
+	for len(a.busy) < len(st.groups) {
+		a.busy = append(a.busy, nil)
+	}
+	for gi := range st.groups {
+		a.busy[gi] = a.busy[gi][:0]
+	}
+	copy(a.indeg, a.indeg0)
+	ready := a.ready[:0]
 	for _, id := range a.order {
-		if indeg[id] == 0 {
+		if a.indeg[id] == 0 {
 			ready = append(ready, id)
 		}
 	}
+	makespan := 0
 	for placed := 0; placed < n; placed++ {
 		// Lowest-rank ready operation; the ready set is tiny.
 		bi := 0
@@ -273,11 +479,11 @@ func (a *allocator) evaluate(st *state) evaluation {
 		ready = ready[:len(ready)-1]
 
 		g := st.groupOf[o]
-		l := lat[g]
+		l := a.glat[g]
 		t := 0
 		for _, p := range a.d.Pred(o) {
-			if finish[p] > t {
-				t = finish[p]
+			if a.finish[p] > t {
+				t = a.finish[p]
 			}
 		}
 		// Earliest gap of length l in the instance's occupancy. Spans are
@@ -285,32 +491,34 @@ func (a *allocator) evaluate(st *state) evaluation {
 		// priorities respect it, so walk the whole list.
 		for changed := true; changed; {
 			changed = false
-			for _, sp := range busy[g] {
+			for _, sp := range a.busy[g] {
 				if sp.s < t+l && t < sp.e {
 					t = sp.e
 					changed = true
 				}
 			}
 		}
-		busy[g] = append(busy[g], span{t, t + l})
-		ev.start[o] = t
-		finish[o] = t + l
-		if t+l > ev.makespan {
-			ev.makespan = t + l
+		a.busy[g] = append(a.busy[g], span{t, t + l})
+		a.start[o] = t
+		a.finish[o] = t + l
+		if t+l > makespan {
+			makespan = t + l
 		}
 		for _, s := range a.d.Succ(o) {
-			indeg[s]--
-			if indeg[s] == 0 {
+			a.indeg[s]--
+			if a.indeg[s] == 0 {
 				ready = append(ready, s)
 			}
 		}
 	}
-	return ev
+	a.ready = ready
+	return makespan
 }
 
-// propose draws one move and returns the mutated clone, or nil when the
-// drawn move has no applicable candidates in this state.
-func (a *allocator) propose(rnd *rand.Rand, cur *state) *state {
+// propose draws one move, applies it to cur in place, and returns its
+// undo record. ok is false when the drawn move type has no applicable
+// candidates in this state (cur is untouched).
+func (a *allocator) propose(rnd *rand.Rand, cur *state) (move, bool) {
 	switch roll := rnd.Float64(); {
 	case roll < 0.35:
 		return a.proposeRebind(rnd, cur)
@@ -323,89 +531,128 @@ func (a *allocator) propose(rnd *rand.Rand, cur *state) *state {
 	}
 }
 
+// undo reverts a move, restoring both the partition and the cached
+// group costs. Membership order inside a group may differ from before
+// the move; every cost and scheduling quantity is order-independent.
+func (a *allocator) undo(st *state, mv move) {
+	switch mv.kind {
+	case mvRebind, mvSplit:
+		moveOp(st, mv.o, mv.src)
+		a.restoreGroup(mv.src, mv.saved[0])
+		a.restoreGroup(mv.dst, mv.saved[1])
+	case mvMerge:
+		st.groups[mv.dst] = st.groups[mv.dst][:mv.dstLen]
+		st.groups[mv.src] = mv.srcOps
+		for _, o := range mv.srcOps {
+			st.groupOf[o] = mv.src
+		}
+		a.restoreGroup(mv.src, mv.saved[0])
+		a.restoreGroup(mv.dst, mv.saved[1])
+	case mvSwap:
+		st.prio[mv.i], st.prio[mv.j] = st.prio[mv.j], st.prio[mv.i]
+	}
+}
+
 // proposeRebind moves one operation onto another existing instance of
 // its hardware class.
-func (a *allocator) proposeRebind(rnd *rand.Rand, cur *state) *state {
+func (a *allocator) proposeRebind(rnd *rand.Rand, cur *state) (move, bool) {
 	n := len(cur.groupOf)
 	o := dfg.OpID(rnd.Intn(n))
-	var targets []int
+	targets := a.targets[:0]
 	for gi, g := range cur.groups {
 		if gi != cur.groupOf[o] && len(g) > 0 && a.class[g[0]] == a.class[o] {
 			targets = append(targets, gi)
 		}
 	}
+	a.targets = targets
 	if len(targets) == 0 {
-		return nil
+		return move{}, false
 	}
-	st := cur.clone()
-	moveOp(st, o, targets[rnd.Intn(len(targets))])
-	return st
+	dst := targets[rnd.Intn(len(targets))]
+	mv := move{kind: mvRebind, o: o, src: cur.groupOf[o], dst: dst}
+	mv.saved[0] = a.saveGroup(mv.src)
+	mv.saved[1] = a.saveGroup(dst)
+	moveOp(cur, o, dst)
+	a.refreshGroup(cur, mv.src)
+	a.refreshGroup(cur, dst)
+	return mv, true
 }
 
 // proposeMerge fuses two instances of one hardware class.
-func (a *allocator) proposeMerge(rnd *rand.Rand, cur *state) *state {
-	var live []int
+func (a *allocator) proposeMerge(rnd *rand.Rand, cur *state) (move, bool) {
+	live := a.cands[:0]
 	for gi, g := range cur.groups {
 		if len(g) > 0 {
 			live = append(live, gi)
 		}
 	}
+	a.cands = live
 	if len(live) < 2 {
-		return nil
+		return move{}, false
 	}
 	src := live[rnd.Intn(len(live))]
-	var targets []int
+	targets := a.targets[:0]
 	for _, gi := range live {
 		if gi != src && a.class[cur.groups[gi][0]] == a.class[cur.groups[src][0]] {
 			targets = append(targets, gi)
 		}
 	}
+	a.targets = targets
 	if len(targets) == 0 {
-		return nil
+		return move{}, false
 	}
 	dst := targets[rnd.Intn(len(targets))]
-	st := cur.clone()
-	for _, o := range st.groups[src] {
-		st.groupOf[o] = dst
+	mv := move{kind: mvMerge, src: src, dst: dst, srcOps: cur.groups[src], dstLen: len(cur.groups[dst])}
+	mv.saved[0] = a.saveGroup(src)
+	mv.saved[1] = a.saveGroup(dst)
+	for _, o := range cur.groups[src] {
+		cur.groupOf[o] = dst
 	}
-	st.groups[dst] = append(st.groups[dst], st.groups[src]...)
-	st.groups[src] = nil
-	return st
+	cur.groups[dst] = append(cur.groups[dst], cur.groups[src]...)
+	cur.groups[src] = nil
+	a.refreshGroup(cur, src)
+	a.refreshGroup(cur, dst)
+	return mv, true
 }
 
 // proposeSplit evicts one operation from a shared instance onto a fresh
 // minimal one.
-func (a *allocator) proposeSplit(rnd *rand.Rand, cur *state) *state {
-	var shared []int
+func (a *allocator) proposeSplit(rnd *rand.Rand, cur *state) (move, bool) {
+	shared := a.cands[:0]
 	for gi, g := range cur.groups {
 		if len(g) >= 2 {
 			shared = append(shared, gi)
 		}
 	}
+	a.cands = shared
 	if len(shared) == 0 {
-		return nil
+		return move{}, false
 	}
 	gi := shared[rnd.Intn(len(shared))]
 	o := cur.groups[gi][rnd.Intn(len(cur.groups[gi]))]
-	st := cur.clone()
-	moveOp(st, o, freeSlot(st))
-	return st
+	dst := a.freeSlot(cur)
+	mv := move{kind: mvSplit, o: o, src: gi, dst: dst}
+	mv.saved[0] = a.saveGroup(gi)
+	mv.saved[1] = a.saveGroup(dst)
+	moveOp(cur, o, dst)
+	a.refreshGroup(cur, gi)
+	a.refreshGroup(cur, dst)
+	return mv, true
 }
 
 // proposeSwap exchanges two operations' scheduling priorities.
-func (a *allocator) proposeSwap(rnd *rand.Rand, cur *state) *state {
+func (a *allocator) proposeSwap(rnd *rand.Rand, cur *state) (move, bool) {
 	n := len(cur.prio)
 	if n < 2 {
-		return nil
+		return move{}, false
 	}
 	i := rnd.Intn(n)
 	j := rnd.Intn(n - 1)
 	if j >= i {
 		j++
 	}
-	st := cur.clone()
-	st.prio[i], st.prio[j] = st.prio[j], st.prio[i]
-	return st
+	cur.prio[i], cur.prio[j] = cur.prio[j], cur.prio[i]
+	return move{kind: mvSwap, i: i, j: j}, true
 }
 
 // moveOp reassigns one operation to group dst, removing it from its
@@ -426,23 +673,26 @@ func moveOp(st *state, o dfg.OpID, dst int) {
 	st.groupOf[o] = dst
 }
 
-// freeSlot returns the index of an empty group slot, growing the slice
-// when none is free.
-func freeSlot(st *state) int {
+// freeSlot returns the index of an empty group slot, growing the group
+// slice and the allocator's parallel cache arrays when none is free.
+func (a *allocator) freeSlot(st *state) int {
 	for gi, g := range st.groups {
 		if len(g) == 0 {
 			return gi
 		}
 	}
 	st.groups = append(st.groups, nil)
+	a.kinds = append(a.kinds, model.Kind{})
+	a.glat = append(a.glat, 0)
+	a.garea = append(a.garea, 0)
 	return len(st.groups) - 1
 }
 
 // toDatapath converts the best state into the common result
 // representation, dropping dead group slots.
-func (a *allocator) toDatapath(st *state, ev evaluation) *datapath.Datapath {
+func (a *allocator) toDatapath(st *state, start []int, kinds []model.Kind) *datapath.Datapath {
 	dp := &datapath.Datapath{
-		Start:  append([]int(nil), ev.start...),
+		Start:  append([]int(nil), start...),
 		InstOf: make([]int, len(st.groupOf)),
 	}
 	for gi, g := range st.groups {
@@ -451,7 +701,7 @@ func (a *allocator) toDatapath(st *state, ev evaluation) *datapath.Datapath {
 		}
 		idx := len(dp.Instances)
 		dp.Instances = append(dp.Instances, datapath.Instance{
-			Kind: ev.kinds[gi],
+			Kind: kinds[gi],
 			Ops:  append([]dfg.OpID(nil), g...),
 		})
 		for _, o := range g {

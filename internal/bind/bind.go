@@ -17,7 +17,7 @@ package bind
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/dfg"
 	"repro/internal/wcg"
@@ -67,19 +67,62 @@ type Options struct {
 	DisableShrink bool
 }
 
+// Stats counts the work BindSelect performed; surfaced through the
+// public API's solver-effort fields.
+type Stats struct {
+	// Merges counts clique-growth swallows: previously selected cliques
+	// absorbed into a newer one, each retiring a resource instance.
+	Merges int
+	// Evals counts maximum-clique (MaxChain) evaluations.
+	Evals int
+}
+
 // Select runs Algorithm BindSelect on a scheduled compatibility graph.
 // start gives the scheduled start step per operation; reserved intervals
 // are [start[o], start[o]+L_o) with L_o the current latency upper bound,
 // so the derived binding can never violate the schedule.
 func Select(g *wcg.Graph, start []int) (*Binding, error) {
-	return SelectOpt(g, start, Options{})
+	b, _, err := SelectStats(g, start, Options{})
+	return b, err
 }
 
 // SelectOpt is Select with explicit options.
 func SelectOpt(g *wcg.Graph, start []int, opt Options) (*Binding, error) {
+	b, _, err := SelectStats(g, start, opt)
+	return b, err
+}
+
+// kindEntry is a lazily maintained candidate in the greedy selection: the
+// last known maximum-clique size for a kind. Sizes only shrink as
+// operations get covered, so a cached size is an upper bound and the
+// classic lazy-greedy argument applies: when the popped top validates at
+// its cached size it beats every other entry's true value, and the
+// selection sequence is identical to rescanning all kinds each round.
+type kindEntry struct {
+	ki   int
+	size int
+	cost int64
+}
+
+// betterEntry is the strict total order of the greedy selection: higher
+// |clique|/cost ratio, then lower cost, then lower kind index — exactly
+// the winner a first-strictly-better scan in kind order produces.
+func betterEntry(a, b kindEntry) bool {
+	if betterRatio(a.size, a.cost, b.size, b.cost) {
+		return true
+	}
+	if betterRatio(b.size, b.cost, a.size, a.cost) {
+		return false
+	}
+	return a.ki < b.ki
+}
+
+// SelectStats is SelectOpt, additionally reporting effort counters.
+func SelectStats(g *wcg.Graph, start []int, opt Options) (*Binding, Stats, error) {
+	var st Stats
 	n := g.D.N()
 	if len(start) != n {
-		return nil, fmt.Errorf("bind: %d start steps for %d operations", len(start), n)
+		return nil, st, fmt.Errorf("bind: %d start steps for %d operations", len(start), n)
 	}
 	iv := make([]wcg.Interval, n)
 	for o := 0; o < n; o++ {
@@ -89,56 +132,184 @@ func SelectOpt(g *wcg.Graph, start []int, opt Options) (*Binding, error) {
 
 	covered := make([]bool, n)
 	remaining := n
-	var cliques []Clique
-	for remaining > 0 {
-		// Find, per kind, a maximum clique of uncovered compatible
-		// operations; pick the kind maximising |clique|/cost.
-		bestKind, bestSize := -1, 0
-		var bestChain []wcg.Interval
-		for ki := range g.Kinds {
-			var cand []wcg.Interval
-			for _, o := range g.CompatOps(ki) {
-				if !covered[o] {
-					cand = append(cand, iv[o])
-				}
+
+	// The reserved intervals are fixed for the whole selection, so the
+	// operations are sorted by interval order (end, start, ID — the
+	// MaxChain order) exactly once globally, then distributed to the
+	// kinds through the H-edge lists: one O(n + makespan) counting sort
+	// plus one append per H edge yields every kind's compatible
+	// operations in interval order, and every later chain extraction is
+	// a linear greedy walk with no sorting.
+	perm := sortByInterval(iv)
+	buf := make([]wcg.Interval, g.NumHEdges())
+	sortedOps := make([][]wcg.Interval, len(g.Kinds))
+	off := 0
+	for ki := range sortedOps {
+		c := g.CompatOpCount(ki)
+		sortedOps[ki] = buf[off : off : off+c]
+		off += c
+	}
+	// The exact initial maximum-chain size of every kind falls out of the
+	// same pass: walking the operations in interval order, the greedy
+	// earliest-finish rule reduces to one comparison per H edge, so
+	// seeding costs nothing beyond the distribution itself. The interval
+	// itself is stored in the kind's list (not just the ID): the chain
+	// walks below then run over contiguous memory with no random loads.
+	endK := make([]int, len(g.Kinds))
+	sizeK := make([]int, len(g.Kinds))
+	for _, o := range perm {
+		v := iv[o]
+		for _, ki := range g.CompatKinds(o) {
+			sortedOps[ki] = append(sortedOps[ki], v)
+			if sizeK[ki] == 0 || endK[ki] <= v.Start {
+				sizeK[ki]++
+				endK[ki] = v.End
 			}
-			if len(cand) == 0 {
+		}
+	}
+
+	// chainFor recomputes the maximum clique of uncovered operations
+	// compatible with kind ki: greedy earliest-finish selection over the
+	// pre-sorted intervals, optimal on interval orders. The returned
+	// slice aliases scratch and must be consumed before the next call.
+	// Coverage is monotone, so covered operations are compacted out of
+	// the kind's list as a side effect: repeated evaluations of the same
+	// kind walk only its still-uncovered operations.
+	chain := make([]wcg.Interval, 0, n)
+	chainFor := func(ki int) []wcg.Interval {
+		chain = chain[:0]
+		ops := sortedOps[ki]
+		kept := ops[:0]
+		end := 0
+		for _, v := range ops {
+			if covered[v.Op] {
 				continue
 			}
-			chain := wcg.MaxChain(cand)
-			if bestKind < 0 || betterRatio(len(chain), kindArea(g, ki), bestSize, kindArea(g, bestKind)) {
-				bestKind, bestSize, bestChain = ki, len(chain), chain
+			kept = append(kept, v)
+			if len(chain) == 0 || end <= v.Start {
+				chain = append(chain, v)
+				end = v.End
 			}
 		}
-		if bestKind < 0 {
-			return nil, fmt.Errorf("bind: %d operations have no compatible kind", remaining)
+		sortedOps[ki] = kept
+		if len(chain) == 0 {
+			return nil
 		}
-		k := Clique{Kind: bestKind}
-		for _, c := range bestChain {
-			k.Ops = append(k.Ops, c.Op)
+		st.Evals++
+		return chain
+	}
+
+	var heap entryHeap
+	for ki, c := range sizeK {
+		if c > 0 {
+			heap.push(kindEntry{ki: ki, size: c, cost: kindArea(g, ki)})
+			st.Evals++
+		}
+	}
+
+	var cliques []liveClique
+	var mergeScratch []wcg.Interval
+	for remaining > 0 {
+		if len(heap) == 0 {
+			return nil, st, fmt.Errorf("bind: %d operations have no compatible kind", remaining)
+		}
+		e := heap.pop()
+		chain := chainFor(e.ki)
+		if len(chain) == 0 {
+			continue
+		}
+		if len(chain) < e.size {
+			heap.push(kindEntry{ki: e.ki, size: len(chain), cost: e.cost})
+			continue
+		}
+		k := liveClique{kind: e.ki, ivs: slices.Clone(chain)}
+		for _, c := range chain {
 			covered[c.Op] = true
 			remaining--
 		}
 		if !opt.DisableGrowth {
-			cliques = grow(g, iv, cliques, &k)
+			cliques = grow(g, cliques, &k, &mergeScratch, &st)
 		}
 		cliques = append(cliques, k)
+		// The kind may still have uncovered (overlapping) operations and
+		// can win again in a later round. Its pre-selection chain size
+		// remains an upper bound (coverage only shrinks chains), so
+		// repush without re-evaluating; a dead entry validates to an
+		// empty chain and drops out when popped.
+		heap.push(kindEntry{ki: e.ki, size: e.size, cost: e.cost})
 	}
 
+	out := make([]Clique, len(cliques))
+	for ci, lc := range cliques {
+		ops := make([]dfg.OpID, len(lc.ivs))
+		for i, v := range lc.ivs {
+			ops[i] = v.Op
+		}
+		slices.Sort(ops)
+		out[ci] = Clique{Kind: lc.kind, Ops: ops}
+	}
 	if !opt.DisableShrink {
-		for i := range cliques {
-			cliques[i].Kind = cheapestCommonKind(g, cliques[i].Ops)
+		for i := range out {
+			out[i].Kind = cheapestCommonKind(g, out[i].Ops)
 		}
 	}
 
-	b := &Binding{Cliques: cliques, CliqueOf: make([]int, n)}
-	for ci, k := range cliques {
-		sort.Slice(k.Ops, func(i, j int) bool { return k.Ops[i] < k.Ops[j] })
+	b := &Binding{Cliques: out, CliqueOf: make([]int, n)}
+	for ci, k := range out {
 		for _, o := range k.Ops {
 			b.CliqueOf[o] = ci
 		}
 	}
-	return b, nil
+	return b, st, nil
+}
+
+// liveClique is a clique under construction: the kind paid for and the
+// member intervals kept sorted in cmpInterval order, so growth checks are
+// linear merges.
+type liveClique struct {
+	kind int
+	ivs  []wcg.Interval
+}
+
+// entryHeap is a binary min-top heap under betterEntry (top = winner).
+type entryHeap []kindEntry
+
+func (h *entryHeap) push(v kindEntry) {
+	*h = append(*h, v)
+	a := *h
+	for i := len(a) - 1; i > 0; {
+		p := (i - 1) / 2
+		if betterEntry(a[p], a[i]) {
+			break
+		}
+		a[p], a[i] = a[i], a[p]
+		i = p
+	}
+}
+
+func (h *entryHeap) pop() kindEntry {
+	a := *h
+	top := a[0]
+	last := len(a) - 1
+	a[0] = a[last]
+	*h = a[:last]
+	a = a[:last]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(a) && betterEntry(a[l], a[m]) {
+			m = l
+		}
+		if r < len(a) && betterEntry(a[r], a[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		a[i], a[m] = a[m], a[i]
+		i = m
+	}
+	return top
 }
 
 // betterRatio reports whether size1/cost1 > size2/cost2, breaking ties by
@@ -155,6 +326,62 @@ func betterRatio(size1 int, cost1 int64, size2 int, cost2 int64) bool {
 
 func kindArea(g *wcg.Graph, ki int) int64 { return g.Lib.Area(g.Kinds[ki]) }
 
+// cmpInterval is the MaxChain sort order: end, then start, then op ID.
+func cmpInterval(a, b wcg.Interval) int {
+	if a.End != b.End {
+		return a.End - b.End
+	}
+	if a.Start != b.Start {
+		return a.Start - b.Start
+	}
+	return int(a.Op) - int(b.Op)
+}
+
+// sortByInterval returns the operation IDs ordered by cmpInterval over
+// their intervals: a two-pass LSD counting sort (stable, by start then by
+// end, seeded with ID-ascending order so ties resolve by ID). Start and
+// end values are bounded by the schedule makespan, so this is O(n +
+// makespan) with no comparator calls.
+func sortByInterval(iv []wcg.Interval) []dfg.OpID {
+	n := len(iv)
+	maxKey := 0
+	for _, v := range iv {
+		if v.End > maxKey {
+			maxKey = v.End
+		}
+	}
+	cnt := make([]int, maxKey+2)
+	perm := make([]dfg.OpID, n)
+	tmp := make([]dfg.OpID, n)
+	for i := range perm {
+		perm[i] = dfg.OpID(i)
+	}
+	for _, v := range iv {
+		cnt[v.Start+1]++
+	}
+	for k := 1; k < len(cnt); k++ {
+		cnt[k] += cnt[k-1]
+	}
+	for _, o := range perm {
+		tmp[cnt[iv[o].Start]] = o
+		cnt[iv[o].Start]++
+	}
+	for k := range cnt {
+		cnt[k] = 0
+	}
+	for _, v := range iv {
+		cnt[v.End+1]++
+	}
+	for k := 1; k < len(cnt); k++ {
+		cnt[k] += cnt[k-1]
+	}
+	for _, o := range tmp {
+		perm[cnt[iv[o].End]] = o
+		cnt[iv[o].End]++
+	}
+	return perm
+}
+
 // grow attempts to enlarge the newly selected clique k to swallow
 // previously selected cliques: an earlier clique is superfluous (and is
 // deleted) when its operations, together with k's, remain pairwise
@@ -162,12 +389,22 @@ func kindArea(g *wcg.Graph, ki int) int64 { return g.Lib.Area(g.Kinds[ki]) }
 // for the union on k.Kind, so the earlier resource rides along for free
 // and total area strictly decreases. Returns the surviving earlier
 // cliques.
-func grow(g *wcg.Graph, iv []wcg.Interval, cliques []Clique, k *Clique) []Clique {
+func grow(g *wcg.Graph, cliques []liveClique, k *liveClique, scratch *[]wcg.Interval, st *Stats) []liveClique {
 	kept := cliques[:0]
 	for _, old := range cliques {
-		merged := append(append([]dfg.OpID(nil), k.Ops...), old.Ops...)
-		if chainOnKind(g, iv, merged, k.Kind) {
-			k.Ops = merged
+		// k's own members are compatible with k.kind by construction
+		// (selection and earlier swallows both check), so only the old
+		// clique's members need the kind test — an O(1) bit probe each —
+		// before paying for the disjointness check, which is a linear
+		// merge of the two sorted interval chains.
+		if !allCompatible(g, old.ivs, k.kind) {
+			kept = append(kept, old)
+			continue
+		}
+		if merged, ok := mergeChains(k.ivs, old.ivs, (*scratch)[:0]); ok {
+			*scratch = k.ivs // recycle the replaced chain as scratch
+			k.ivs = merged
+			st.Merges++
 			continue
 		}
 		kept = append(kept, old)
@@ -175,19 +412,39 @@ func grow(g *wcg.Graph, iv []wcg.Interval, cliques []Clique, k *Clique) []Clique
 	return kept
 }
 
-// chainOnKind reports whether the operations are pairwise time-compatible
-// and all compatible with the given kind.
-func chainOnKind(g *wcg.Graph, iv []wcg.Interval, ops []dfg.OpID, ki int) bool {
-	for _, o := range ops {
-		if !g.Compatible(o, ki) {
+// allCompatible reports whether every member operation has an H edge to
+// kind ki.
+func allCompatible(g *wcg.Graph, ivs []wcg.Interval, ki int) bool {
+	for _, v := range ivs {
+		if !g.Compatible(v.Op, ki) {
 			return false
 		}
 	}
-	ivs := make([]wcg.Interval, len(ops))
-	for i, o := range ops {
-		ivs[i] = iv[o]
+	return true
+}
+
+// mergeChains merges two interval chains sorted in cmpInterval order into
+// dst and reports whether the union is still pairwise disjoint (each
+// interval ending no later than the next one starts — on an end-sorted
+// sequence the consecutive check is exhaustive). On failure the merge
+// aborts early and dst's contents are unspecified.
+func mergeChains(a, b, dst []wcg.Interval) ([]wcg.Interval, bool) {
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		var v wcg.Interval
+		if j >= len(b) || (i < len(a) && cmpInterval(a[i], b[j]) < 0) {
+			v = a[i]
+			i++
+		} else {
+			v = b[j]
+			j++
+		}
+		if len(dst) > 0 && !dst[len(dst)-1].Before(v) {
+			return nil, false
+		}
+		dst = append(dst, v)
 	}
-	return wcg.IsChain(ivs)
+	return dst, true
 }
 
 // cheapestCommonKind returns the minimum-area kind compatible with every

@@ -1,0 +1,116 @@
+// Package bitset implements dense fixed-universe bit sets over small
+// integer IDs (operations, resource kinds). They back the incremental
+// adjacency maintenance of the wordlength compatibility graph and the
+// transitive-reachability closure of sequencing graphs, where
+// membership tests and subset checks on thousand-element universes must
+// cost a handful of word operations, not a slice scan.
+package bitset
+
+import "math/bits"
+
+// Set is a bit set over [0, n) for the n fixed at construction.
+// The zero value is an empty set over an empty universe.
+type Set []uint64
+
+// New returns an empty set able to hold members in [0, n).
+func New(n int) Set { return make(Set, (n+63)/64) }
+
+// Add inserts i.
+func (s Set) Add(i int) { s[i>>6] |= 1 << (uint(i) & 63) }
+
+// Remove deletes i.
+func (s Set) Remove(i int) { s[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Has reports whether i is a member.
+func (s Set) Has(i int) bool { return s[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Count returns the number of members.
+func (s Set) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Clear empties the set in place.
+func (s Set) Clear() {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// Copy overwrites s with t; the sets must be over the same universe.
+func (s Set) Copy(t Set) { copy(s, t) }
+
+// Clone returns an independent copy of s.
+func (s Set) Clone() Set { return append(Set(nil), s...) }
+
+// Union adds every member of t to s in place.
+func (s Set) Union(t Set) {
+	for i, w := range t {
+		s[i] |= w
+	}
+}
+
+// UnionChanged adds every member of t to s in place and reports whether
+// s grew. The incremental-closure update uses this to stop propagating
+// along paths whose reach sets are already saturated.
+func (s Set) UnionChanged(t Set) bool {
+	changed := false
+	for i, w := range t {
+		if n := s[i] | w; n != s[i] {
+			s[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Difference removes every member of t from s in place.
+func (s Set) Difference(t Set) {
+	for i, w := range t {
+		s[i] &^= w
+	}
+}
+
+// SubsetOf reports whether every member of s is in t.
+func (s Set) SubsetOf(t Set) bool {
+	for i, w := range s {
+		if w&^t[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IntersectCount returns |s ∩ t|.
+func (s Set) IntersectCount(t Set) int {
+	n := 0
+	for i, w := range s {
+		n += bits.OnesCount64(w & t[i])
+	}
+	return n
+}
+
+// ForEach calls f for every member in ascending order.
+func (s Set) ForEach(f func(i int)) {
+	for wi, w := range s {
+		for w != 0 {
+			f(wi<<6 + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// AppendMembers appends the members in ascending order to dst and
+// returns the extended slice; pass dst[:0] to reuse scratch.
+func (s Set) AppendMembers(dst []int) []int {
+	for wi, w := range s {
+		for w != 0 {
+			dst = append(dst, wi<<6+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return dst
+}

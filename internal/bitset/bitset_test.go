@@ -1,0 +1,114 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSetAgainstMapModel drives random operations on a Set and a
+// map[int]bool in lockstep and compares every observable after each
+// step — including the word-boundary universe sizes where shift and
+// index bugs live.
+func TestSetAgainstMapModel(t *testing.T) {
+	rnd := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 63, 64, 65, 130} {
+		s, u := New(n), New(n)
+		ref, refU := map[int]bool{}, map[int]bool{}
+		for step := 0; step < 400; step++ {
+			i := rnd.Intn(n)
+			switch rnd.Intn(4) {
+			case 0:
+				s.Add(i)
+				ref[i] = true
+			case 1:
+				s.Remove(i)
+				delete(ref, i)
+			case 2:
+				u.Add(i)
+				refU[i] = true
+			case 3:
+				grew := s.UnionChanged(u)
+				wasSubset := true
+				for k := range refU {
+					if !ref[k] {
+						wasSubset = false
+					}
+					ref[k] = true
+				}
+				if grew == wasSubset {
+					t.Fatalf("n=%d step %d: UnionChanged=%v with subset=%v", n, step, grew, wasSubset)
+				}
+			}
+			if s.Count() != len(ref) {
+				t.Fatalf("n=%d step %d: Count=%d want %d", n, step, s.Count(), len(ref))
+			}
+			for k := 0; k < n; k++ {
+				if s.Has(k) != ref[k] {
+					t.Fatalf("n=%d step %d: Has(%d)=%v want %v", n, step, k, s.Has(k), ref[k])
+				}
+			}
+		}
+
+		inter := 0
+		for k := range ref {
+			if refU[k] {
+				inter++
+			}
+		}
+		if got := s.IntersectCount(u); got != inter {
+			t.Fatalf("n=%d: IntersectCount=%d want %d", n, got, inter)
+		}
+		if s.SubsetOf(u) != subsetOf(ref, refU) || u.SubsetOf(s) != subsetOf(refU, ref) {
+			t.Fatalf("n=%d: SubsetOf disagrees with model", n)
+		}
+
+		members := s.AppendMembers(nil)
+		if len(members) != len(ref) {
+			t.Fatalf("n=%d: AppendMembers returned %d members, want %d", n, len(members), len(ref))
+		}
+		prev := -1
+		for _, m := range members {
+			if m <= prev || !ref[m] {
+				t.Fatalf("n=%d: AppendMembers out of order or wrong: %v", n, members)
+			}
+			prev = m
+		}
+		var walked []int
+		s.ForEach(func(i int) { walked = append(walked, i) })
+		for i, m := range walked {
+			if members[i] != m {
+				t.Fatalf("n=%d: ForEach disagrees with AppendMembers", n)
+			}
+		}
+
+		c := s.Clone()
+		c.Difference(u)
+		for k := 0; k < n; k++ {
+			if c.Has(k) != (ref[k] && !refU[k]) {
+				t.Fatalf("n=%d: Difference wrong at %d", n, k)
+			}
+		}
+		c.Copy(u)
+		for k := 0; k < n; k++ {
+			if c.Has(k) != refU[k] {
+				t.Fatalf("n=%d: Copy wrong at %d", n, k)
+			}
+		}
+		c.Clear()
+		if c.Count() != 0 {
+			t.Fatalf("n=%d: Clear left %d members", n, c.Count())
+		}
+		if s.Count() != len(ref) {
+			t.Fatalf("n=%d: Clone not independent", n)
+		}
+	}
+}
+
+func subsetOf(a, b map[int]bool) bool {
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}

@@ -61,7 +61,24 @@ type Options struct {
 	// Victim overrides the refinement victim policy (ablation); nil uses
 	// the paper's smallest-proportion metric.
 	Victim refine.Policy
+	// RefineBatch controls how many victims each refinement round may
+	// process before rescheduling. 1 is the paper's exact
+	// one-victim-per-reschedule step. 0 (the default) chooses
+	// automatically by problem size: small graphs (< BatchMinOps
+	// operations — every graph in the paper's range) always use 1;
+	// large graphs refine up to n/64 victims per λ-violation round
+	// (throttled by how far the makespan still is from λ, so the final
+	// approach reverts to single steps) and batch Eqn. 3 deadlock
+	// rounds ever more aggressively as a ladder deepens. Values > 1
+	// impose a fixed per-round cap regardless of size.
+	RefineBatch int
 }
+
+// BatchMinOps is the problem size below which the automatic refinement
+// batching (Options.RefineBatch == 0) stays at the paper-exact single
+// step. Small problems keep bit-identical results; above the threshold
+// the allocator trades per-refinement rescheduling for scalability.
+const BatchMinOps = 200
 
 // Stats reports how the heuristic ran.
 type Stats struct {
@@ -70,6 +87,8 @@ type Stats struct {
 	EdgesDeleted int // total H edges removed
 	Kinds        int // size of the extracted resource set R
 	Configs      int // resource-bound configurations tried by the auto search
+	Merges       int // binder clique-growth swallows across all rounds
+	Evals        int // binder candidate-clique evaluations across all rounds
 }
 
 // Allocate runs Algorithm DPAlloc on the sequencing graph with latency
@@ -130,11 +149,18 @@ func AllocateCtx(ctx context.Context, d *dfg.Graph, lib *model.Library, lambda i
 		if !errors.Is(err, ErrInfeasible) {
 			return nil, stats, err
 		}
-		y, ok := blame(err, d, lib, limits, count, busy, lambda)
+		y, need, ok := blame(err, d, lib, limits, count, busy, lambda)
 		if !ok {
 			return nil, stats, fmt.Errorf("%w: λ=%d (λ_min may exceed it)", ErrInfeasible, lambda)
 		}
-		limits[y]++
+		// Small graphs probe one unit at a time — the paper-exact first-
+		// feasible search. Large graphs jump by the scheduler's reported
+		// deficit, which collapses runs of configurations that Eqn. 3
+		// rejects by more than one whole resource.
+		if d.N() < BatchMinOps || need < 1 {
+			need = 1
+		}
+		limits[y] = min(limits[y]+need, count[y])
 	}
 }
 
@@ -142,13 +168,15 @@ func AllocateCtx(ctx context.Context, d *dfg.Graph, lib *model.Library, lambda i
 // an infeasible configuration: the class of the operation the scheduler
 // could not place if available, otherwise the class with the highest
 // utilisation pressure Σℓ_min/(N_y·λ). Classes already at one resource
-// per operation cannot grow. Returns false when no class can grow.
-func blame(err error, d *dfg.Graph, lib *model.Library, limits sched.Limits, count, busy map[model.OpType]int, lambda int) (model.OpType, bool) {
+// per operation cannot grow. The second result is the scheduler's
+// reported resource deficit for the blamed class (1 when unknown).
+// Returns false when no class can grow.
+func blame(err error, d *dfg.Graph, lib *model.Library, limits sched.Limits, count, busy map[model.OpType]int, lambda int) (model.OpType, int, bool) {
 	var se *sched.InfeasibleError
 	if errors.As(err, &se) {
 		y := d.Op(se.Op).Spec.Type.HardwareClass()
 		if limits[y] < count[y] {
-			return y, true
+			return y, se.Need, true
 		}
 	}
 	bestY, found := model.Add, false
@@ -166,18 +194,21 @@ func blame(err error, d *dfg.Graph, lib *model.Library, limits sched.Limits, cou
 			bestY, bestNum, bestDen, found = y, num, den, true
 		}
 	}
-	return bestY, found
+	return bestY, 1, found
+}
+
+// buildWCG constructs the wordlength compatibility graph the options ask
+// for: full join closure, or the operations' own kinds only (ablation).
+func buildWCG(d *dfg.Graph, lib *model.Library, opt Options) (*wcg.Graph, error) {
+	if opt.DisableClosure {
+		return wcg.BuildWithKinds(d, lib, ownKinds(d))
+	}
+	return wcg.Build(d, lib)
 }
 
 // allocateFixed is the paper's Algorithm DPAlloc for a fixed N_y.
 func allocateFixed(ctx context.Context, d *dfg.Graph, lib *model.Library, lambda int, opt Options, limits sched.Limits, stats *Stats) (*datapath.Datapath, error) {
-	var g *wcg.Graph
-	var err error
-	if opt.DisableClosure {
-		g, err = wcg.BuildWithKinds(d, lib, ownKinds(d))
-	} else {
-		g, err = wcg.Build(d, lib)
-	}
+	g, err := buildWCG(d, lib, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -188,6 +219,21 @@ func allocateFixed(ctx context.Context, d *dfg.Graph, lib *model.Library, lambda
 		pick = refine.ChooseVictim
 	}
 	bindOpt := bind.Options{DisableGrowth: opt.DisableGrowth, DisableShrink: opt.DisableShrink}
+
+	// Refinement batch caps (see Options.RefineBatch). batchA is the
+	// fixed batch for Eqn. 3 deadlock rounds, which expose no distance
+	// signal; the λ-violation rounds scale their batch by the remaining
+	// makespan excess up to batchB.
+	n := d.N()
+	batchA, batchB := 1, 1
+	switch {
+	case opt.RefineBatch > 1:
+		batchA, batchB = opt.RefineBatch, opt.RefineBatch
+	case opt.RefineBatch == 0 && n >= BatchMinOps:
+		batchA = min(16, n/128)
+		batchB = n / 64
+	}
+	var all []dfg.OpID
 
 	// Each refinement deletes at least one H edge, so the loop is bounded
 	// by the initial edge count; the +2 covers the final feasible round.
@@ -204,34 +250,56 @@ func allocateFixed(ctx context.Context, d *dfg.Graph, lib *model.Library, lambda
 			}
 			// No schedule exists under Eqn. 3 with the current
 			// wordlength information: refine without binding guidance.
-			all := make([]dfg.OpID, d.N())
-			for i := range all {
-				all[i] = dfg.OpID(i)
+			if all == nil {
+				all = make([]dfg.OpID, n)
+				for i := range all {
+					all[i] = dfg.OpID(i)
+				}
 			}
-			o, ok := pick(g, nil, all)
-			if !ok {
-				return nil, fmt.Errorf("%w: %w", ErrInfeasible, schedErr)
+			// Deadlock rounds escalate with ladder depth: a
+			// configuration still deadlocked after many rounds is
+			// grinding towards full refinement, and precision there no
+			// longer buys area — it only multiplies reschedules.
+			ka := batchA
+			if batchA > 1 {
+				ka = min(64, batchA+iter/8)
 			}
-			stats.Refinements++
-			stats.EdgesDeleted += g.DeleteMaxLatencyEdges(o)
+			for j := 0; j < ka; j++ {
+				o, ok := pick(g, nil, all)
+				if !ok {
+					if j == 0 {
+						return nil, fmt.Errorf("%w: %w", ErrInfeasible, schedErr)
+					}
+					break
+				}
+				stats.Refinements++
+				stats.EdgesDeleted += g.DeleteMaxLatencyEdges(o)
+			}
 			continue
 		}
-		b, err := bind.SelectOpt(g, r.Start, bindOpt)
+		b, bst, err := bind.SelectStats(g, r.Start, bindOpt)
 		if err != nil {
 			return nil, err
 		}
+		stats.Merges += bst.Merges
+		stats.Evals += bst.Evals
 		dp := toDatapath(g, r.Start, b)
-		if dp.Makespan(lib) <= lambda {
+		m := dp.Makespan(lib)
+		if m <= lambda {
 			if err := dp.Verify(d, lib, lambda); err != nil {
 				return nil, fmt.Errorf("core: internal error, produced illegal datapath: %w", err)
 			}
 			return dp, nil
 		}
+		// The batch shrinks with the remaining excess so the final
+		// approach to λ reverts to the paper's single step.
+		k := min(batchB, max(1, (m-lambda)/4))
 		edges := g.NumHEdges()
-		if _, ok := refine.StepWithPolicy(g, r.Start, b, lambda, pick); !ok {
-			return nil, fmt.Errorf("%w: λ=%d below achievable latency %d", ErrInfeasible, lambda, dp.Makespan(lib))
+		refined := refine.StepBatch(g, r.Start, b, lambda, pick, k)
+		if refined == 0 {
+			return nil, fmt.Errorf("%w: λ=%d below achievable latency %d", ErrInfeasible, lambda, m)
 		}
-		stats.Refinements++
+		stats.Refinements += refined
 		stats.EdgesDeleted += edges - g.NumHEdges()
 	}
 	return nil, fmt.Errorf("core: refinement loop exceeded %d iterations", maxIters)

@@ -1,13 +1,16 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/dfg"
 	"repro/internal/model"
 	"repro/internal/sched"
+	"repro/internal/tgff"
 )
 
 func TestAllocateEmpty(t *testing.T) {
@@ -206,6 +209,62 @@ func TestStatsAccounting(t *testing.T) {
 	}
 	if stats.Kinds != 2 {
 		t.Errorf("kinds = %d, want 2", stats.Kinds)
+	}
+}
+
+// TestAllocateCancellationAtScale: a full 1000-operation solve takes
+// seconds on this corpus; cancelling the context must cut it off within
+// a round or two of the inner loop, not after the configuration ladder
+// has run to completion.
+func TestAllocateCancellationAtScale(t *testing.T) {
+	lib := model.Default()
+	g, err := tgff.Generate(tgff.Config{N: 1000, Seed: 2001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmin, err := MinLambda(g, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	_, _, err = AllocateCtx(ctx, g, lib, lmin+lmin/5, Options{})
+	elapsed := time.Since(t0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	// Generous bound: a single scheduling round at N=1000 is tens of
+	// milliseconds, the full solve is seconds. Well under the full solve
+	// proves the loops poll ctx rather than checking only on entry.
+	if elapsed > 3*time.Second {
+		t.Fatalf("cancellation took %v; ctx not polled promptly", elapsed)
+	}
+}
+
+// TestRefineBatchKnob: on a graph large enough to trip the automatic
+// batching, the paper-exact single-victim path (RefineBatch=1), the
+// automatic batch path, and an explicit batch width all produce legal
+// datapaths for the same λ.
+func TestRefineBatchKnob(t *testing.T) {
+	lib := model.Default()
+	g, err := tgff.Generate(tgff.Config{N: BatchMinOps + 50, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmin, err := MinLambda(g, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda := lmin + lmin/5
+	for _, opt := range []Options{{RefineBatch: 1}, {}, {RefineBatch: 8}} {
+		dp, _, err := Allocate(g, lib, lambda, opt)
+		if err != nil {
+			t.Fatalf("RefineBatch=%d: %v", opt.RefineBatch, err)
+		}
+		if err := dp.Verify(g, lib, lambda); err != nil {
+			t.Fatalf("RefineBatch=%d: %v", opt.RefineBatch, err)
+		}
 	}
 }
 

@@ -96,6 +96,13 @@ var ErrCyclic = errors.New("dfg: sequencing graph contains a cycle")
 
 // TopoOrder returns the operations in a topological order (stable: among
 // simultaneously ready operations, lower IDs first), or ErrCyclic.
+//
+// The order is the one produced by repeated ascending ID sweeps placing
+// every ready operation as its index is passed — an operation freed at an
+// index the current sweep already passed waits for the next sweep. That
+// sweep semantics is preserved exactly (downstream consumers derive
+// deterministic priorities and annealing ranks from it) but simulated
+// with two min-heaps in O((V+E) log V) instead of O(V²) sweeps.
 func (g *Graph) TopoOrder() ([]OpID, error) {
 	n := len(g.ops)
 	indeg := make([]int, n)
@@ -104,28 +111,78 @@ func (g *Graph) TopoOrder() ([]OpID, error) {
 			indeg[s]++
 		}
 	}
-	// Ready queue kept sorted by construction: scan IDs ascending each
-	// round. n is small in this domain (tens to hundreds of operations),
-	// so the O(n^2) ready scan is irrelevant and keeps the order stable.
+	// cur holds ready IDs the current sweep has not passed yet; next
+	// holds IDs freed behind the sweep position, placed next round.
+	var cur, next intHeap
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			cur.push(i)
+		}
+	}
 	order := make([]OpID, 0, n)
-	done := make([]bool, n)
 	for len(order) < n {
-		progressed := false
-		for i := 0; i < n; i++ {
-			if !done[i] && indeg[i] == 0 {
-				done[i] = true
-				progressed = true
-				order = append(order, OpID(i))
-				for _, s := range g.succ[i] {
-					indeg[s]--
+		if len(cur) == 0 {
+			if len(next) == 0 {
+				return nil, ErrCyclic
+			}
+			cur, next = next, cur
+		}
+		i := cur.pop()
+		order = append(order, OpID(i))
+		for _, s := range g.succ[i] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				if int(s) > i {
+					cur.push(int(s))
+				} else {
+					next.push(int(s))
 				}
 			}
 		}
-		if !progressed {
-			return nil, ErrCyclic
-		}
 	}
 	return order, nil
+}
+
+// intHeap is a minimal binary min-heap over ints, avoiding the
+// container/heap interface indirection on the scheduling hot path.
+type intHeap []int
+
+func (h *intHeap) push(v int) {
+	*h = append(*h, v)
+	a := *h
+	for i := len(a) - 1; i > 0; {
+		p := (i - 1) / 2
+		if a[p] <= a[i] {
+			break
+		}
+		a[p], a[i] = a[i], a[p]
+		i = p
+	}
+}
+
+func (h *intHeap) pop() int {
+	a := *h
+	top := a[0]
+	last := len(a) - 1
+	a[0] = a[last]
+	*h = a[:last]
+	a = a[:last]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(a) && a[l] < a[m] {
+			m = l
+		}
+		if r < len(a) && a[r] < a[m] {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		a[i], a[m] = a[m], a[i]
+		i = m
+	}
+	return top
 }
 
 // Validate checks structural sanity: acyclicity and valid signatures.

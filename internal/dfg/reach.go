@@ -1,0 +1,120 @@
+package dfg
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bitset"
+)
+
+// ErrCycle is returned by Reach.AddEdge when the new edge would close a
+// precedence cycle.
+var ErrCycle = errors.New("dfg: edge would create a cycle")
+
+// Reach is a transitive-closure index over a sequencing graph,
+// maintained incrementally: building it costs one bitset sweep over the
+// graph, after which each added precedence or serialization edge updates
+// the closure in place instead of rebuilding it. Allocator passes that
+// merge operations onto shared resources (clique growth, annealing
+// merges, e-graph extraction) express each merge as the serialization
+// edges it induces and keep pairwise reachability queries O(1).
+//
+// Reach stores both directions — the sets reachable from u and reaching
+// u — so an insertion touches only the affected pairs (Italiano's
+// algorithm): when (u, v) arrives, every x that reaches u inherits
+// everything reachable from v. Memory is 2·n²/8 bytes; at the 1000-node
+// scale the allocator targets this is ~250 KB.
+type Reach struct {
+	n    int
+	to   []bitset.Set // to[u]: every v ≠ u with a path u → v
+	from []bitset.Set // from[v]: every u ≠ v with a path u → v
+}
+
+// NewReach builds the closure of the graph's current edge set. The graph
+// must be acyclic (Validate reports cycles as ErrCycle-free graphs only).
+func NewReach(g *Graph) (*Reach, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	r := &Reach{n: n, to: make([]bitset.Set, n), from: make([]bitset.Set, n)}
+	for i := 0; i < n; i++ {
+		r.to[i] = bitset.New(n)
+		r.from[i] = bitset.New(n)
+	}
+	for i := n - 1; i >= 0; i-- {
+		u := order[i]
+		for _, s := range g.Succ(u) {
+			r.to[u].Add(int(s))
+			r.to[u].Union(r.to[s])
+		}
+	}
+	for _, u := range order {
+		for _, p := range g.Pred(u) {
+			r.from[u].Add(int(p))
+			r.from[u].Union(r.from[p])
+		}
+	}
+	return r, nil
+}
+
+// Reachable reports whether a path u → v exists (false for u == v).
+func (r *Reach) Reachable(u, v OpID) bool {
+	return r.to[u].Has(int(v))
+}
+
+// Related reports whether the operations are ordered by the closure in
+// either direction. Unrelated operations may execute concurrently;
+// serializing them on a shared resource adds a constraint the
+// sequencing graph did not have.
+func (r *Reach) Related(u, v OpID) bool {
+	return r.to[u].Has(int(v)) || r.to[v].Has(int(u))
+}
+
+// AddEdge inserts the edge u → v and updates the closure in place. A
+// no-op when the edge is already implied. Returns ErrCycle (closure
+// unchanged) when v already reaches u.
+func (r *Reach) AddEdge(u, v OpID) error {
+	if u == v || r.to[v].Has(int(u)) {
+		return fmt.Errorf("%w: %d → %d", ErrCycle, u, v)
+	}
+	if r.to[u].Has(int(v)) {
+		return nil
+	}
+	// Every x with x → u (plus u itself) now reaches v and v's cone;
+	// symmetrically v's cone gains u's ancestors.
+	r.to[u].Add(int(v))
+	r.to[u].Union(r.to[v])
+	r.from[v].Add(int(u))
+	r.from[v].Union(r.from[u])
+	r.from[u].ForEach(func(x int) {
+		r.to[x].Add(int(v))
+		r.to[x].Union(r.to[v])
+	})
+	r.to[v].ForEach(func(y int) {
+		r.from[y].Add(int(u))
+		r.from[y].Union(r.from[u])
+	})
+	return nil
+}
+
+// ToSet returns the set of operations reachable from u as a bit set
+// over operation IDs. The set is the closure's internal state: callers
+// must not modify it, and it changes under AddEdge.
+func (r *Reach) ToSet(u OpID) bitset.Set { return r.to[u] }
+
+// FromSet returns the set of operations that reach u. Same aliasing
+// rules as ToSet.
+func (r *Reach) FromSet(u OpID) bitset.Set { return r.from[u] }
+
+// Clone returns an independent copy, so speculative merge sequences can
+// be explored and abandoned without rebuilding.
+func (r *Reach) Clone() *Reach {
+	c := &Reach{n: r.n, to: make([]bitset.Set, r.n), from: make([]bitset.Set, r.n)}
+	for i := 0; i < r.n; i++ {
+		c.to[i] = r.to[i].Clone()
+		c.from[i] = r.from[i].Clone()
+	}
+	return c
+}

@@ -1,0 +1,95 @@
+package dfg
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// TestReachIncrementalMatchesRebuild drives a Reach through randomized
+// serialization-edge sequences (the shape allocator merges produce) and
+// checks after every insertion that the incrementally maintained closure
+// is identical to one rebuilt from scratch on the augmented graph.
+func TestReachIncrementalMatchesRebuild(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rnd.Intn(24)
+		g := randomDAG(rnd, n)
+		inc, err := NewReach(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mirror := g.Clone()
+		for step := 0; step < 3*n; step++ {
+			u, v := OpID(rnd.Intn(n)), OpID(rnd.Intn(n))
+			err := inc.AddEdge(u, v)
+			if errors.Is(err, ErrCycle) {
+				// The rebuilt closure must agree that this closes a cycle.
+				ref, rerr := NewReach(mirror)
+				if rerr != nil {
+					t.Fatal(rerr)
+				}
+				if u != v && !ref.Reachable(v, u) {
+					t.Fatalf("trial %d step %d: AddEdge(%d,%d) reported cycle, rebuild disagrees", trial, step, u, v)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if aerr := mirror.AddDep(u, v); aerr != nil {
+				t.Fatalf("trial %d step %d: mirror rejected %d → %d: %v", trial, step, u, v, aerr)
+			}
+			ref, rerr := NewReach(mirror)
+			if rerr != nil {
+				t.Fatal(rerr)
+			}
+			for a := 0; a < n; a++ {
+				for b := 0; b < n; b++ {
+					if got, want := inc.Reachable(OpID(a), OpID(b)), ref.Reachable(OpID(a), OpID(b)); got != want {
+						t.Fatalf("trial %d step %d: Reachable(%d,%d)=%v, rebuild says %v", trial, step, a, b, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestReachRelatedAndClone(t *testing.T) {
+	g := New()
+	for i := 0; i < 4; i++ {
+		g.AddOp("", model.Mul, model.Sig(8, 8))
+	}
+	// 0 → 1 → 2, 3 isolated.
+	if err := g.AddDep(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddDep(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReach(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Reachable(0, 2) || r.Reachable(2, 0) {
+		t.Fatalf("closure wrong: 0→2 %v, 2→0 %v", r.Reachable(0, 2), r.Reachable(2, 0))
+	}
+	if r.Related(0, 3) {
+		t.Fatal("3 should be unrelated to 0")
+	}
+	c := r.Clone()
+	if err := c.AddEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Reachable(0, 3) {
+		t.Fatal("clone: 0 should reach 3 after AddEdge(2,3)")
+	}
+	if r.Reachable(0, 3) {
+		t.Fatal("original closure mutated by clone's AddEdge")
+	}
+	if err := c.AddEdge(3, 0); !errors.Is(err, ErrCycle) {
+		t.Fatalf("AddEdge(3,0) should close a cycle, got %v", err)
+	}
+}

@@ -14,6 +14,8 @@
 package refine
 
 import (
+	"slices"
+
 	"repro/internal/bind"
 	"repro/internal/dfg"
 	"repro/internal/wcg"
@@ -37,14 +39,23 @@ func BoundCriticalPath(g *wcg.Graph, start []int, b *bind.Binding) []dfg.OpID {
 	for o := 0; o < n; o++ {
 		succ[o] = append(succ[o], d.Succ(dfg.OpID(o))...)
 	}
-	// S_b: for each clique, link consecutive operations with no slack:
-	// start(o1) + ℓ(o1) == start(o2).
+	// S_b: for each clique, link operations executing back-to-back with
+	// no slack: start(o1) + ℓ(o1) == start(o2). Clique members occupy
+	// pairwise disjoint reserved intervals with L_o ≥ ℓ(o) ≥ 1, so a
+	// zero-slack pair is necessarily adjacent in start order (any third
+	// member between them would have to both finish before and start
+	// after the same step): sorting the clique by start and checking
+	// consecutive pairs finds every S_b edge in O(m log m).
+	var byStart []dfg.OpID
 	for _, k := range b.Cliques {
-		for _, o1 := range k.Ops {
-			for _, o2 := range k.Ops {
-				if o1 != o2 && start[o1]+ell[o1] == start[o2] {
-					succ[o1] = append(succ[o1], o2)
-				}
+		byStart = append(byStart[:0], k.Ops...)
+		// Clique members occupy disjoint intervals, so starts are
+		// distinct and the order is total.
+		slices.SortFunc(byStart, func(a, b dfg.OpID) int { return start[a] - start[b] })
+		for i := 1; i < len(byStart); i++ {
+			o1, o2 := byStart[i-1], byStart[i]
+			if start[o1]+ell[o1] == start[o2] {
+				succ[o1] = append(succ[o1], o2)
 			}
 		}
 	}
@@ -52,14 +63,25 @@ func BoundCriticalPath(g *wcg.Graph, start []int, b *bind.Binding) []dfg.OpID {
 	// All augmented edges strictly increase start (latencies are >= 1 and
 	// schedules respect precedence with L_o >= ℓ(o)), so the augmented
 	// graph is acyclic and any start-ascending order is topological.
-	order := make([]dfg.OpID, n)
-	for i := range order {
-		order[i] = dfg.OpID(i)
-	}
-	for i := 1; i < len(order); i++ {
-		for j := i; j > 0 && start[order[j]] < start[order[j-1]]; j-- {
-			order[j], order[j-1] = order[j-1], order[j]
+	// Start values are bounded by the makespan: a counting sort (stable,
+	// ID-ascending within a step) beats a comparison sort every call.
+	maxStart := 0
+	for o := 0; o < n; o++ {
+		if start[o] > maxStart {
+			maxStart = start[o]
 		}
+	}
+	cnt := make([]int, maxStart+2)
+	for o := 0; o < n; o++ {
+		cnt[start[o]+1]++
+	}
+	for k := 1; k < len(cnt); k++ {
+		cnt[k] += cnt[k-1]
+	}
+	order := make([]dfg.OpID, n)
+	for o := 0; o < n; o++ {
+		order[cnt[start[o]]] = dfg.OpID(o)
+		cnt[start[o]]++
 	}
 
 	asap := make([]int, n)
@@ -117,13 +139,6 @@ func Candidates(g *wcg.Graph, start []int, qb []dfg.OpID, lambda int) []dfg.OpID
 // (those whose L_o would strictly decrease while keeping at least one
 // kind). Returns false if no candidate is reducible.
 func ChooseVictim(g *wcg.Graph, b *bind.Binding, cands []dfg.OpID) (dfg.OpID, bool) {
-	// Precompute |O(r)| per kind once.
-	edgeCount := make([]int, len(g.Kinds))
-	for o := 0; o < g.D.N(); o++ {
-		for _, ki := range g.CompatKinds(dfg.OpID(o)) {
-			edgeCount[ki]++
-		}
-	}
 	best := dfg.OpID(-1)
 	var bestDel, bestDen int
 	var bestFavoured bool
@@ -134,7 +149,7 @@ func ChooseVictim(g *wcg.Graph, b *bind.Binding, cands []dfg.OpID) (dfg.OpID, bo
 		lmax := g.UpperLatency(o)
 		del, den := 0, 0
 		for _, ki := range g.CompatKinds(o) {
-			den += edgeCount[ki]
+			den += g.CompatOpCount(ki)
 			if g.KindLatency(ki) == lmax {
 				del++
 			}
@@ -191,6 +206,55 @@ func FirstReducible(g *wcg.Graph, _ *bind.Binding, cands []dfg.OpID) (dfg.OpID, 
 // for this λ).
 func Step(g *wcg.Graph, start []int, b *bind.Binding, lambda int) (dfg.OpID, bool) {
 	return StepWithPolicy(g, start, b, lambda, ChooseVictim)
+}
+
+// StepBatch performs up to k refinements from a single schedule's
+// candidate computation: the bound critical path Q_b and candidate set W
+// are computed once, then the policy is re-applied (against the graph as
+// it shrinks, so the proportion metric stays current) until k victims
+// have been refined or W runs out of reducible operations. k=1 is
+// exactly StepWithPolicy — the paper's step. Larger k trades the paper's
+// reschedule-per-refinement precision for one reschedule per batch,
+// which is what makes 1000-operation graphs tractable: the number of
+// schedule/bind rounds, not the cost of one round, is the superlinear
+// term. The fallback tiers (Q_b, then the whole operation set) only
+// engage when W yields nothing, and then refine a single victim, exactly
+// like StepWithPolicy. Returns the number of operations refined; 0 means
+// nothing anywhere is reducible.
+func StepBatch(g *wcg.Graph, start []int, b *bind.Binding, lambda int, pick Policy, k int) int {
+	if k <= 1 {
+		if _, ok := StepWithPolicy(g, start, b, lambda, pick); ok {
+			return 1
+		}
+		return 0
+	}
+	qb := BoundCriticalPath(g, start, b)
+	w := Candidates(g, start, qb, lambda)
+	done := 0
+	for done < k {
+		o, ok := pick(g, b, w)
+		if !ok {
+			break
+		}
+		g.DeleteMaxLatencyEdges(o)
+		done++
+	}
+	if done > 0 {
+		return done
+	}
+	if o, ok := pick(g, b, qb); ok {
+		g.DeleteMaxLatencyEdges(o)
+		return 1
+	}
+	all := make([]dfg.OpID, g.D.N())
+	for i := range all {
+		all[i] = dfg.OpID(i)
+	}
+	if o, ok := pick(g, b, all); ok {
+		g.DeleteMaxLatencyEdges(o)
+		return 1
+	}
+	return 0
 }
 
 // StepWithPolicy is Step with an explicit victim-selection policy.

@@ -19,8 +19,11 @@ package sched
 import (
 	"errors"
 	"fmt"
+	"math/bits"
+	"slices"
 	"sort"
 
+	"repro/internal/bitset"
 	"repro/internal/dfg"
 	"repro/internal/model"
 	"repro/internal/wcg"
@@ -48,6 +51,12 @@ var ErrResourceInfeasible = errors.New("sched: resource constraint unsatisfiable
 // errors.Is.
 type InfeasibleError struct {
 	Op dfg.OpID
+	// Need is how many additional resources of the operation's hardware
+	// class Eqn. 3 was short at the deadlock (≥ 1): the class overload
+	// divided by the accounting scale, rounded up. Callers searching
+	// over resource bounds can jump by Need instead of probing one unit
+	// at a time.
+	Need int
 }
 
 func (e *InfeasibleError) Error() string {
@@ -60,42 +69,95 @@ func (e *InfeasibleError) Is(target error) bool { return target == ErrResourceIn
 // SchedulingSet computes a small subset S ⊆ R such that every operation
 // has an H edge to some member, preferring large cover then small area
 // (greedy set cover; minimum-cardinality covering is NP-hard, and the
-// greedy bound is the standard choice).
+// greedy bound is the standard choice). Cover counts are popcounts of
+// kind-adjacency bit sets against the uncovered set, so each round is
+// O(|R| · n/64) rather than a per-kind operation-list scan.
 func SchedulingSet(g *wcg.Graph) []int {
 	n := g.D.N()
-	covered := make([]bool, n)
+	uncovered := bitset.New(n)
+	for i := 0; i < n; i++ {
+		uncovered.Add(i)
+	}
 	remaining := n
 	var set []int
-	for remaining > 0 {
-		best, bestCover := -1, 0
-		var bestArea int64
-		for ki := range g.Kinds {
-			c := 0
-			for _, o := range g.CompatOps(ki) {
-				if !covered[o] {
-					c++
-				}
-			}
-			if c == 0 {
-				continue
-			}
-			a := g.Lib.Area(g.Kinds[ki])
-			if c > bestCover || (c == bestCover && a < bestArea) {
-				best, bestCover, bestArea = ki, c, a
-			}
+	// Lazy greedy: cover counts only shrink as operations get covered,
+	// so a cached count is an upper bound and the popped top, once its
+	// count validates, beats every other kind — the selection sequence
+	// is identical to rescanning all kinds each round. The comparator
+	// (cover desc, area asc, index asc) reproduces the scan's winner.
+	type cand struct {
+		ki    int
+		cover int
+		area  int64
+	}
+	better := func(a, b cand) bool {
+		if a.cover != b.cover {
+			return a.cover > b.cover
 		}
-		if best < 0 {
+		if a.area != b.area {
+			return a.area < b.area
+		}
+		return a.ki < b.ki
+	}
+	var h []cand
+	push := func(v cand) {
+		h = append(h, v)
+		for i := len(h) - 1; i > 0; {
+			p := (i - 1) / 2
+			if better(h[p], h[i]) {
+				break
+			}
+			h[p], h[i] = h[i], h[p]
+			i = p
+		}
+	}
+	pop := func() cand {
+		top := h[0]
+		last := len(h) - 1
+		h[0] = h[last]
+		h = h[:last]
+		for i := 0; ; {
+			l, r := 2*i+1, 2*i+2
+			m := i
+			if l < len(h) && better(h[l], h[m]) {
+				m = l
+			}
+			if r < len(h) && better(h[r], h[m]) {
+				m = r
+			}
+			if m == i {
+				break
+			}
+			h[i], h[m] = h[m], h[i]
+			i = m
+		}
+		return top
+	}
+	for ki := range g.Kinds {
+		if c := g.CompatOpCount(ki); c > 0 {
+			push(cand{ki: ki, cover: c, area: g.Lib.Area(g.Kinds[ki])})
+		}
+	}
+	for remaining > 0 {
+		if len(h) == 0 {
 			// Build guarantees every op has an edge, so this cannot
 			// happen for a consistent graph.
 			panic("sched: operation with no compatible kind")
 		}
-		set = append(set, best)
-		for _, o := range g.CompatOps(best) {
-			if !covered[o] {
-				covered[o] = true
-				remaining--
-			}
+		e := pop()
+		c := g.CompatOpBits(e.ki).IntersectCount(uncovered)
+		if c == 0 {
+			continue
 		}
+		if c < e.cover {
+			e.cover = c
+			push(e)
+			continue
+		}
+		set = append(set, e.ki)
+		remaining -= c
+		uncovered.Difference(g.CompatOpBits(e.ki))
+		// A selected kind's future cover is zero; it never re-enters.
 	}
 	sort.Ints(set)
 	return set
@@ -127,103 +189,275 @@ func ListEqn2(g *wcg.Graph, limits Limits) (Result, error) {
 func list(g *wcg.Graph, limits Limits, mode constraintMode) (Result, error) {
 	d := g.D
 	n := d.N()
-	L := g.UpperLatencies()
+	lat := g.UpperLatSlice()
 	res := Result{Start: make([]int, n)}
 	if n == 0 {
 		return res, nil
 	}
 
-	order, err := d.TopoOrder()
+	order, err := g.TopoOrder()
 	if err != nil {
 		return Result{}, err
 	}
-	prio := priorities(d, order, L)
+	prio := priorities(d, order, func(id dfg.OpID) int { return lat[id] })
 
+	// The accountant is devirtualized for the common Eqn. 3 case: the
+	// deferral-retry loop below queries feasibility roughly (ready ×
+	// steps) times, and an interface call per query costs more than the
+	// cached answer it usually returns.
 	var acct accountant
+	var a3 *eqn3Acct
+	var sig, sigEpoch, sigOkL, sigBadL []int
 	if len(limits) > 0 {
 		switch mode {
 		case modeEqn3:
 			res.SchedSet = SchedulingSet(g)
-			acct = newEqn3Accountant(g, res.SchedSet, limits)
+			a3 = newEqn3Accountant(g, res.SchedSet, limits)
+			acct = a3
+			sig, sigEpoch, sigOkL, sigBadL = a3.sig, a3.sigEpoch, a3.sigOkL, a3.sigBadL
 		case modeEqn2:
 			acct = newEqn2Accountant(g, limits)
 		}
 	}
 
-	scheduled := make([]bool, n)
+	// Readiness is tracked by events instead of per-step rescans: an
+	// operation enters the pending heap (keyed by the max finish of its
+	// predecessors) the moment its last predecessor is placed, and moves
+	// to the ready list once t reaches that key. Deferred operations —
+	// ready but rejected by the accountant — simply stay on the ready
+	// list for the next step, which is exactly the retry behavior of the
+	// original full rescan.
+	predLeft := make([]int, n)
+	for i := 0; i < n; i++ {
+		predLeft[i] = len(d.Pred(dfg.OpID(i)))
+	}
 	finish := make([]int, n) // valid once scheduled
+	var pending pendHeap     // ops whose preds are placed but still running
+	var running intHeap      // finish times of placed operations
+	ready := make([]dfg.OpID, 0, n)
+	for i := 0; i < n; i++ {
+		if predLeft[i] == 0 {
+			ready = append(ready, dfg.OpID(i))
+		}
+	}
+	// Placement order is (priority desc, ID asc) — a strict total order
+	// since IDs are distinct. The ready list is kept sorted: deferrals
+	// preserve order, and each step's arrivals are sorted alone and
+	// merged in, instead of re-sorting the whole list every step.
+	cmpOp := func(a, b dfg.OpID) int {
+		if prio[a] != prio[b] {
+			return prio[b] - prio[a]
+		}
+		return int(a) - int(b)
+	}
+	slices.SortFunc(ready, cmpOp)
+	var incoming, merged []dfg.OpID
 	nDone := 0
 	t := 0
 	horizonGuard := 0
+	maxGuard := 4 * (n + 2) * (maxLat(g) + 1)
 	for nDone < n {
-		// Ready operations: unscheduled, all predecessors finish by t.
-		var ready []dfg.OpID
-		for i := 0; i < n; i++ {
-			if scheduled[i] {
-				continue
-			}
-			ok := true
-			for _, p := range d.Pred(dfg.OpID(i)) {
-				if !scheduled[p] || finish[p] > t {
-					ok = false
-					break
+		incoming = incoming[:0]
+		for len(pending) > 0 && pending[0].at <= t {
+			incoming = append(incoming, pending.pop().op)
+		}
+		if len(incoming) > 0 {
+			slices.SortFunc(incoming, cmpOp)
+			merged = merged[:0]
+			i, j := 0, 0
+			for i < len(ready) && j < len(incoming) {
+				if cmpOp(ready[i], incoming[j]) < 0 {
+					merged = append(merged, ready[i])
+					i++
+				} else {
+					merged = append(merged, incoming[j])
+					j++
 				}
 			}
-			if ok {
-				ready = append(ready, dfg.OpID(i))
-			}
+			merged = append(merged, ready[i:]...)
+			merged = append(merged, incoming[j:]...)
+			ready, merged = merged, ready
 		}
-		sort.Slice(ready, func(i, j int) bool {
-			a, b := ready[i], ready[j]
-			if prio[a] != prio[b] {
-				return prio[a] > prio[b]
-			}
-			return a < b
-		})
 		progress := false
+		kept := ready[:0]
 		for _, o := range ready {
-			if acct != nil && !acct.fits(o, t, L(o)) {
+			l := lat[o]
+			if a3 != nil {
+				// Manually inlined probe of the accountant's monotone
+				// signature cache; only misses pay the call into fits.
+				ok, hit := false, false
+				if sig != nil && t == a3.lastT {
+					if s := sig[o]; sigEpoch[s] == a3.epoch {
+						if l <= sigOkL[s] {
+							ok, hit = true, true
+						} else if l >= sigBadL[s] {
+							hit = true
+						}
+					}
+				}
+				if !hit {
+					ok = a3.fits(o, t, l)
+				}
+				if !ok {
+					kept = append(kept, o)
+					continue
+				}
+			} else if acct != nil && !acct.fits(o, t, l) {
+				kept = append(kept, o)
 				continue
 			}
 			if acct != nil {
-				acct.commit(o, t, L(o))
+				acct.commit(o, t, l)
 			}
-			scheduled[o] = true
 			res.Start[o] = t
-			finish[o] = t + L(o)
-			if finish[o] > res.Makespan {
-				res.Makespan = finish[o]
+			f := t + l
+			finish[o] = f
+			if f > res.Makespan {
+				res.Makespan = f
 			}
+			running.push(f)
 			nDone++
 			progress = true
+			for _, s := range d.Succ(o) {
+				predLeft[s]--
+				if predLeft[s] == 0 {
+					at := 0
+					for _, p := range d.Pred(s) {
+						if finish[p] > at {
+							at = finish[p]
+						}
+					}
+					// Successors finish after t, so at > t always:
+					// they become ready at a strictly later step.
+					pending.push(pendItem{at: at, op: s})
+				}
+			}
 		}
+		ready = kept
 		if nDone == n {
 			break
 		}
 		// Advance to the next interesting step: the earliest finish time
 		// of a running operation, or t+1 if deferral was purely due to
 		// resource accounting.
+		for len(running) > 0 && running[0] <= t {
+			running.pop()
+		}
 		next := -1
-		for i := 0; i < n; i++ {
-			if scheduled[i] && finish[i] > t && (next < 0 || finish[i] < next) {
-				next = finish[i]
-			}
+		if len(running) > 0 {
+			next = running[0]
 		}
 		if next < 0 {
 			if !progress && len(ready) > 0 {
 				// Idle machine, ready work, nothing fits: under peak
 				// accounting this cannot improve at a later step.
-				return Result{}, &InfeasibleError{Op: ready[0]}
+				need := 1
+				if a3 != nil {
+					if d := a3.deficit(ready[0], t, lat[ready[0]]); d > need {
+						need = d
+					}
+				}
+				return Result{}, &InfeasibleError{Op: ready[0], Need: need}
 			}
 			next = t + 1
 		}
 		t = next
 		horizonGuard++
-		if max := 4 * (n + 2) * (maxLat(g) + 1); horizonGuard > max {
+		if horizonGuard > maxGuard {
 			return Result{}, fmt.Errorf("%w: no progress within horizon", ErrResourceInfeasible)
 		}
 	}
 	return res, nil
+}
+
+// pendItem is an operation waiting for its predecessors to finish.
+type pendItem struct {
+	at int // step at which the op becomes ready (max pred finish)
+	op dfg.OpID
+}
+
+// pendHeap is a min-heap of pendItems by readiness step. Order among
+// equal steps is irrelevant: the ready list is sorted by priority before
+// placement.
+type pendHeap []pendItem
+
+func (h *pendHeap) push(v pendItem) {
+	*h = append(*h, v)
+	a := *h
+	for i := len(a) - 1; i > 0; {
+		p := (i - 1) / 2
+		if a[p].at <= a[i].at {
+			break
+		}
+		a[p], a[i] = a[i], a[p]
+		i = p
+	}
+}
+
+func (h *pendHeap) pop() pendItem {
+	a := *h
+	top := a[0]
+	last := len(a) - 1
+	a[0] = a[last]
+	*h = a[:last]
+	a = a[:last]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(a) && a[l].at < a[m].at {
+			m = l
+		}
+		if r < len(a) && a[r].at < a[m].at {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		a[i], a[m] = a[m], a[i]
+		i = m
+	}
+	return top
+}
+
+// intHeap is a min-heap of ints (finish times of running operations).
+type intHeap []int
+
+func (h *intHeap) push(v int) {
+	*h = append(*h, v)
+	a := *h
+	for i := len(a) - 1; i > 0; {
+		p := (i - 1) / 2
+		if a[p] <= a[i] {
+			break
+		}
+		a[p], a[i] = a[i], a[p]
+		i = p
+	}
+}
+
+func (h *intHeap) pop() int {
+	a := *h
+	top := a[0]
+	last := len(a) - 1
+	a[0] = a[last]
+	*h = a[:last]
+	a = a[:last]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(a) && a[l] < a[m] {
+			m = l
+		}
+		if r < len(a) && a[r] < a[m] {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		a[i], a[m] = a[m], a[i]
+		i = m
+	}
+	return top
 }
 
 func maxLat(g *wcg.Graph) int {
@@ -264,95 +498,242 @@ type accountant interface {
 // ---- Eqn. 3 accounting ----
 
 type eqn3Acct struct {
-	g        *wcg.Graph
-	limits   Limits
-	scale    int64   // lcm of |S(o)| over all operations
-	share    []int64 // scale / |S(o)| per op
-	sOf      [][]int // S(o): indices into set, per op
-	class    []model.OpType
-	slotKind []int // kind index per scheduling-set slot
-	// per scheduling-set member: load per step and current peak
-	load [][]int64
-	peak []int64
-	// members of the set per class
-	members map[model.OpType][]int
+	scale int64   // lcm of |S(o)| over all operations
+	share []int64 // scale / |S(o)| per op
+	// limitScaled[o] is the op's class limit times scale, or -1 when the
+	// class is unconstrained; classOf[o] is a dense class index. Both
+	// precomputed so fits performs no map lookups. H edges are
+	// intra-class (Kind.Covers requires the class to match), so every
+	// member of S(o) is of o's class.
+	limitScaled []int64
+	classOf     []int
+	// S(o): a bit mask over set slots when the set fits in 64 bits (the
+	// common case, iterated with no memory traffic), else explicit slot
+	// lists in sOf.
+	mask []uint64
+	sOf  [][]int
+	// per scheduling-set member: load per step, current peak, and the
+	// slot's dense class index. classSum[y] = Σ peak over the slots of
+	// class y, maintained on commit so the Eqn. 3 sum in fits reduces to
+	// the class total plus the peak deltas of the |S(o)| touched slots.
+	load      [][]int64
+	peak      []int64
+	slotClass []int
+	classSum  []int64
+	// Signature cache: operations with identical S(o) (same scheduling-
+	// set members, hence same share, class and limit) get identical fits
+	// answers at the same step, and the answer stays valid until a
+	// commit changes the loads or t advances. Feasibility is antitone in
+	// the latency (a longer occupancy only raises peaks), so per
+	// signature the largest latency known to fit and the smallest known
+	// not to fit bound every repeat query. Deferred operations retried
+	// every step collapse to at most two evaluations per signature.
+	// sig is nil when |S| exceeds the 64-bit mask.
+	sig      []int
+	sigEpoch []int
+	sigOkL   []int
+	sigBadL  []int
+	epoch    int
+	lastT    int
 }
 
 func newEqn3Accountant(g *wcg.Graph, set []int, limits Limits) *eqn3Acct {
 	n := g.D.N()
 	a := &eqn3Acct{
-		g:        g,
-		limits:   limits,
-		share:    make([]int64, n),
-		sOf:      make([][]int, n),
-		class:    make([]model.OpType, n),
-		slotKind: append([]int(nil), set...),
-		load:     make([][]int64, len(set)),
-		peak:     make([]int64, len(set)),
-		members:  make(map[model.OpType][]int),
+		share:       make([]int64, n),
+		limitScaled: make([]int64, n),
+		classOf:     make([]int, n),
+		load:        make([][]int64, len(set)),
+		peak:        make([]int64, len(set)),
+		slotClass:   make([]int, len(set)),
+		epoch:       1,
 	}
+	// Per slot: the dense class index and limit of its class. Any member
+	// of S(o) names o's class, so per-op lookups reduce to slot lookups.
+	classID := make(map[model.OpType]int)
+	slotLimit := make([]int64, len(set))
 	for si, ki := range set {
-		a.members[g.Kinds[ki].Class] = append(a.members[g.Kinds[ki].Class], si)
+		y := g.Kinds[ki].Class
+		id, ok := classID[y]
+		if !ok {
+			id = len(classID)
+			classID[y] = id
+		}
+		a.slotClass[si] = id
+		if limit, ok := limits[y]; ok {
+			slotLimit[si] = int64(limit)
+		} else {
+			slotLimit[si] = -1
+		}
 	}
+	a.classSum = make([]int64, len(classID))
+	sizes := make([]int, n)
 	a.scale = 1
-	for o := 0; o < n; o++ {
-		a.class[o] = g.D.Op(dfg.OpID(o)).Spec.Type.HardwareClass()
+	if len(set) <= 64 {
+		a.mask = make([]uint64, n)
 		for si, ki := range set {
-			if g.Compatible(dfg.OpID(o), ki) {
-				a.sOf[o] = append(a.sOf[o], si)
+			bit := uint64(1) << uint(si)
+			mask := a.mask
+			g.CompatOpBits(ki).ForEach(func(o int) { mask[o] |= bit })
+		}
+		sigOf := make(map[uint64]int)
+		a.sig = make([]int, n)
+		for o := 0; o < n; o++ {
+			m := a.mask[o]
+			if m == 0 {
+				panic("sched: scheduling set does not cover operation")
 			}
+			sizes[o] = bits.OnesCount64(m)
+			a.scale = lcm(a.scale, int64(sizes[o]))
+			first := bits.TrailingZeros64(m)
+			a.classOf[o] = a.slotClass[first]
+			a.limitScaled[o] = slotLimit[first]
+			id, ok := sigOf[m]
+			if !ok {
+				id = len(sigOf)
+				sigOf[m] = id
+			}
+			a.sig[o] = id
 		}
-		if len(a.sOf[o]) == 0 {
-			panic("sched: scheduling set does not cover operation")
+		a.sigEpoch = make([]int, len(sigOf))
+		a.sigOkL = make([]int, len(sigOf))
+		a.sigBadL = make([]int, len(sigOf))
+	} else {
+		a.sOf = make([][]int, n)
+		for si, ki := range set {
+			sOf := a.sOf
+			g.CompatOpBits(ki).ForEach(func(o int) { sOf[o] = append(sOf[o], si) })
 		}
-		a.scale = lcm(a.scale, int64(len(a.sOf[o])))
+		for o := 0; o < n; o++ {
+			if len(a.sOf[o]) == 0 {
+				panic("sched: scheduling set does not cover operation")
+			}
+			sizes[o] = len(a.sOf[o])
+			a.scale = lcm(a.scale, int64(sizes[o]))
+			first := a.sOf[o][0]
+			a.classOf[o] = a.slotClass[first]
+			a.limitScaled[o] = slotLimit[first]
+		}
 	}
 	for o := 0; o < n; o++ {
-		a.share[o] = a.scale / int64(len(a.sOf[o]))
+		a.share[o] = a.scale / int64(sizes[o])
+		if a.limitScaled[o] >= 0 {
+			a.limitScaled[o] *= a.scale
+		}
 	}
 	return a
 }
 
+// peakDelta returns the increase of slot si's peak if the op occupied
+// [t, t+l) with the given share.
+func (a *eqn3Acct) peakDelta(si, t, l int, share int64) int64 {
+	p := a.peak[si]
+	np := p
+	for step := t; step < t+l; step++ {
+		if v := a.loadAt(si, step) + share; v > np {
+			np = v
+		}
+	}
+	return np - p
+}
+
 func (a *eqn3Acct) fits(o dfg.OpID, t, l int) bool {
-	y := a.class[o]
-	limit, ok := a.limits[y]
-	if !ok {
+	lim := a.limitScaled[o]
+	if lim < 0 {
 		return true
 	}
-	// New Σ_{s∈S_y} peak_s if o occupies [t, t+l) with share w on each
-	// member of S(o).
-	var sum int64
-	bumped := make(map[int]int64, len(a.sOf[o]))
-	for _, si := range a.sOf[o] {
-		if a.g.Kinds[a.slotKind[si]].Class != y {
-			continue
-		}
-		p := a.peak[si]
-		for step := t; step < t+l; step++ {
-			if v := a.loadAt(si, step) + a.share[o]; v > p {
-				p = v
+	if t != a.lastT {
+		a.lastT = t
+		a.epoch++
+	}
+	s := -1
+	if a.sig != nil {
+		s = a.sig[o]
+		if a.sigEpoch[s] == a.epoch {
+			if l <= a.sigOkL[s] {
+				return true
+			}
+			if l >= a.sigBadL[s] {
+				return false
 			}
 		}
-		bumped[si] = p
 	}
-	for _, si := range a.members[y] {
-		if p, ok := bumped[si]; ok {
-			sum += p
-		} else {
-			sum += a.peak[si]
+	// New Σ_{s∈S_y} peak_s if o occupies [t, t+l) with share w on each
+	// member of S(o): the maintained class total plus the peak delta of
+	// each touched slot.
+	sum := a.classSum[a.classOf[o]]
+	if a.mask != nil {
+		for m := a.mask[o]; m != 0; m &= m - 1 {
+			sum += a.peakDelta(bits.TrailingZeros64(m), t, l, a.share[o])
+		}
+	} else {
+		for _, si := range a.sOf[o] {
+			sum += a.peakDelta(si, t, l, a.share[o])
 		}
 	}
-	return sum <= int64(limit)*a.scale
+	res := sum <= lim
+	if s >= 0 {
+		if a.sigEpoch[s] != a.epoch {
+			a.sigEpoch[s] = a.epoch
+			a.sigOkL[s] = 0
+			a.sigBadL[s] = int(^uint(0) >> 1)
+		}
+		if res {
+			if l > a.sigOkL[s] {
+				a.sigOkL[s] = l
+			}
+		} else if l < a.sigBadL[s] {
+			a.sigBadL[s] = l
+		}
+	}
+	return res
+}
+
+// deficit returns how many whole resources of o's class are missing for
+// o to occupy [t, t+l) under Eqn. 3 given the committed loads: the class
+// sum's excess over the scaled limit, divided by the scale, rounded up.
+// 0 means o fits.
+func (a *eqn3Acct) deficit(o dfg.OpID, t, l int) int {
+	lim := a.limitScaled[o]
+	if lim < 0 {
+		return 0
+	}
+	sum := a.classSum[a.classOf[o]]
+	if a.mask != nil {
+		for m := a.mask[o]; m != 0; m &= m - 1 {
+			sum += a.peakDelta(bits.TrailingZeros64(m), t, l, a.share[o])
+		}
+	} else {
+		for _, si := range a.sOf[o] {
+			sum += a.peakDelta(si, t, l, a.share[o])
+		}
+	}
+	if sum <= lim {
+		return 0
+	}
+	return int((sum - lim + a.scale - 1) / a.scale)
+}
+
+func (a *eqn3Acct) commitSlot(si, t, l int, share int64) {
+	for step := t; step < t+l; step++ {
+		a.addLoad(si, step, share)
+		if v := a.loadAt(si, step); v > a.peak[si] {
+			a.classSum[a.slotClass[si]] += v - a.peak[si]
+			a.peak[si] = v
+		}
+	}
 }
 
 func (a *eqn3Acct) commit(o dfg.OpID, t, l int) {
-	for _, si := range a.sOf[o] {
-		for step := t; step < t+l; step++ {
-			a.addLoad(si, step, a.share[o])
-			if v := a.loadAt(si, step); v > a.peak[si] {
-				a.peak[si] = v
-			}
+	a.epoch++ // loads change; cached fits answers are stale
+	if a.mask != nil {
+		for m := a.mask[o]; m != 0; m &= m - 1 {
+			a.commitSlot(bits.TrailingZeros64(m), t, l, a.share[o])
 		}
+		return
+	}
+	for _, si := range a.sOf[o] {
+		a.commitSlot(si, t, l, a.share[o])
 	}
 }
 

@@ -12,12 +12,21 @@
 // orientation is transitive by construction (Golumbic [11]) and maximum
 // cliques of a kind's compatibility subgraph are maximum sets of pairwise
 // disjoint intervals, found in linear time after sorting.
+//
+// The H edges are maintained incrementally: bit sets index both sides of
+// the bipartite adjacency (op→kinds and kind→ops), the per-operation
+// latency bounds L_o and min ℓ are cached and repaired on deletion, and
+// the per-kind operation lists handed to schedulers are rebuilt lazily
+// only for kinds whose edge set actually changed. Membership tests and
+// edge counts are O(1) instead of adjacency-list scans — the difference
+// between 100- and 1000-node graphs being tractable.
 package wcg
 
 import (
 	"fmt"
-	"math"
+	"sort"
 
+	"repro/internal/bitset"
 	"repro/internal/dfg"
 	"repro/internal/model"
 )
@@ -33,8 +42,39 @@ type Graph struct {
 	// extraction order (area ascending within class). Invariant: never
 	// empty for a valid graph.
 	h [][]int
+	// hBits[o] mirrors h[o] as a bit set over kind indices.
+	hBits []bitset.Set
+	// opBits[k] is O(r) as a bit set over operation IDs.
+	opBits []bitset.Set
+	// ops[k] caches O(r) in ID order; opsDirty[k] marks it stale after
+	// an edge deletion touching kind k. opCount[k] = |O(r)| is
+	// maintained incrementally so counting never needs a popcount.
+	ops      [][]dfg.OpID
+	opsDirty []bool
+	opCount  []int
 	// lat[k] caches Lib.Latency(Kinds[k]).
 	lat []int
+	// upper[o] and min[o] cache L_o and min ℓ over o's current kinds.
+	upper []int
+	min   []int
+	// edges counts the H edges remaining.
+	edges int
+	// topo memoizes D.TopoOrder(): D is immutable for the lifetime of
+	// the compatibility graph, and the scheduler asks every iteration.
+	topo []dfg.OpID
+}
+
+// TopoOrder returns a topological order of the bound sequencing graph,
+// memoized across calls. The slice must not be modified.
+func (g *Graph) TopoOrder() ([]dfg.OpID, error) {
+	if g.topo == nil {
+		order, err := g.D.TopoOrder()
+		if err != nil {
+			return nil, err
+		}
+		g.topo = order
+	}
+	return g.topo, nil
 }
 
 // Build constructs the initial compatibility graph: kinds extracted from
@@ -58,18 +98,52 @@ func BuildWithKinds(d *dfg.Graph, lib *model.Library, kinds []model.Kind) (*Grap
 			return nil, fmt.Errorf("wcg: kind %v has non-positive latency", k)
 		}
 	}
-	g.h = make([][]int, d.N())
+	n := d.N()
+	g.h = make([][]int, n)
+	g.hBits = make([]bitset.Set, n)
+	g.opBits = make([]bitset.Set, len(kinds))
+	for ki := range kinds {
+		g.opBits[ki] = bitset.New(n)
+	}
+	g.ops = make([][]dfg.OpID, len(kinds))
+	g.opsDirty = make([]bool, len(kinds))
+	g.opCount = make([]int, len(kinds))
+	for ki := range kinds {
+		g.opsDirty[ki] = true
+	}
+	g.upper = make([]int, n)
+	g.min = make([]int, n)
 	for _, o := range d.Ops() {
+		g.hBits[o.ID] = bitset.New(len(kinds))
 		for ki, k := range kinds {
 			if k.Covers(o.Spec.Type, o.Spec.Sig) {
 				g.h[o.ID] = append(g.h[o.ID], ki)
+				g.hBits[o.ID].Add(ki)
+				g.opBits[ki].Add(int(o.ID))
+				g.opCount[ki]++
+				g.edges++
 			}
 		}
 		if len(g.h[o.ID]) == 0 {
 			return nil, fmt.Errorf("wcg: operation %d (%v) has no covering kind", o.ID, o.Spec)
 		}
+		g.recomputeBounds(o.ID)
 	}
 	return g, nil
+}
+
+// recomputeBounds repairs the cached latency bounds of o from its current
+// kind list.
+func (g *Graph) recomputeBounds(o dfg.OpID) {
+	lo, hi := g.lat[g.h[o][0]], g.lat[g.h[o][0]]
+	for _, ki := range g.h[o][1:] {
+		if l := g.lat[ki]; l < lo {
+			lo = l
+		} else if l > hi {
+			hi = l
+		}
+	}
+	g.min[o], g.upper[o] = lo, hi
 }
 
 // KindLatency returns the cached latency ℓ(r) of kind index k.
@@ -80,67 +154,54 @@ func (g *Graph) KindLatency(k int) int { return g.lat[k] }
 func (g *Graph) CompatKinds(o dfg.OpID) []int { return g.h[o] }
 
 // Compatible reports whether the H edge {o, kind k} is present.
-func (g *Graph) Compatible(o dfg.OpID, k int) bool {
-	for _, ki := range g.h[o] {
-		if ki == k {
-			return true
-		}
-	}
-	return false
-}
+func (g *Graph) Compatible(o dfg.OpID, k int) bool { return g.hBits[o].Has(k) }
 
 // CompatOps returns O(r): the operations with an H edge to kind index k,
-// in ID order.
+// in ID order. The slice must not be modified; it stays valid until the
+// next deletion touching k.
 func (g *Graph) CompatOps(k int) []dfg.OpID {
-	var ops []dfg.OpID
-	for o := range g.h {
-		if g.Compatible(dfg.OpID(o), k) {
-			ops = append(ops, dfg.OpID(o))
-		}
+	if g.opsDirty[k] {
+		ops := g.ops[k][:0]
+		g.opBits[k].ForEach(func(i int) { ops = append(ops, dfg.OpID(i)) })
+		g.ops[k] = ops
+		g.opsDirty[k] = false
 	}
-	return ops
+	return g.ops[k]
 }
+
+// CompatOpBits returns O(r) as a bit set over operation IDs. The set must
+// not be modified.
+func (g *Graph) CompatOpBits(k int) bitset.Set { return g.opBits[k] }
+
+// CompatOpCount returns |O(r)|, maintained incrementally across edge
+// deletions.
+func (g *Graph) CompatOpCount(k int) int { return g.opCount[k] }
 
 // UpperLatency returns L_o: the largest latency among the kinds currently
 // compatible with o. This is the latency upper bound the scheduler
 // reserves so that any subsequent binding never violates the schedule.
-func (g *Graph) UpperLatency(o dfg.OpID) int {
-	m := 0
-	for _, ki := range g.h[o] {
-		if g.lat[ki] > m {
-			m = g.lat[ki]
-		}
-	}
-	return m
-}
+func (g *Graph) UpperLatency(o dfg.OpID) int { return g.upper[o] }
 
 // MinLatency returns the smallest latency among the kinds currently
 // compatible with o.
-func (g *Graph) MinLatency(o dfg.OpID) int {
-	m := math.MaxInt
-	for _, ki := range g.h[o] {
-		if g.lat[ki] < m {
-			m = g.lat[ki]
-		}
-	}
-	return m
-}
+func (g *Graph) MinLatency(o dfg.OpID) int { return g.min[o] }
+
+// UpperLatSlice returns L_o for every operation as a slice indexed by
+// operation ID, for indexed access in scheduler hot loops. The slice is
+// the graph's internal state: callers must not modify it and must not
+// retain it across refinement steps.
+func (g *Graph) UpperLatSlice() []int { return g.upper }
 
 // UpperLatencies returns L_o for every operation as a dfg.Latencies.
 func (g *Graph) UpperLatencies() dfg.Latencies {
-	ls := make([]int, g.D.N())
-	for o := range ls {
-		ls[o] = g.UpperLatency(dfg.OpID(o))
-	}
+	ls := append([]int(nil), g.upper...)
 	return func(id dfg.OpID) int { return ls[id] }
 }
 
 // Reducible reports whether deleting o's maximum-latency H edges would
 // strictly reduce L_o while leaving at least one edge: i.e. o has
 // compatible kinds at two or more distinct latencies.
-func (g *Graph) Reducible(o dfg.OpID) bool {
-	return g.MinLatency(o) < g.UpperLatency(o)
-}
+func (g *Graph) Reducible(o dfg.OpID) bool { return g.min[o] < g.upper[o] }
 
 // DeleteMaxLatencyEdges removes every H edge {o, r} with ℓ(r) == L_o
 // (the refinement step of §2.4) and returns the number of edges deleted.
@@ -150,36 +211,69 @@ func (g *Graph) DeleteMaxLatencyEdges(o dfg.OpID) int {
 	if !g.Reducible(o) {
 		return 0
 	}
-	lmax := g.UpperLatency(o)
+	lmax := g.upper[o]
 	kept := g.h[o][:0]
 	deleted := 0
 	for _, ki := range g.h[o] {
 		if g.lat[ki] == lmax {
 			deleted++
+			g.hBits[o].Remove(ki)
+			g.opBits[ki].Remove(int(o))
+			g.opCount[ki]--
+			g.opsDirty[ki] = true
 		} else {
 			kept = append(kept, ki)
 		}
 	}
 	g.h[o] = kept
+	g.edges -= deleted
+	// Deleted edges all carried the maximum latency and Reducible
+	// guaranteed a strictly smaller one survives, so min is unchanged.
+	g.recomputeBounds(o)
+	return deleted
+}
+
+// FullyRefine drives the graph to the refinement fixpoint: every
+// operation keeps exactly its minimum-latency kinds. Deletions are
+// per-operation independent, so the fixpoint is unique — it is the state
+// any sequence of DeleteMaxLatencyEdges calls converges to once no
+// operation is Reducible. Returns the number of edges deleted.
+func (g *Graph) FullyRefine() int {
+	deleted := 0
+	for o := 0; o < g.D.N(); o++ {
+		for g.Reducible(dfg.OpID(o)) {
+			deleted += g.DeleteMaxLatencyEdges(dfg.OpID(o))
+		}
+	}
 	return deleted
 }
 
 // NumHEdges returns the total number of H edges remaining.
-func (g *Graph) NumHEdges() int {
-	n := 0
-	for _, hs := range g.h {
-		n += len(hs)
-	}
-	return n
-}
+func (g *Graph) NumHEdges() int { return g.edges }
 
 // Clone returns a deep copy sharing the immutable sequencing graph,
 // library and kind set but with independent H edges.
 func (g *Graph) Clone() *Graph {
-	c := &Graph{D: g.D, Lib: g.Lib, Kinds: g.Kinds, lat: g.lat}
+	c := &Graph{
+		D: g.D, Lib: g.Lib, Kinds: g.Kinds, lat: g.lat,
+		upper: append([]int(nil), g.upper...),
+		min:   append([]int(nil), g.min...),
+		edges: g.edges,
+		topo:  g.topo,
+	}
 	c.h = make([][]int, len(g.h))
+	c.hBits = make([]bitset.Set, len(g.hBits))
 	for i := range g.h {
 		c.h[i] = append([]int(nil), g.h[i]...)
+		c.hBits[i] = g.hBits[i].Clone()
+	}
+	c.opBits = make([]bitset.Set, len(g.opBits))
+	c.ops = make([][]dfg.OpID, len(g.opBits))
+	c.opsDirty = make([]bool, len(g.opBits))
+	c.opCount = append([]int(nil), g.opCount...)
+	for k := range g.opBits {
+		c.opBits[k] = g.opBits[k].Clone()
+		c.opsDirty[k] = true
 	}
 	return c
 }
@@ -234,13 +328,10 @@ func IsChain(ivs []Interval) bool {
 // sortIntervals orders by end time, breaking ties by start then op ID, so
 // both MaxChain and IsChain are deterministic.
 func sortIntervals(ivs []Interval) {
-	// Insertion sort: chains in this domain are short (tens of ops) and
-	// inputs are nearly sorted across repeated calls.
-	for i := 1; i < len(ivs); i++ {
-		for j := i; j > 0 && lessInterval(ivs[j], ivs[j-1]); j-- {
-			ivs[j], ivs[j-1] = ivs[j-1], ivs[j]
-		}
+	if sort.SliceIsSorted(ivs, func(i, j int) bool { return lessInterval(ivs[i], ivs[j]) }) {
+		return
 	}
+	sort.Slice(ivs, func(i, j int) bool { return lessInterval(ivs[i], ivs[j]) })
 }
 
 func lessInterval(a, b Interval) bool {

@@ -118,6 +118,8 @@ type SolveStats struct {
 	TimedOut    bool  `json:"timed_out,omitempty"`   // ILP budget hit: best found, not proven optimal
 	Moves       int   `json:"moves,omitempty"`       // annealing proposals evaluated (anneal)
 	Accepted    int   `json:"accepted,omitempty"`    // annealing proposals accepted (anneal)
+	Merges      int   `json:"merges,omitempty"`      // resource-instance fusions: binder clique swallows (dpalloc), accepted merge moves (anneal)
+	Evals       int   `json:"evals,omitempty"`       // inner cost evaluations: binder max-clique extractions (dpalloc), list schedules run (anneal)
 	// Winner names the registered method whose solution a "portfolio"
 	// race returned.
 	Winner string `json:"winner,omitempty"`
@@ -157,6 +159,17 @@ func IsInfeasible(err error) bool {
 // An empty Problem.Method solves with DefaultMethod.
 func Solve(ctx context.Context, p Problem) (Solution, error) {
 	return Get(p.method()).Solve(ctx, p)
+}
+
+// Size reports the problem's graph dimensions: operation and data-edge
+// counts (0, 0 when no graph is attached). Admission layers use it to
+// bound work before solving — solver effort grows superlinearly in
+// nodes, so a node cap is the meaningful guard, not body bytes.
+func (p Problem) Size() (nodes, edges int) {
+	if p.Graph == nil {
+		return 0, 0
+	}
+	return p.Graph.N(), p.Graph.NumEdges()
 }
 
 func (p Problem) method() string {
@@ -283,6 +296,8 @@ func solveDPAlloc(ctx context.Context, p Problem) (Solution, error) {
 		Iterations:  st.Iterations,
 		Refinements: st.Refinements,
 		Configs:     st.Configs,
+		Merges:      st.Merges,
+		Evals:       st.Evals,
 	}), nil
 }
 

@@ -128,6 +128,78 @@ func TestSolutionJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSolveStatsWire pins the effort-counter wire contract: every field
+// survives a round-trip, and payloads from servers predating the
+// Merges/Evals fields decode with those fields zero.
+func TestSolveStatsWire(t *testing.T) {
+	st := mwl.SolveStats{
+		Iterations:  3,
+		Refinements: 5,
+		Configs:     2,
+		Nodes:       9,
+		Vars:        11,
+		Rows:        13,
+		TimedOut:    true,
+		Moves:       17,
+		Accepted:    7,
+		Merges:      4,
+		Evals:       19,
+		Winner:      "dpalloc",
+	}
+	blob, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back mwl.SolveStats
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != st {
+		t.Fatalf("stats round-trip differs:\n%+v\n%+v", back, st)
+	}
+	for _, key := range []string{"merges", "evals", "moves"} {
+		if !strings.Contains(string(blob), `"`+key+`"`) {
+			t.Fatalf("wire encoding lacks %q: %s", key, blob)
+		}
+	}
+
+	// An old-schema payload has no effort fields at all.
+	old := []byte(`{"iterations":3,"refinements":5,"configs":2}`)
+	var legacy mwl.SolveStats
+	if err := json.Unmarshal(old, &legacy); err != nil {
+		t.Fatal(err)
+	}
+	want := mwl.SolveStats{Iterations: 3, Refinements: 5, Configs: 2}
+	if legacy != want {
+		t.Fatalf("legacy decode = %+v, want %+v", legacy, want)
+	}
+}
+
+// TestSolveStatsPopulated checks the new counters actually flow out of
+// the solvers: dpalloc reports binder merges/evaluations, anneal reports
+// accepted fusions and schedules run.
+func TestSolveStatsPopulated(t *testing.T) {
+	p := wireProblem(t)
+	p.Method = ""
+	p.Options = mwl.SolveOptions{}
+	sol, err := mwl.Solve(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Stats.Evals == 0 {
+		t.Fatalf("dpalloc reported no binder evaluations: %+v", sol.Stats)
+	}
+	p.Method = "anneal"
+	p.Options = mwl.SolveOptions{Seed: 3, AnnealMoves: 2000}
+	sol, err = mwl.Solve(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Stats.Evals == 0 {
+		t.Fatalf("anneal reported no schedule evaluations: %+v", sol.Stats)
+	}
+}
+
 func TestProblemHash(t *testing.T) {
 	p := wireProblem(t)
 	h1, err := p.Hash()
