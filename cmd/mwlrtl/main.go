@@ -1,0 +1,155 @@
+// Command mwlrtl statically analyses the Verilog this project emits:
+// it parses each module into a netlist IR (internal/rtl/netlist) and
+// proves structural and wordlength-dataflow properties over it —
+// combinational-loop freedom, driver discipline, dead-logic
+// reachability, and width/truncation interval dataflow.
+//
+// Two modes:
+//
+//	mwlrtl fir.v dct.v            # analyse existing Verilog files
+//	mwlrtl -problem problem.json  # solve the allocation problem, emit
+//	                              # the module, analyse it against the
+//	                              # graph's wordlength specification
+//
+// In -problem mode the analysis includes the iface pass: every data
+// port and result register is checked against the exact fixed-point
+// format the graph's operation specs require, and -o writes the emitted
+// Verilog out (- for stdout).
+//
+// Findings print one per line, vet-style (file:line: [analyzer]
+// message). A reviewed exception is annotated in the source with
+// //rtl:allow <analyzer> -- <reason> on the offending line or the line
+// above. Exit status: 0 clean, 1 findings, 2 usage/parse/solve errors.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+
+	mwl "repro"
+	"repro/internal/rtl"
+	"repro/internal/rtl/netlist"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mwlrtl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		problem = fs.String("problem", "", "allocation problem JSON (- for stdin): solve, emit Verilog, analyse against the graph's wordlength spec")
+		module  = fs.String("module", "datapath", "module name for Verilog emitted in -problem mode")
+		out     = fs.String("o", "", "write the emitted Verilog to this file in -problem mode (- for stdout)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: mwlrtl [flags] [file.v ...]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *problem == "" && fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	findings := 0
+	report := func(diags []netlist.Diag) {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
+		findings += len(diags)
+	}
+
+	if *problem != "" {
+		diags, code := analyzeProblem(*problem, *module, *out, stdout, stderr)
+		if code != 0 {
+			return code
+		}
+		report(diags)
+	}
+
+	for _, path := range fs.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "mwlrtl: %v\n", err)
+			return 2
+		}
+		diags, err := netlist.Analyze(string(src), netlist.Options{File: path})
+		if err != nil {
+			fmt.Fprintf(stderr, "mwlrtl: %s: %v\n", path, err)
+			return 2
+		}
+		report(diags)
+	}
+
+	if findings > 0 {
+		fmt.Fprintf(stderr, "mwlrtl: %d findings\n", findings)
+		return 1
+	}
+	return 0
+}
+
+// analyzeProblem solves the allocation problem, emits the Verilog
+// module for its datapath, and analyses it against the graph's
+// wordlength specification. The returned code is non-zero on failure
+// to solve or emit (findings are the caller's concern).
+func analyzeProblem(path, module, out string, stdout, stderr io.Writer) ([]netlist.Diag, int) {
+	var blob []byte
+	var err error
+	if path == "-" {
+		blob, err = io.ReadAll(os.Stdin)
+	} else {
+		blob, err = os.ReadFile(path)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "mwlrtl: %v\n", err)
+		return nil, 2
+	}
+	var p mwl.Problem
+	if err := json.Unmarshal(blob, &p); err != nil {
+		fmt.Fprintf(stderr, "mwlrtl: problem JSON: %v\n", err)
+		return nil, 2
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	sol, err := mwl.Solve(ctx, p)
+	if err != nil {
+		fmt.Fprintf(stderr, "mwlrtl: solve: %v\n", err)
+		return nil, 2
+	}
+	lib := p.Lib
+	if lib == nil {
+		if lib, err = p.Library.Build(); err != nil {
+			fmt.Fprintf(stderr, "mwlrtl: library: %v\n", err)
+			return nil, 2
+		}
+	}
+	src, err := mwl.GenerateVerilog(module, p.Graph, lib, sol.Datapath)
+	if err != nil {
+		fmt.Fprintf(stderr, "mwlrtl: generate: %v\n", err)
+		return nil, 2
+	}
+	if out == "-" {
+		fmt.Fprint(stdout, src)
+	} else if out != "" {
+		if err := os.WriteFile(out, []byte(src), 0o644); err != nil {
+			fmt.Fprintf(stderr, "mwlrtl: %v\n", err)
+			return nil, 2
+		}
+	}
+	diags, err := netlist.Analyze(src, netlist.Options{
+		File:           module + ".v",
+		ExpectedWidths: rtl.ExpectedWidths(p.Graph),
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "mwlrtl: emitted module does not parse: %v\n", err)
+		return nil, 2
+	}
+	return diags, 0
+}

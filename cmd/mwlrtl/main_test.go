@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	mwl "repro"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCleanFileExitsZero(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFile(t, dir, "ok.v", `module m (
+  input  wire clk,
+  input  wire [7:0] a,
+  output wire [7:0] y
+);
+  reg [7:0] r;
+  always @(posedge clk) begin
+    r <= a;
+  end
+  assign y = r;
+endmodule
+`)
+	var out, errOut bytes.Buffer
+	if code := run([]string{path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s stdout: %s", code, errOut.String(), out.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("unexpected output: %s", out.String())
+	}
+}
+
+func TestFindingsExitOne(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFile(t, dir, "bad.v", `module m (
+  input  wire a,
+  output wire y
+);
+  assign y = a;
+  assign y = !a;
+endmodule
+`)
+	var out, errOut bytes.Buffer
+	code := run([]string{path}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), path+":6: [driver]") {
+		t.Fatalf("finding not attributed to file:line:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "1 findings") {
+		t.Fatalf("missing summary: %s", errOut.String())
+	}
+}
+
+func TestParseErrorExitsTwo(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFile(t, dir, "broken.v", "module m (\n  input wire clk\n);\n")
+	var out, errOut bytes.Buffer
+	if code := run([]string{path}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "missing endmodule") {
+		t.Fatalf("missing parse error: %s", errOut.String())
+	}
+}
+
+func TestNoArgsUsage(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "usage: mwlrtl") {
+		t.Fatalf("missing usage: %s", errOut.String())
+	}
+}
+
+func TestProblemModeEmitsAndAnalyzes(t *testing.T) {
+	g := mwl.Fig1Graph()
+	lib := mwl.DefaultLibrary()
+	lmin, err := mwl.MinLambda(g, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(mwl.Problem{Graph: g, Lambda: lmin + lmin/2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	problem := writeFile(t, dir, "problem.json", string(blob))
+	verilog := filepath.Join(dir, "out.v")
+
+	var out, errOut bytes.Buffer
+	code := run([]string{"-problem", problem, "-module", "fig1", "-o", verilog}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	emitted, err := os.ReadFile(verilog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(emitted), "module fig1") {
+		t.Fatalf("emitted Verilog missing module header:\n%s", emitted)
+	}
+	// The emitted file must also be clean when re-read standalone.
+	if code := run([]string{verilog}, &out, &errOut); code != 0 {
+		t.Fatalf("re-analysis exit %d: %s", code, out.String())
+	}
+}

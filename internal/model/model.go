@@ -159,6 +159,42 @@ func (o OpSpec) MinKind() Kind {
 	return Kind{Class: o.Type.HardwareClass(), Sig: o.Sig}
 }
 
+// OperandWidths returns the bit widths of the operation's two operand
+// slots in the repository's fixed-point format convention: a multiplier
+// takes its canonically ordered Hi×Lo operands, an adder/subtractor takes
+// two same-width words of Hi bits. This is the authoritative statement of
+// each operation's data format — the RTL emitter sizes ports and operand
+// multiplexers from it, and the netlist analyzer checks emitted modules
+// against it.
+func (o OpSpec) OperandWidths() [2]int {
+	if o.Type.HardwareClass() == Mul {
+		return [2]int{o.Sig.Hi, o.Sig.Lo}
+	}
+	return [2]int{o.Sig.Hi, o.Sig.Hi}
+}
+
+// ResultWidth returns the bit width of the operation's result: the
+// full-width Hi+Lo product for multiplications, the operand width for
+// additions and subtractions (truncating ring arithmetic — the carry out
+// of the word is discarded, matching internal/fxsim).
+func (o OpSpec) ResultWidth() int {
+	if o.Type.HardwareClass() == Mul {
+		return o.Sig.Hi + o.Sig.Lo
+	}
+	return o.Sig.Hi
+}
+
+// PortWidths returns the data-port formats of one hardware instance of
+// the kind: the two operand widths and the result width. For multipliers
+// the output carries the full Hi+Lo-bit product; adders produce a word
+// the same width as their operands.
+func (k Kind) PortWidths() (a, b, out int) {
+	if k.Class == Mul {
+		return k.Sig.Hi, k.Sig.Lo, k.Sig.Hi + k.Sig.Lo
+	}
+	return k.Sig.Hi, k.Sig.Hi, k.Sig.Hi
+}
+
 // ExtractKinds computes the resource set R from the operation set, after
 // the extraction algorithm of Constantinides et al. (Electronics Letters
 // 36(17), reference [5] of the paper): the distinct minimal kinds of the

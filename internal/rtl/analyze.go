@@ -1,0 +1,73 @@
+package rtl
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/datapath"
+	"repro/internal/dfg"
+	"repro/internal/model"
+	"repro/internal/rtl/netlist"
+)
+
+// Lint parses the Verilog source into a netlist IR and runs the full
+// static-analysis suite (combloop, driver, deadlogic, width — see
+// internal/rtl/netlist). It returns nil for a clean module and an error
+// listing every finding otherwise. Parse failures are also errors: a
+// module the analyzer cannot parse is outside the subset the emitter is
+// allowed to produce.
+func Lint(src string) error {
+	diags, err := netlist.Analyze(src, netlist.Options{})
+	if err != nil {
+		return fmt.Errorf("rtl lint: %w", err)
+	}
+	return diagErr(diags)
+}
+
+// ExpectedWidths derives the wordlength interface specification of the
+// generated module from the graph's operation specs: every data port and
+// every result register, with the exact bit width the fixed-point formats
+// require. This is the contract the netlist analyzer's iface pass holds
+// the emitted Verilog to.
+func ExpectedWidths(d *dfg.Graph) map[string]int {
+	widths := map[string]int{}
+	inputs, outputs := Interface(d)
+	for _, p := range inputs {
+		widths[p.Name] = p.Width
+	}
+	for _, p := range outputs {
+		widths[p.Name] = p.Width
+	}
+	for o := 0; o < d.N(); o++ {
+		id := dfg.OpID(o)
+		widths[resultReg(d, id)] = d.Op(id).Spec.ResultWidth()
+	}
+	return widths
+}
+
+// AnalyzeGraph generates the module for the datapath and runs the full
+// netlist analysis over it, including the iface pass against the widths
+// the graph's operation specs demand. A correct emitter yields no
+// diagnostics for any legal datapath.
+func AnalyzeGraph(moduleName string, d *dfg.Graph, lib *model.Library, dp *datapath.Datapath) ([]netlist.Diag, error) {
+	src, err := Generate(moduleName, d, lib, dp)
+	if err != nil {
+		return nil, err
+	}
+	return netlist.Analyze(src, netlist.Options{
+		File:           moduleName + ".v",
+		ExpectedWidths: ExpectedWidths(d),
+	})
+}
+
+// diagErr folds findings into one error, or nil when clean.
+func diagErr(diags []netlist.Diag) error {
+	if len(diags) == 0 {
+		return nil
+	}
+	lines := make([]string, len(diags))
+	for i, d := range diags {
+		lines[i] = "  " + d.String()
+	}
+	return fmt.Errorf("rtl lint: %d findings:\n%s", len(diags), strings.Join(lines, "\n"))
+}

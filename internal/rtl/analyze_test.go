@@ -5,9 +5,11 @@ import (
 	"testing"
 )
 
-// TestLintDiagnostics drives every lint rule through a minimal module
-// triggering (or deliberately not triggering) it. wantErr is a
-// substring of the expected diagnostic; empty means the source must be
+// TestLintDiagnostics is the old textual lint's case table, ported to the
+// netlist-IR analyzer: every diagnostic the line-regex lint used to catch
+// must still be caught (with the same message substrings), and every
+// construct it deliberately accepted must still be accepted. wantErr is a
+// substring of the expected finding; empty means the source must be
 // clean.
 func TestLintDiagnostics(t *testing.T) {
 	cases := []struct {
@@ -136,7 +138,10 @@ endmodule
 			wantErr: "bus width mismatch: lhs is 4 bits, rhs is 5 bits",
 		},
 		{
-			name: "compound rhs is out of scope",
+			// The old lint skipped compound right-hand sides wholesale;
+			// the interval analysis instead proves this one safe (two
+			// 4-bit values cannot exceed 8 bits when added).
+			name: "compound rhs stays clean",
 			src: `module m (
   input  wire [3:0] a,
   output wire [7:0] y
@@ -146,7 +151,8 @@ endmodule
 `,
 		},
 		{
-			name: "concatenation rhs is out of scope",
+			// Likewise: a {4'b0, a} concatenation is exactly 8 bits.
+			name: "concatenation rhs stays clean",
 			src: `module m (
   input  wire [3:0] a,
   output wire [7:0] y

@@ -28,8 +28,15 @@ func runEquivalence(t *testing.T, d *dfg.Graph, lib *model.Library, dp *datapath
 	if err != nil {
 		t.Fatalf("generate: %v", err)
 	}
-	if err := rtl.Lint(src); err != nil {
-		t.Fatalf("lint: %v\n%s", err, src)
+	// Full netlist analysis, including the iface pass against the widths
+	// the graph's operation specs demand: every module we simulate must
+	// already be structurally sound.
+	diags, err := rtl.AnalyzeGraph("dut", d, lib, dp)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if len(diags) > 0 {
+		t.Fatalf("analyzer findings on generated module:\n%v\n%s", diags, src)
 	}
 	bench, err := vsim.NewBench(src)
 	if err != nil {

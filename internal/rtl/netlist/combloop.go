@@ -1,0 +1,129 @@
+package netlist
+
+import (
+	"fmt"
+	"strings"
+)
+
+// checkCombLoops is the "combloop" pass: strongly connected components
+// over the continuous-assignment dependency graph. Registers and ports
+// break combinational paths (a reg's value only changes at a clock
+// edge), so the graph's vertices are exactly the assign-driven nets and
+// its edges point from each net read by a definition to the net it
+// defines. Any SCC with more than one net — or a definition reading
+// itself — is combinational feedback: in simulation it livelocks, in
+// hardware it latches or oscillates.
+func (d *Design) checkCombLoops() []Diag {
+	comb := map[string]bool{}
+	for _, name := range d.Order {
+		n := d.Nets[name]
+		for _, drv := range n.Drivers {
+			if drv.Kind == DriveAssign {
+				comb[name] = true
+			}
+		}
+	}
+	// Adjacency: edges out of each comb net into the comb nets whose
+	// definitions read it.
+	succ := map[string][]string{}
+	for _, name := range d.Order {
+		if !comb[name] {
+			continue
+		}
+		n := d.Nets[name]
+		for _, drv := range n.Drivers {
+			if drv.Kind != DriveAssign {
+				continue
+			}
+			for _, src := range reads(drv.Expr, nil) {
+				if comb[src] {
+					succ[src] = append(succ[src], name)
+				}
+			}
+		}
+	}
+
+	// Tarjan's algorithm, iterative bookkeeping kept simple with
+	// recursion (module sizes are small).
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	var sccs [][]string
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range succ[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, name := range d.Order {
+		if comb[name] {
+			if _, seen := index[name]; !seen {
+				strongconnect(name)
+			}
+		}
+	}
+
+	var diags []Diag
+	for _, scc := range sccs {
+		cyclic := len(scc) > 1
+		if !cyclic {
+			// Single net: only a loop if its definition reads itself.
+			for _, w := range succ[scc[0]] {
+				if w == scc[0] {
+					cyclic = true
+				}
+			}
+		}
+		if !cyclic {
+			continue
+		}
+		// Deterministic report: members in declaration order.
+		ordered := make([]string, 0, len(scc))
+		for _, name := range d.Order {
+			for _, member := range scc {
+				if member == name {
+					ordered = append(ordered, name)
+				}
+			}
+		}
+		n := d.Nets[ordered[0]]
+		line := n.Line
+		for _, drv := range n.Drivers {
+			if drv.Kind == DriveAssign {
+				line = drv.Line
+			}
+		}
+		diags = append(diags, Diag{
+			File: d.File, Line: line, Net: ordered[0], Analyzer: "combloop",
+			Message: fmt.Sprintf("combinational loop through %s", strings.Join(append(ordered, ordered[0]), " -> ")),
+		})
+	}
+	return diags
+}

@@ -1,0 +1,89 @@
+package netlist
+
+import "fmt"
+
+// checkDeadLogic is the "deadlogic" pass: every net must be able to
+// influence some output port. Influence is the transitive closure of
+// "appears in a driver of", where a driver's inputs include the nets its
+// expression reads, the nets read by every if-condition guarding it, and
+// the clock of the always block it sits in (control dependence counts:
+// a counter that only gates assignments still reaches the outputs).
+// A net outside the closure is dead logic — it burns area and, worse,
+// usually marks an emitter bug where a computed value was never wired
+// into the datapath it was computed for.
+//
+// Modules with no output ports are degenerate (everything would be
+// "dead"); the pass is skipped for them.
+func (d *Design) checkDeadLogic() []Diag {
+	hasOutput := false
+	for _, n := range d.Nets {
+		if n.Kind == NetOutput {
+			hasOutput = true
+		}
+	}
+	if !hasOutput {
+		return nil
+	}
+
+	// supports[x] lists the nets whose drivers read x.
+	supports := map[string][]string{}
+	addEdge := func(src, dst string) {
+		if src != dst {
+			supports[src] = append(supports[src], dst)
+		}
+	}
+	for _, name := range d.Order {
+		n := d.Nets[name]
+		for _, drv := range n.Drivers {
+			for _, src := range reads(drv.Expr, nil) {
+				addEdge(src, name)
+			}
+			for _, cond := range drv.Conds {
+				for _, src := range reads(cond, nil) {
+					addEdge(src, name)
+				}
+			}
+			if drv.Kind == DriveAlways && drv.Block >= 0 && drv.Block < len(d.Module.Always) {
+				addEdge(d.Module.Always[drv.Block].Clock, name)
+			}
+		}
+	}
+
+	live := map[string]bool{}
+	var frontier []string
+	for _, name := range d.Order {
+		if d.Nets[name].Kind == NetOutput {
+			live[name] = true
+			frontier = append(frontier, name)
+		}
+	}
+	// Walk the support graph backwards: a net is live when something it
+	// supports is live.
+	reverse := map[string][]string{}
+	for src, dsts := range supports {
+		for _, dst := range dsts {
+			reverse[dst] = append(reverse[dst], src)
+		}
+	}
+	for len(frontier) > 0 {
+		name := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for _, src := range reverse[name] {
+			if !live[src] {
+				live[src] = true
+				frontier = append(frontier, src)
+			}
+		}
+	}
+
+	var diags []Diag
+	for _, name := range d.Order {
+		if live[name] {
+			continue
+		}
+		n := d.Nets[name]
+		diags = append(diags, Diag{File: d.File, Line: n.Line, Net: name, Analyzer: "deadlogic",
+			Message: fmt.Sprintf("%s %q cannot reach any output port (dead logic)", n.Kind, name)})
+	}
+	return diags
+}

@@ -1,0 +1,119 @@
+package netlist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Diag is one analyzer finding, pinned to a source position and the net
+// it concerns.
+type Diag struct {
+	File     string
+	Line     int
+	Net      string
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding vet-style: file:line: [analyzer] message.
+func (d Diag) String() string {
+	file := d.File
+	if file == "" {
+		file = "<verilog>"
+	}
+	return fmt.Sprintf("%s:%d: [%s] %s", file, d.Line, d.Analyzer, d.Message)
+}
+
+// Options configures one analysis run.
+type Options struct {
+	// File names the source in diagnostics (defaults to "<verilog>").
+	File string
+	// ExpectedWidths, when non-nil, enables the "iface" pass: every
+	// listed net must exist with exactly the given declared width. The
+	// RTL layer derives this map from the operation wordlength specs
+	// (model.OpSpec), tying the netlist back to the formats the
+	// allocator optimised for.
+	ExpectedWidths map[string]int
+}
+
+// Analyze parses the source and runs the full pass suite. A parse
+// failure is returned as an error (the module has no analysable
+// structure); everything else is a []Diag, empty when the module is
+// clean. //rtl:allow annotations suppress matching findings.
+func Analyze(src string, opts Options) ([]Diag, error) {
+	m, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeModule(m, opts), nil
+}
+
+// AnalyzeModule runs the pass suite over an already-parsed module.
+func AnalyzeModule(m *Module, opts Options) []Diag {
+	file := opts.File
+	if file == "" {
+		file = "<verilog>"
+	}
+	d := Elaborate(m, file)
+	var diags []Diag
+	if len(d.resolveDiags) > 0 {
+		// Unresolved references make the driver/dataflow graphs
+		// meaningless; report the resolution problems alone.
+		diags = d.resolveDiags
+	} else {
+		diags = append(diags, d.checkCombLoops()...)
+		diags = append(diags, d.checkDrivers()...)
+		diags = append(diags, d.checkDeadLogic()...)
+		diags = append(diags, d.checkWidths()...)
+		diags = append(diags, d.checkInterface(opts.ExpectedWidths)...)
+	}
+	kept := diags[:0]
+	for _, diag := range diags {
+		if m.allows[allowKey{diag.Line, diag.Analyzer}] {
+			continue
+		}
+		kept = append(kept, diag)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		if a.Net != b.Net {
+			return a.Net < b.Net
+		}
+		return a.Message < b.Message
+	})
+	return kept
+}
+
+// checkInterface is the "iface" pass: the module's declared formats must
+// match the wordlength specification handed in by the caller.
+func (d *Design) checkInterface(expected map[string]int) []Diag {
+	if expected == nil {
+		return nil
+	}
+	names := make([]string, 0, len(expected))
+	for name := range expected {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var diags []Diag
+	for _, name := range names {
+		want := expected[name]
+		n := d.Nets[name]
+		if n == nil {
+			diags = append(diags, Diag{File: d.File, Line: d.Module.Line, Net: name, Analyzer: "iface",
+				Message: fmt.Sprintf("wordlength spec expects net %q (%d bits), not found in module", name, want)})
+			continue
+		}
+		if n.Width != want {
+			diags = append(diags, Diag{File: d.File, Line: n.Line, Net: name, Analyzer: "iface",
+				Message: fmt.Sprintf("net %q is %d bits, but the operation wordlength spec requires %d bits", name, n.Width, want)})
+		}
+	}
+	return diags
+}

@@ -1,0 +1,59 @@
+package netlist
+
+import "fmt"
+
+// checkDrivers is the "driver" pass: every net must be driven by exactly
+// the kind and number of sources its declaration promises.
+//
+//   - a wire (or output port) needs exactly one continuous assignment;
+//     none is an undriven net, two or more is contention;
+//   - a register must be written from exactly one always block — never
+//     written is dead storage (or a missed schedule event), written from
+//     two blocks is a nondeterministic race in simulation and an error
+//     in synthesis;
+//   - procedural writes to wires and continuous assigns to registers are
+//     structural type errors the emitter must never produce.
+func (d *Design) checkDrivers() []Diag {
+	var diags []Diag
+	report := func(line int, net, format string, args ...any) {
+		diags = append(diags, Diag{File: d.File, Line: line, Net: net, Analyzer: "driver",
+			Message: fmt.Sprintf(format, args...)})
+	}
+	for _, name := range d.Order {
+		n := d.Nets[name]
+		if n.Kind == NetInput {
+			continue // driven by the environment
+		}
+		var assigns, alwaysWrites []Driver
+		blocks := map[int]bool{}
+		for _, drv := range n.Drivers {
+			if drv.Kind == DriveAssign {
+				assigns = append(assigns, drv)
+			} else {
+				alwaysWrites = append(alwaysWrites, drv)
+				blocks[drv.Block] = true
+			}
+		}
+		switch {
+		case n.Reg || n.Kind == NetReg:
+			if len(assigns) > 0 {
+				report(assigns[0].Line, name, "register %q is driven by a continuous assignment", name)
+			}
+			if len(alwaysWrites) == 0 {
+				report(n.Line, name, "register %q is never written by any always block", name)
+			} else if len(blocks) > 1 {
+				report(alwaysWrites[0].Line, name, "register %q is written in %d always blocks (one block must own a register)", name, len(blocks))
+			}
+		default: // wire or output-port wire
+			if len(alwaysWrites) > 0 {
+				report(alwaysWrites[0].Line, name, "wire %q is written from an always block (declare it reg)", name)
+			}
+			if len(assigns) == 0 && len(alwaysWrites) == 0 {
+				report(n.Line, name, "net %q is undriven", name)
+			} else if len(assigns) > 1 {
+				report(assigns[1].Line, name, "net %q is multiply-driven by %d continuous assignments (first at line %d)", name, len(assigns), assigns[0].Line)
+			}
+		}
+	}
+	return diags
+}

@@ -1,0 +1,213 @@
+// Package netlist parses the synthesisable Verilog-2001 subset emitted
+// by internal/rtl into a typed netlist intermediate representation — a
+// table of nets (ports, wires, registers) with an explicit driver/reader
+// graph — and proves structural and wordlength-dataflow properties over
+// it:
+//
+//   - combloop:  no combinational feedback loops through the assign graph
+//   - driver:    every net has exactly the drivers it should (no undriven
+//     or multiply-driven nets; registers written in exactly one always
+//     block)
+//   - deadlogic: every net can influence an output port
+//   - width:     declared bus widths agree on simple connections, and
+//     value-interval dataflow proves no implicit truncation can drop
+//     significant bits (products and concatenations are tracked exactly;
+//     same-width add/sub wrap is the library's truncating ring
+//     arithmetic and therefore sanctioned)
+//
+// This is the semantic replacement for the line-regex lint the repo
+// carried before: instead of pattern-matching source text, the module is
+// parsed, elaborated into an IR, and each property is checked against
+// the graph. A reviewed exception is annotated in place, mwlvet-style:
+//
+//	//rtl:allow <analyzer>[,<analyzer>...] -- <reason>
+//
+// on the offending line or the line above it.
+package netlist
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber  // plain decimal: 42
+	tokSized   // sized literal: 5'd12, 4'b1010, 8'hff
+	tokPunct   // single or multi character punctuation
+	tokKeyword // reserved word
+)
+
+// token is one lexical token with its source line for diagnostics.
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+var keywords = map[string]bool{
+	"module": true, "endmodule": true, "input": true, "output": true,
+	"inout": true, "wire": true, "reg": true, "assign": true,
+	"always": true, "posedge": true, "negedge": true, "begin": true,
+	"end": true, "if": true, "else": true,
+}
+
+// multi-character punctuation, longest first so the lexer is greedy.
+var multiPunct = []string{"<=", ">=", "==", "!=", "&&", "||", "<<", ">>"}
+
+// lexer turns Verilog source into tokens, discarding comments but
+// collecting //rtl:allow annotations by line.
+type lexer struct {
+	src    string
+	pos    int
+	line   int
+	allows map[allowKey]bool
+}
+
+type allowKey struct {
+	line     int
+	analyzer string
+}
+
+var allowRe = regexp.MustCompile(`rtl:allow\s+([a-z][a-z0-9_,\s]*)`)
+
+// lexAll tokenises the whole input and returns the token stream plus the
+// (line, analyzer) pairs covered by //rtl:allow comments. Like mwlvet's
+// suppression, an allow covers its own line and the line below it, so
+// both trailing and preceding-line placements work.
+func lexAll(src string) ([]token, map[allowKey]bool, error) {
+	lx := &lexer{src: src, line: 1, allows: map[allowKey]bool{}}
+	var toks []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, lx.allows, nil
+		}
+	}
+}
+
+// recordAllow parses one comment's text for rtl:allow annotations.
+func (lx *lexer) recordAllow(comment string, startLine, endLine int) {
+	m := allowRe.FindStringSubmatch(comment)
+	if m == nil {
+		return
+	}
+	names := m[1]
+	if i := strings.Index(names, "--"); i >= 0 {
+		names = names[:i]
+	}
+	for _, name := range strings.FieldsFunc(names, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' || r == '\n' }) {
+		for line := startLine; line <= endLine+1; line++ {
+			lx.allows[allowKey{line, name}] = true
+		}
+	}
+}
+
+func (lx *lexer) next() (token, error) {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == '\n':
+			lx.line++
+			lx.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.pos++
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			start := lx.pos
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+			lx.recordAllow(lx.src[start:lx.pos], lx.line, lx.line)
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '*':
+			end := strings.Index(lx.src[lx.pos+2:], "*/")
+			if end < 0 {
+				return token{}, fmt.Errorf("netlist: line %d: unterminated block comment", lx.line)
+			}
+			text := lx.src[lx.pos : lx.pos+2+end+2]
+			endLine := lx.line + strings.Count(text, "\n")
+			lx.recordAllow(text, lx.line, endLine)
+			lx.line = endLine
+			lx.pos += 2 + end + 2
+		default:
+			return lx.lexToken()
+		}
+	}
+	return token{kind: tokEOF, text: "end of input", line: lx.line}, nil
+}
+
+func (lx *lexer) lexToken() (token, error) {
+	c := lx.src[lx.pos]
+	switch {
+	case isIdentStart(c):
+		start := lx.pos
+		for lx.pos < len(lx.src) && isWordByte(lx.src[lx.pos]) {
+			lx.pos++
+		}
+		text := lx.src[start:lx.pos]
+		kind := tokIdent
+		if keywords[text] {
+			kind = tokKeyword
+		}
+		return token{kind: kind, text: text, line: lx.line}, nil
+	case c >= '0' && c <= '9':
+		return lx.lexNumber()
+	default:
+		for _, mp := range multiPunct {
+			if strings.HasPrefix(lx.src[lx.pos:], mp) {
+				lx.pos += len(mp)
+				return token{kind: tokPunct, text: mp, line: lx.line}, nil
+			}
+		}
+		lx.pos++
+		return token{kind: tokPunct, text: string(c), line: lx.line}, nil
+	}
+}
+
+// lexNumber handles both plain decimals and sized literals (8'hff). A
+// width prefix followed by ' and a base letter consumes the value digits
+// including underscores.
+func (lx *lexer) lexNumber() (token, error) {
+	start := lx.pos
+	for lx.pos < len(lx.src) && (lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9' || lx.src[lx.pos] == '_') {
+		lx.pos++
+	}
+	if lx.pos < len(lx.src) && lx.src[lx.pos] == '\'' {
+		lx.pos++
+		if lx.pos >= len(lx.src) {
+			return token{}, fmt.Errorf("netlist: line %d: truncated sized literal", lx.line)
+		}
+		base := lx.src[lx.pos]
+		switch base {
+		case 'd', 'D', 'b', 'B', 'h', 'H', 'o', 'O':
+			lx.pos++
+		default:
+			return token{}, fmt.Errorf("netlist: line %d: unknown literal base %q", lx.line, string(base))
+		}
+		valStart := lx.pos
+		for lx.pos < len(lx.src) && (isWordByte(lx.src[lx.pos]) || lx.src[lx.pos] == '_') {
+			lx.pos++
+		}
+		if lx.pos == valStart {
+			return token{}, fmt.Errorf("netlist: line %d: sized literal missing value", lx.line)
+		}
+		return token{kind: tokSized, text: lx.src[start:lx.pos], line: lx.line}, nil
+	}
+	return token{kind: tokNumber, text: lx.src[start:lx.pos], line: lx.line}, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isWordByte(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

@@ -1,0 +1,641 @@
+package netlist
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ---- AST ----
+
+// Module is a parsed Verilog module with source positions throughout, so
+// analyses can report file:line diagnostics.
+type Module struct {
+	Name    string
+	Line    int
+	Ports   []Port
+	Decls   []Decl   // reg and bare wire declarations
+	Assigns []Assign // wire-with-initializer and continuous assigns
+	Always  []Always
+
+	allows map[allowKey]bool
+}
+
+// Port is one ANSI-style module port.
+type Port struct {
+	Name  string
+	Width int
+	Input bool
+	Reg   bool // declared "output reg"
+	Line  int
+}
+
+// Decl is a named reg or (undriven-by-declaration) wire with a width.
+type Decl struct {
+	Name  string
+	Width int
+	Reg   bool
+	Line  int
+}
+
+// Assign is one combinational definition: a wire declaration with an
+// initialising expression (Decl true) or a continuous assign to an
+// existing net (Decl false, Width 0).
+type Assign struct {
+	Target string
+	Width  int // declared width when Decl, else 0
+	Decl   bool
+	Expr   Expr
+	Line   int
+}
+
+// Always is one `always @(posedge clk)` block.
+type Always struct {
+	Clock string
+	Body  []Stmt
+	Line  int
+}
+
+// Stmt is a statement inside an always block.
+type Stmt interface{ stmt() }
+
+// NonBlocking is `target <= expr;`.
+type NonBlocking struct {
+	Target string
+	Expr   Expr
+	Line   int
+}
+
+// If is an if/else-if/else chain.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt // nil, a nested []Stmt, or a single If for else-if
+	Line int
+}
+
+func (NonBlocking) stmt() {}
+func (If) stmt()          {}
+
+// Expr is an expression tree node. Every node reports the source line it
+// starts on.
+type Expr interface {
+	expr()
+	Pos() int
+}
+
+// Num is a literal with an optional declared width (0 = unsized).
+type Num struct {
+	Val   uint64
+	Width int
+	Base  byte // 'd', 'b', 'h', 'o'; 0 for a plain unsized decimal
+	Line  int
+}
+
+// Ref reads a named signal.
+type Ref struct {
+	Name string
+	Line int
+}
+
+// Select is a bit or part select x[hi:lo] (single bit: Hi == Lo, with
+// Bit marking the single-index form so printing round-trips).
+type Select struct {
+	X      Expr
+	Hi, Lo int
+	Bit    bool
+	Line   int
+}
+
+// Unary applies !, ~ or - to an operand.
+type Unary struct {
+	Op   string
+	X    Expr
+	Line int
+}
+
+// Binary applies a binary operator.
+type Binary struct {
+	Op   string
+	X, Y Expr
+	Line int
+}
+
+// Ternary is cond ? a : b.
+type Ternary struct {
+	Cond, Then, Else Expr
+	Line             int
+}
+
+// Concat is {a, b, ...}.
+type Concat struct {
+	Parts []Expr
+	Line  int
+}
+
+func (Num) expr()     {}
+func (Ref) expr()     {}
+func (Select) expr()  {}
+func (Unary) expr()   {}
+func (Binary) expr()  {}
+func (Ternary) expr() {}
+func (Concat) expr()  {}
+
+func (e Num) Pos() int     { return e.Line }
+func (e Ref) Pos() int     { return e.Line }
+func (e Select) Pos() int  { return e.Line }
+func (e Unary) Pos() int   { return e.Line }
+func (e Binary) Pos() int  { return e.Line }
+func (e Ternary) Pos() int { return e.Line }
+func (e Concat) Pos() int  { return e.Line }
+
+// ---- parser ----
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse compiles Verilog source into a Module, rejecting anything
+// outside the supported synthesisable subset. Parse errors carry line
+// numbers; they never panic on any input (fuzzed).
+func Parse(src string) (*Module, error) {
+	toks, allows, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	m, err := p.parseModule()
+	if err != nil {
+		return nil, err
+	}
+	m.allows = allows
+	return m, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) at(text string) bool {
+	t := p.peek()
+	return (t.kind == tokPunct || t.kind == tokKeyword) && t.text == text
+}
+
+func (p *parser) accept(text string) bool {
+	if p.at(text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		t := p.peek()
+		return fmt.Errorf("netlist: line %d: expected %q, found %q", t.line, text, t.text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("netlist: line %d: expected identifier, found %q", t.line, t.text)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+// width parses an optional `[msb:lsb]` range and returns msb+1,
+// defaulting to 1 bit. Declarations must span down to bit 0 and may not
+// use a negative bit index.
+func (p *parser) width() (int, error) {
+	if !p.accept("[") {
+		return 1, nil
+	}
+	msb, err := p.constInt()
+	if err != nil {
+		return 0, err
+	}
+	if err := p.expect(":"); err != nil {
+		return 0, err
+	}
+	lsb, err := p.constInt()
+	if err != nil {
+		return 0, err
+	}
+	if msb < 0 || lsb < 0 {
+		return 0, fmt.Errorf("netlist: line %d: negative bit index in range [%d:%d]", p.peek().line, msb, lsb)
+	}
+	if lsb != 0 {
+		return 0, fmt.Errorf("netlist: line %d: declaration range [%d:%d] must end at 0", p.peek().line, msb, lsb)
+	}
+	if err := p.expect("]"); err != nil {
+		return 0, err
+	}
+	if msb > 127 {
+		return 0, fmt.Errorf("netlist: line %d: unsupported declaration width %d", p.peek().line, msb+1)
+	}
+	return msb + 1, nil
+}
+
+// constInt parses an integer, accepting a leading minus so negative bit
+// indices are diagnosed rather than mis-tokenised.
+func (p *parser) constInt() (int, error) {
+	neg := p.accept("-")
+	t := p.peek()
+	if t.kind != tokNumber {
+		return 0, fmt.Errorf("netlist: line %d: expected integer, found %q", t.line, t.text)
+	}
+	p.pos++
+	v, err := strconv.Atoi(strings.ReplaceAll(t.text, "_", ""))
+	if err != nil {
+		return 0, fmt.Errorf("netlist: line %d: bad integer %q", t.line, t.text)
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+func (p *parser) parseModule() (*Module, error) {
+	if err := p.expect("module"); err != nil {
+		return nil, err
+	}
+	line := p.peek().line
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{Name: name, Line: line}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	for !p.accept(")") {
+		port, err := p.parsePort()
+		if err != nil {
+			return nil, err
+		}
+		m.Ports = append(m.Ports, port)
+		if !p.accept(",") && !p.at(")") {
+			t := p.peek()
+			return nil, fmt.Errorf("netlist: line %d: expected ',' or ')' in port list, found %q", t.line, t.text)
+		}
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	for !p.accept("endmodule") {
+		if p.peek().kind == tokEOF {
+			return nil, fmt.Errorf("netlist: line %d: missing endmodule", p.peek().line)
+		}
+		if err := p.parseItem(m); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+func (p *parser) parsePort() (Port, error) {
+	port := Port{Line: p.peek().line}
+	switch {
+	case p.accept("input"):
+		port.Input = true
+	case p.accept("output"):
+	default:
+		t := p.peek()
+		return port, fmt.Errorf("netlist: line %d: expected input/output, found %q", t.line, t.text)
+	}
+	if p.accept("reg") {
+		port.Reg = true
+	} else {
+		p.accept("wire") // optional
+	}
+	w, err := p.width()
+	if err != nil {
+		return port, err
+	}
+	port.Width = w
+	port.Name, err = p.ident()
+	return port, err
+}
+
+func (p *parser) parseItem(m *Module) error {
+	t := p.peek()
+	switch {
+	case p.accept("reg"), p.accept("wire"):
+		isReg := t.text == "reg"
+		w, err := p.width()
+		if err != nil {
+			return err
+		}
+		for {
+			line := p.peek().line
+			name, err := p.ident()
+			if err != nil {
+				return err
+			}
+			if !isReg && p.accept("=") {
+				// wire with a defining expression
+				e, err := p.parseExpr()
+				if err != nil {
+					return err
+				}
+				m.Assigns = append(m.Assigns, Assign{Target: name, Width: w, Decl: true, Expr: e, Line: line})
+			} else {
+				m.Decls = append(m.Decls, Decl{Name: name, Width: w, Reg: isReg, Line: line})
+			}
+			if p.accept(",") {
+				continue
+			}
+			return p.expect(";")
+		}
+	case p.accept("assign"):
+		line := t.line
+		name, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if err := p.expect("="); err != nil {
+			return err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		m.Assigns = append(m.Assigns, Assign{Target: name, Expr: e, Line: line})
+		return p.expect(";")
+	case p.accept("always"):
+		return p.parseAlways(m, t.line)
+	default:
+		return fmt.Errorf("netlist: line %d: unsupported module item starting at %q", t.line, t.text)
+	}
+}
+
+func (p *parser) parseAlways(m *Module, line int) error {
+	if err := p.expect("@"); err != nil {
+		return err
+	}
+	if err := p.expect("("); err != nil {
+		return err
+	}
+	if err := p.expect("posedge"); err != nil {
+		return err
+	}
+	clock, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if err := p.expect(")"); err != nil {
+		return err
+	}
+	body, err := p.parseStmtOrBlock()
+	if err != nil {
+		return err
+	}
+	m.Always = append(m.Always, Always{Clock: clock, Body: body, Line: line})
+	return nil
+}
+
+// parseStmtOrBlock parses either a begin/end block or a single statement.
+func (p *parser) parseStmtOrBlock() ([]Stmt, error) {
+	if p.at("begin") {
+		open := p.peek().line
+		p.pos++
+		var stmts []Stmt
+		for !p.accept("end") {
+			t := p.peek()
+			if t.kind == tokEOF || t.text == "endmodule" {
+				return nil, fmt.Errorf("netlist: line %d: begin/end unbalanced: 'begin' at line %d has no matching 'end'", t.line, open)
+			}
+			s, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			stmts = append(stmts, s)
+		}
+		return stmts, nil
+	}
+	s, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return []Stmt{s}, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	if t := p.peek(); t.text == "if" && p.accept("if") {
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmtOrBlock()
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if p.accept("else") {
+			els, err = p.parseStmtOrBlock()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return If{Cond: cond, Then: then, Else: els, Line: t.line}, nil
+	}
+	line := p.peek().line
+	target, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("<="); err != nil {
+		return nil, fmt.Errorf("netlist: only non-blocking assignment is supported: %w", err)
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return NonBlocking{Target: target, Expr: e, Line: line}, nil
+}
+
+// ---- expressions, precedence climbing ----
+
+// binary operator precedence, higher binds tighter.
+var precedence = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	// "<=" is non-blocking assignment at statement level, but inside an
+	// expression (a condition, an assign RHS) it can only be less-equal.
+	"<": 7, ">": 7, ">=": 7, "<=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseTernary() }
+
+func (p *parser) parseTernary() (Expr, error) {
+	cond, err := p.parseBinary(1)
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); p.accept("?") {
+		then, err := p.parseTernary()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		els, err := p.parseTernary()
+		if err != nil {
+			return nil, err
+		}
+		return Ternary{Cond: cond, Then: then, Else: els, Line: t.line}, nil
+	}
+	return cond, nil
+}
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokPunct {
+			return left, nil
+		}
+		prec, ok := precedence[t.text]
+		if !ok || prec < minPrec {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = Binary{Op: t.text, X: left, Y: right, Line: t.line}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.peek()
+	if t.kind == tokPunct && (t.text == "!" || t.text == "~" || t.text == "-") {
+		p.pos++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Op: t.text, X: x, Line: t.line}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokNumber:
+		p.pos++
+		v, err := strconv.ParseUint(strings.ReplaceAll(t.text, "_", ""), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("netlist: line %d: bad number %q", t.line, t.text)
+		}
+		return Num{Val: v, Line: t.line}, nil
+	case t.kind == tokSized:
+		p.pos++
+		return parseSized(t)
+	case t.kind == tokIdent:
+		p.pos++
+		var e Expr = Ref{Name: t.text, Line: t.line}
+		if p.accept("[") {
+			neg := p.peek().text == "-"
+			hi, err := p.constInt()
+			if err != nil {
+				return nil, err
+			}
+			lo, bit := hi, true
+			if p.accept(":") {
+				bit = false
+				if p.peek().text == "-" {
+					neg = true
+				}
+				lo, err = p.constInt()
+				if err != nil {
+					return nil, err
+				}
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			if neg || hi < lo || lo < 0 || hi > 127 {
+				return nil, fmt.Errorf("netlist: line %d: negative bit index or bad part select [%d:%d]", t.line, hi, lo)
+			}
+			e = Select{X: e, Hi: hi, Lo: lo, Bit: bit, Line: t.line}
+		}
+		return e, nil
+	case p.accept("("):
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expect(")")
+	case p.accept("{"):
+		var parts []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, e)
+			if p.accept("}") {
+				break
+			}
+			if err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+		return Concat{Parts: parts, Line: t.line}, nil
+	default:
+		return nil, fmt.Errorf("netlist: line %d: unexpected token %q in expression", t.line, t.text)
+	}
+}
+
+// parseSized decodes a sized literal token like 5'd12 or 4'b1010.
+func parseSized(t token) (Expr, error) {
+	quote := strings.IndexByte(t.text, '\'')
+	width, err := strconv.Atoi(strings.ReplaceAll(t.text[:quote], "_", ""))
+	if err != nil || width < 1 || width > 127 {
+		return nil, fmt.Errorf("netlist: line %d: bad literal width in %q", t.line, t.text)
+	}
+	base := byte('d')
+	radix := 10
+	switch t.text[quote+1] {
+	case 'd', 'D':
+	case 'b', 'B':
+		base, radix = 'b', 2
+	case 'h', 'H':
+		base, radix = 'h', 16
+	case 'o', 'O':
+		base, radix = 'o', 8
+	}
+	digits := strings.ReplaceAll(t.text[quote+2:], "_", "")
+	v, err := strconv.ParseUint(digits, radix, 64)
+	if err != nil {
+		return nil, fmt.Errorf("netlist: line %d: bad literal value in %q", t.line, t.text)
+	}
+	if width < 64 && v >= 1<<uint(width) {
+		return nil, fmt.Errorf("netlist: line %d: literal %q overflows its width", t.line, t.text)
+	}
+	return Num{Val: v, Width: width, Base: base, Line: t.line}, nil
+}

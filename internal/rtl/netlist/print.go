@@ -1,0 +1,137 @@
+package netlist
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Print renders the module back to Verilog in a canonical form: ports,
+// then declarations, then combinational definitions, then always blocks,
+// with fully parenthesised expressions. Printing is a fixed point under
+// reparsing — Parse(Print(m)) yields a module that prints identically —
+// which the fuzz target exercises on arbitrary accepted inputs.
+func Print(m *Module) string {
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format, args...) }
+
+	w("module %s (\n", m.Name)
+	for i, p := range m.Ports {
+		dir, kind := "input ", "wire"
+		if !p.Input {
+			dir = "output"
+		}
+		if p.Reg {
+			kind = "reg "
+		}
+		sep := ","
+		if i == len(m.Ports)-1 {
+			sep = ""
+		}
+		w("  %s %s %s%s%s\n", dir, kind, rangeOf(p.Width), p.Name, sep)
+	}
+	w(");\n")
+	for _, d := range m.Decls {
+		kind := "wire"
+		if d.Reg {
+			kind = "reg"
+		}
+		w("  %s %s%s;\n", kind, rangeOf(d.Width), d.Name)
+	}
+	for _, a := range m.Assigns {
+		if a.Decl {
+			w("  wire %s%s = %s;\n", rangeOf(a.Width), a.Target, printExpr(a.Expr))
+		} else {
+			w("  assign %s = %s;\n", a.Target, printExpr(a.Expr))
+		}
+	}
+	for _, al := range m.Always {
+		w("  always @(posedge %s) begin\n", al.Clock)
+		printStmts(&b, al.Body, "    ")
+		w("  end\n")
+	}
+	w("endmodule\n")
+	return b.String()
+}
+
+// rangeOf renders the declaration range for a width, empty for 1 bit.
+func rangeOf(width int) string {
+	if width <= 1 {
+		return ""
+	}
+	return fmt.Sprintf("[%d:0] ", width-1)
+}
+
+func printStmts(b *strings.Builder, stmts []Stmt, indent string) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case NonBlocking:
+			fmt.Fprintf(b, "%s%s <= %s;\n", indent, s.Target, printExpr(s.Expr))
+		case If:
+			printIf(b, s, indent)
+		}
+	}
+}
+
+func printIf(b *strings.Builder, s If, indent string) {
+	fmt.Fprintf(b, "%sif (%s) begin\n", indent, printExpr(s.Cond))
+	printStmts(b, s.Then, indent+"  ")
+	if len(s.Else) == 0 {
+		fmt.Fprintf(b, "%send\n", indent)
+		return
+	}
+	if len(s.Else) == 1 {
+		if chained, ok := s.Else[0].(If); ok {
+			fmt.Fprintf(b, "%send else ", indent)
+			// The chained if re-indents from the margin: print it with
+			// the same indent but strip the leading spaces it writes.
+			var tail strings.Builder
+			printIf(&tail, chained, indent)
+			b.WriteString(strings.TrimPrefix(tail.String(), indent))
+			return
+		}
+	}
+	fmt.Fprintf(b, "%send else begin\n", indent)
+	printStmts(b, s.Else, indent+"  ")
+	fmt.Fprintf(b, "%send\n", indent)
+}
+
+func printExpr(e Expr) string {
+	switch e := e.(type) {
+	case Num:
+		if e.Width == 0 {
+			return strconv.FormatUint(e.Val, 10)
+		}
+		radix := 10
+		switch e.Base {
+		case 'b':
+			radix = 2
+		case 'h':
+			radix = 16
+		case 'o':
+			radix = 8
+		}
+		return fmt.Sprintf("%d'%c%s", e.Width, e.Base, strconv.FormatUint(e.Val, radix))
+	case Ref:
+		return e.Name
+	case Select:
+		if e.Bit {
+			return fmt.Sprintf("%s[%d]", printExpr(e.X), e.Hi)
+		}
+		return fmt.Sprintf("%s[%d:%d]", printExpr(e.X), e.Hi, e.Lo)
+	case Unary:
+		return fmt.Sprintf("(%s%s)", e.Op, printExpr(e.X))
+	case Binary:
+		return fmt.Sprintf("(%s %s %s)", printExpr(e.X), e.Op, printExpr(e.Y))
+	case Ternary:
+		return fmt.Sprintf("(%s ? %s : %s)", printExpr(e.Cond), printExpr(e.Then), printExpr(e.Else))
+	case Concat:
+		parts := make([]string, len(e.Parts))
+		for i, part := range e.Parts {
+			parts[i] = printExpr(part)
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	default:
+		return "<?>"
+	}
+}

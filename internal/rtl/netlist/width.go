@@ -1,0 +1,384 @@
+package netlist
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// checkWidths is the "width" pass, the semantic replacement for the old
+// line-regex bus-width lint. Two rules:
+//
+//  1. Simple connections — an assignment whose right-hand side is a bare
+//     identifier, a part/bit select, or a sized literal — must connect
+//     buses of exactly equal declared width. Implicit zero-extension and
+//     implicit truncation on a plain connection are both emitter bugs;
+//     an explicit part-select is the sanctioned way to truncate.
+//
+//  2. Compound right-hand sides are checked by forward value-interval
+//     dataflow. Every net carries a maximum-value bound (inputs and
+//     registers: full range of their declared width; wires: the bound of
+//     their definition, propagated in dependency order through muxes,
+//     part-selects and arithmetic). An assignment whose expression can
+//     exceed the target's range — or a product/shift computed in a
+//     context too narrow for its operands' bounds — may drop significant
+//     bits and is flagged. Same-width add/sub wrap-around is NOT
+//     flagged: the library's fixed-point semantics are truncating ring
+//     arithmetic (fxsim and the generated units agree on mod-2^w), so a
+//     carry out of the declared word is the specified behaviour, not a
+//     defect.
+//
+// The interval half is what lets the pass see *through* the netlist:
+// a 24-bit product register sliced to 8 bits is provably lossless when
+// the unit's operands are zero-padded 4-bit values, and provably lossy
+// when they are not — a distinction no textual width check can make.
+func (d *Design) checkWidths() []Diag {
+	bounds := d.netBounds()
+	var diags []Diag
+	check := func(target string, expr Expr, line int) {
+		n := d.Nets[target]
+		if n == nil {
+			return
+		}
+		ev := &evaluator{design: d, bounds: bounds, net: target}
+		switch e := expr.(type) {
+		case Ref, Select:
+			rw := ev.selfWidth(expr)
+			if rw != n.Width {
+				diags = append(diags, Diag{File: d.File, Line: line, Net: target, Analyzer: "width",
+					Message: fmt.Sprintf("bus width mismatch: lhs is %d bits, rhs is %d bits (truncate explicitly with a part-select)", n.Width, rw)})
+			}
+		case Num:
+			if e.Width > 0 && e.Width != n.Width {
+				diags = append(diags, Diag{File: d.File, Line: line, Net: target, Analyzer: "width",
+					Message: fmt.Sprintf("bus width mismatch: lhs is %d bits, rhs is %d bits (truncate explicitly with a part-select)", n.Width, e.Width)})
+			}
+		default:
+			ctx := ev.selfWidth(expr)
+			if n.Width > ctx {
+				ctx = n.Width
+			}
+			bound := ev.bound(expr, ctx)
+			ev.flush(&diags, line)
+			if bound.Cmp(maxOf(n.Width)) > 0 {
+				diags = append(diags, Diag{File: d.File, Line: line, Net: target, Analyzer: "width",
+					Message: fmt.Sprintf("implicit truncation: expression value may need %d bits, but %q is %d bits wide (truncate explicitly with a part-select)", bound.BitLen(), target, n.Width)})
+			}
+		}
+	}
+	for _, name := range d.Order {
+		for _, drv := range d.Nets[name].Drivers {
+			check(name, drv.Expr, drv.Line)
+		}
+	}
+	return diags
+}
+
+// netBounds computes the maximum-value interval of every net: inputs and
+// registers span the full range of their declared width; assign-driven
+// wires take the bound of their definition, resolved in dependency order
+// (nets on a combinational cycle — already reported by combloop — fall
+// back to full range).
+func (d *Design) netBounds() map[string]*big.Int {
+	bounds := map[string]*big.Int{}
+	for _, name := range d.Order {
+		n := d.Nets[name]
+		comb := false
+		for _, drv := range n.Drivers {
+			if drv.Kind == DriveAssign {
+				comb = true
+			}
+		}
+		if !comb {
+			bounds[name] = maxOf(n.Width)
+		}
+	}
+	// Iterate to a fixpoint: each pass resolves wires whose reads are
+	// all resolved. len(Order) passes suffice for any acyclic design.
+	for pass := 0; pass < len(d.Order); pass++ {
+		progress := false
+		for _, name := range d.Order {
+			if bounds[name] != nil {
+				continue
+			}
+			n := d.Nets[name]
+			ready := true
+			var val *big.Int
+			for _, drv := range n.Drivers {
+				if drv.Kind != DriveAssign {
+					continue
+				}
+				for _, src := range reads(drv.Expr, nil) {
+					if bounds[src] == nil {
+						ready = false
+					}
+				}
+				if !ready {
+					break
+				}
+				ev := &evaluator{design: d, bounds: bounds, net: name}
+				ctx := ev.selfWidth(drv.Expr)
+				if n.Width > ctx {
+					ctx = n.Width
+				}
+				b := ev.bound(drv.Expr, ctx)
+				if val == nil || b.Cmp(val) > 0 {
+					val = b
+				}
+			}
+			if ready && val != nil {
+				if cap := maxOf(n.Width); val.Cmp(cap) > 0 {
+					val = cap // assignment truncates; anything may remain
+				}
+				bounds[name] = val
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	for _, name := range d.Order {
+		if bounds[name] == nil {
+			bounds[name] = maxOf(d.Nets[name].Width)
+		}
+	}
+	return bounds
+}
+
+// evaluator walks one expression computing value bounds, collecting
+// node-level findings (products and shifts computed in a context too
+// narrow for their operands) as it goes.
+type evaluator struct {
+	design *Design
+	bounds map[string]*big.Int
+	net    string
+	finds  []string
+	lines  []int
+}
+
+func (ev *evaluator) flush(diags *[]Diag, fallbackLine int) {
+	for i, msg := range ev.finds {
+		line := ev.lines[i]
+		if line == 0 {
+			line = fallbackLine
+		}
+		*diags = append(*diags, Diag{File: ev.design.File, Line: line, Net: ev.net, Analyzer: "width", Message: msg})
+	}
+	ev.finds, ev.lines = nil, nil
+}
+
+func (ev *evaluator) reportf(line int, format string, args ...any) {
+	ev.finds = append(ev.finds, fmt.Sprintf(format, args...))
+	ev.lines = append(ev.lines, line)
+}
+
+// selfWidth is the Verilog self-determined bit length of an expression.
+func (ev *evaluator) selfWidth(e Expr) int {
+	switch e := e.(type) {
+	case Num:
+		if e.Width > 0 {
+			return e.Width
+		}
+		w := big.NewInt(0).SetUint64(e.Val).BitLen()
+		if w == 0 {
+			w = 1
+		}
+		return w
+	case Ref:
+		if n := ev.design.Nets[e.Name]; n != nil {
+			return n.Width
+		}
+		return 0
+	case Select:
+		return e.Hi - e.Lo + 1
+	case Unary:
+		if e.Op == "!" {
+			return 1
+		}
+		return ev.selfWidth(e.X)
+	case Binary:
+		switch e.Op {
+		case "==", "!=", "<", ">", "<=", ">=", "&&", "||":
+			return 1
+		case "<<", ">>":
+			return ev.selfWidth(e.X)
+		default:
+			x, y := ev.selfWidth(e.X), ev.selfWidth(e.Y)
+			if x > y {
+				return x
+			}
+			return y
+		}
+	case Ternary:
+		x, y := ev.selfWidth(e.Then), ev.selfWidth(e.Else)
+		if x > y {
+			return x
+		}
+		return y
+	case Concat:
+		sum := 0
+		for _, part := range e.Parts {
+			sum += ev.selfWidth(part)
+		}
+		return sum
+	default:
+		return 0
+	}
+}
+
+// bound returns the maximum value the expression can take when evaluated
+// in a ctx-bit context. Ring wrap of + and - at the context width is
+// treated as intended truncating arithmetic; products, left shifts and
+// oversized concatenations that cannot fit are reported.
+func (ev *evaluator) bound(e Expr, ctx int) *big.Int {
+	cap := maxOf(ctx)
+	switch e := e.(type) {
+	case Num:
+		return big.NewInt(0).SetUint64(e.Val)
+	case Ref:
+		n := ev.design.Nets[e.Name]
+		if n == nil {
+			return cap
+		}
+		b := ev.bounds[e.Name]
+		if b == nil {
+			b = maxOf(n.Width)
+		}
+		return minBig(b, maxOf(n.Width))
+	case Select:
+		w := e.Hi - e.Lo + 1
+		if e.Lo == 0 {
+			if ref, ok := e.X.(Ref); ok {
+				if b := ev.bounds[ref.Name]; b != nil {
+					return minBig(b, maxOf(w))
+				}
+			}
+		}
+		return maxOf(w)
+	case Unary:
+		switch e.Op {
+		case "!":
+			return big.NewInt(1)
+		case "~", "-":
+			b := ev.bound(e.X, ctx)
+			if e.Op == "-" && b.Sign() == 0 {
+				return big.NewInt(0)
+			}
+			return cap
+		}
+		return cap
+	case Binary:
+		return ev.binaryBound(e, ctx)
+	case Ternary:
+		condCtx := ev.selfWidth(e.Cond)
+		ev.bound(e.Cond, condCtx) // walk for node findings only
+		t := ev.bound(e.Then, ctx)
+		f := ev.bound(e.Else, ctx)
+		if t.Cmp(f) >= 0 {
+			return t
+		}
+		return f
+	case Concat:
+		total := big.NewInt(0)
+		shift := 0
+		// Parts compose from the right: part i is shifted left by the
+		// widths of everything after it.
+		for i := len(e.Parts) - 1; i >= 0; i-- {
+			pw := ev.selfWidth(e.Parts[i])
+			pb := minBig(ev.bound(e.Parts[i], pw), maxOf(pw))
+			total.Add(total, big.NewInt(0).Lsh(pb, uint(shift)))
+			shift += pw
+		}
+		return total
+	default:
+		return cap
+	}
+}
+
+func (ev *evaluator) binaryBound(e Binary, ctx int) *big.Int {
+	cap := maxOf(ctx)
+	switch e.Op {
+	case "==", "!=", "<", ">", "<=", ">=", "&&", "||":
+		sub := ev.selfWidth(e.X)
+		if y := ev.selfWidth(e.Y); y > sub {
+			sub = y
+		}
+		ev.bound(e.X, sub) // walk for node findings only
+		ev.bound(e.Y, sub)
+		return big.NewInt(1)
+	case "+":
+		s := big.NewInt(0).Add(ev.bound(e.X, ctx), ev.bound(e.Y, ctx))
+		return minBig(s, cap) // ring wrap at the context width is sanctioned
+	case "-":
+		x := ev.bound(e.X, ctx)
+		if ev.bound(e.Y, ctx).Sign() == 0 {
+			return x
+		}
+		return cap // may underflow and wrap to anything
+	case "*":
+		p := big.NewInt(0).Mul(ev.bound(e.X, ctx), ev.bound(e.Y, ctx))
+		if p.Cmp(cap) > 0 {
+			ev.reportf(e.Line, "product may need %d bits but is computed in a %d-bit context (significant bits lost)", p.BitLen(), ctx)
+			return cap
+		}
+		return p
+	case "/":
+		return ev.bound(e.X, ctx)
+	case "%":
+		x := ev.bound(e.X, ctx)
+		y := ev.bound(e.Y, ctx)
+		if y.Sign() > 0 {
+			m := big.NewInt(0).Sub(y, big.NewInt(1))
+			return minBig(x, m)
+		}
+		return x
+	case "<<":
+		x := ev.bound(e.X, ctx)
+		if num, ok := e.Y.(Num); ok && num.Val < 1024 {
+			s := big.NewInt(0).Lsh(x, uint(num.Val))
+			if s.Cmp(cap) > 0 {
+				ev.reportf(e.Line, "left shift may need %d bits but is computed in a %d-bit context (significant bits lost)", s.BitLen(), ctx)
+				return cap
+			}
+			return s
+		}
+		return cap
+	case ">>":
+		x := ev.bound(e.X, ctx)
+		if num, ok := e.Y.(Num); ok && num.Val < 1024 {
+			return big.NewInt(0).Rsh(x, uint(num.Val))
+		}
+		return x
+	case "&":
+		return minBig(ev.bound(e.X, ctx), ev.bound(e.Y, ctx))
+	case "|", "^":
+		x := ev.bound(e.X, ctx)
+		y := ev.bound(e.Y, ctx)
+		w := x.BitLen()
+		if y.BitLen() > w {
+			w = y.BitLen()
+		}
+		if w == 0 {
+			return big.NewInt(0)
+		}
+		return minBig(maxOf(w), cap)
+	default:
+		return cap
+	}
+}
+
+// maxOf returns 2^w - 1.
+func maxOf(w int) *big.Int {
+	if w <= 0 {
+		return big.NewInt(0)
+	}
+	one := big.NewInt(1)
+	return big.NewInt(0).Sub(big.NewInt(0).Lsh(one, uint(w)), one)
+}
+
+func minBig(a, b *big.Int) *big.Int {
+	if a.Cmp(b) <= 0 {
+		return a
+	}
+	return b
+}

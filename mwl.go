@@ -51,6 +51,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/regalloc"
 	"repro/internal/rtl"
+	"repro/internal/rtl/netlist"
 	"repro/internal/tgff"
 	"repro/internal/workloads"
 )
@@ -151,6 +152,31 @@ func AllocateRegisters(g *Graph, lib *Library, dp *Datapath, opt RegisterOptions
 // implementing the datapath (see internal/rtl for the port contract).
 func GenerateVerilog(moduleName string, g *Graph, lib *Library, dp *Datapath) (string, error) {
 	return rtl.Generate(moduleName, g, lib, dp)
+}
+
+// AnalyzeVerilog parses Verilog source (the subset GenerateVerilog
+// emits) into a netlist IR and runs the static-analysis suite over it:
+// combinational-loop detection, driver discipline, dead-logic
+// reachability, and width/truncation interval dataflow. When g is
+// non-nil the module's ports and result registers are additionally
+// checked against the wordlength formats g's operation specs require.
+// Findings are returned as "file:line: [analyzer] message" strings,
+// empty for a clean module; err is non-nil only when the source does
+// not parse.
+func AnalyzeVerilog(src string, g *Graph) ([]string, error) {
+	var widths map[string]int
+	if g != nil {
+		widths = rtl.ExpectedWidths(g)
+	}
+	diags, err := netlist.Analyze(src, netlist.Options{ExpectedWidths: widths})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.String()
+	}
+	return out, nil
 }
 
 // Wordlength derivation from an output-error specification — the paper's

@@ -72,6 +72,22 @@ func TestDifferentialAllMethods(t *testing.T) {
 				t.Fatalf("graph %d: %s solution failed verification: %v\nproblem: %s", i, m, err, problemJSON(t, p))
 			}
 			areas[m] = sol.Area
+
+			// Every datapath the suite accepts must also emit Verilog the
+			// netlist static analyzer proves clean — including the iface
+			// pass against the graph's wordlength formats.
+			src, err := mwl.GenerateVerilog("dp", g, mwl.DefaultLibrary(), sol.Datapath)
+			if err != nil {
+				t.Fatalf("graph %d: %s: generate: %v\nproblem: %s", i, m, err, problemJSON(t, p))
+			}
+			findings, err := mwl.AnalyzeVerilog(src, g)
+			if err != nil {
+				t.Fatalf("graph %d: %s: emitted Verilog does not parse: %v\nproblem: %s", i, m, err, problemJSON(t, p))
+			}
+			if len(findings) > 0 {
+				t.Fatalf("graph %d: %s: analyzer findings on emitted Verilog:\n%s\nproblem: %s",
+					i, m, strings.Join(findings, "\n"), problemJSON(t, p))
+			}
 		}
 
 		// The portfolio races the same entrants under the same options
