@@ -11,10 +11,13 @@
 //	                              # the module, analyse it against the
 //	                              # graph's wordlength specification
 //
-// In -problem mode the analysis includes the iface pass: every data
-// port and result register is checked against the exact fixed-point
-// format the graph's operation specs require, and -o writes the emitted
-// Verilog out (- for stdout).
+// In -problem mode the analysis adds the problem-aware passes: iface
+// checks every data port and result register against the exact
+// fixed-point format the graph's operation specs require, and equiv
+// symbolically unrolls the module across the schedule's makespan and
+// proves each result register and output port equal to the value the
+// dataflow graph defines for it. -o writes the emitted Verilog out
+// (- for stdout).
 //
 // Findings print one per line, vet-style (file:line: [analyzer]
 // message). A reviewed exception is annotated in the source with
@@ -143,9 +146,11 @@ func analyzeProblem(path, module, out string, stdout, stderr io.Writer) ([]netli
 			return nil, 2
 		}
 	}
-	diags, err := netlist.Analyze(src, netlist.Options{
-		File:           module + ".v",
-		ExpectedWidths: rtl.ExpectedWidths(p.Graph),
+	diags, err := rtl.Analyze(src, rtl.AnalyzeOptions{
+		File:     module + ".v",
+		Graph:    p.Graph,
+		Lib:      lib,
+		Datapath: sol.Datapath,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "mwlrtl: emitted module does not parse: %v\n", err)

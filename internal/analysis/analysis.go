@@ -13,6 +13,12 @@
 //
 // The reason is mandatory by convention (reviewed, not enforced): an
 // allow site must say why the invariant does not apply.
+//
+// An allow that suppresses nothing has outlived the code it excused:
+// Run reports the pragma itself as an "allow" diagnostic (in
+// non-test files — analyzers skip test files, so an allow there never
+// fires by design). Stale-allow findings are not themselves
+// suppressible.
 package analysis
 
 import (
@@ -51,8 +57,8 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
-	report  func(Diagnostic)
-	allowed map[allowKey]bool
+	report func(Diagnostic)
+	allows *allowIndex
 }
 
 type allowKey struct {
@@ -61,13 +67,33 @@ type allowKey struct {
 	analyzer string
 }
 
-var allowRe = regexp.MustCompile(`mwlvet:allow\s+([a-z][a-z0-9_,\s]*)`)
+// allowSite is one analyzer name of one //mwlvet:allow comment, tracked
+// so that pragmas which suppress nothing can be reported as stale.
+type allowSite struct {
+	pos      token.Pos
+	analyzer string
+	testFile bool
+}
+
+// allowIndex maps covered (file, line, analyzer) triples to their site
+// and records which sites actually suppressed a finding.
+type allowIndex struct {
+	byKey map[allowKey]int
+	sites []allowSite
+	used  []bool
+}
+
+// allowRe is anchored to the start of the comment so that prose
+// *mentioning* the pragma syntax (doc comments, examples) does not
+// register as an exception.
+var allowRe = regexp.MustCompile(`^(?://|/\*)\s*mwlvet:allow\s+([a-z][a-z0-9_,\s]*)`)
 
 // Reportf records a violation at pos unless an //mwlvet:allow comment
 // covers it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	posn := p.Fset.Position(pos)
-	if p.allowed[allowKey{posn.Filename, posn.Line, p.Analyzer.Name}] {
+	if site, ok := p.allows.byKey[allowKey{posn.Filename, posn.Line, p.Analyzer.Name}]; ok {
+		p.allows.used[site] = true
 		return
 	}
 	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
@@ -85,7 +111,7 @@ func (p *Pass) IsTestFile(f *ast.File) bool {
 // Run executes each analyzer over one type-checked package and returns
 // the surviving (non-suppressed) diagnostics in source order.
 func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
-	allowed := collectAllows(fset, files)
+	allows := collectAllows(fset, files)
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -94,22 +120,32 @@ func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types
 			Files:     files,
 			Pkg:       pkg,
 			TypesInfo: info,
-			allowed:   allowed,
+			allows:    allows,
 			report:    func(d Diagnostic) { diags = append(diags, d) },
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %w", a.Name, err)
 		}
 	}
+	for i, site := range allows.sites {
+		if allows.used[i] || site.testFile {
+			// Test-file allows never fire: analyzers skip test files.
+			continue
+		}
+		diags = append(diags, Diagnostic{Pos: site.pos, Analyzer: "allow",
+			Message: fmt.Sprintf("//mwlvet:allow %s suppresses no %s finding (stale exception; remove it)",
+				site.analyzer, site.analyzer)})
+	}
 	sortDiagnostics(fset, diags)
 	return diags, nil
 }
 
-// collectAllows maps every (file, line, analyzer) covered by an
-// //mwlvet:allow comment: the comment's own lines and the line after its
-// end, so both trailing and preceding-line placements work.
-func collectAllows(fset *token.FileSet, files []*ast.File) map[allowKey]bool {
-	allowed := make(map[allowKey]bool)
+// collectAllows indexes every (file, line, analyzer) covered by an
+// //mwlvet:allow comment — the comment's own lines and the line after
+// its end, so both trailing and preceding-line placements work — and
+// records one site per named analyzer for stale-pragma accounting.
+func collectAllows(fset *token.FileSet, files []*ast.File) *allowIndex {
+	idx := &allowIndex{byKey: make(map[allowKey]int)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -123,15 +159,19 @@ func collectAllows(fset *token.FileSet, files []*ast.File) map[allowKey]bool {
 				}
 				start := fset.Position(c.Pos())
 				end := fset.Position(c.End())
+				test := strings.HasSuffix(filepath.Base(start.Filename), "_test.go")
 				for _, name := range strings.FieldsFunc(names, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+					site := len(idx.sites)
+					idx.sites = append(idx.sites, allowSite{pos: c.Pos(), analyzer: name, testFile: test})
+					idx.used = append(idx.used, false)
 					for line := start.Line; line <= end.Line+1; line++ {
-						allowed[allowKey{start.Filename, line, name}] = true
+						idx.byKey[allowKey{start.Filename, line, name}] = site
 					}
 				}
 			}
 		}
 	}
-	return allowed
+	return idx
 }
 
 func sortDiagnostics(fset *token.FileSet, diags []Diagnostic) {

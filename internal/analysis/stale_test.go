@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// dummy reports on every function named "bad".
+var dummy = &Analyzer{
+	Name: "dummy",
+	Doc:  "reports functions named bad",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				if fn, ok := d.(*ast.FuncDecl); ok && fn.Name.Name == "bad" {
+					pass.Reportf(fn.Pos(), "function named bad")
+				}
+			}
+		}
+		return nil
+	},
+}
+
+func runOn(t *testing.T, filename, src string) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	diags, err := Run(fset, []*ast.File{f}, nil, nil, []*Analyzer{dummy})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return diags
+}
+
+func TestStaleAllowReported(t *testing.T) {
+	diags := runOn(t, "a.go", `package p
+
+//mwlvet:allow dummy -- leftover from a rename
+func good() {}
+`)
+	if len(diags) != 1 || diags[0].Analyzer != "allow" ||
+		!strings.Contains(diags[0].Message, "suppresses no dummy finding") {
+		t.Fatalf("want one stale-allow finding, got %+v", diags)
+	}
+}
+
+func TestUsedAllowSilent(t *testing.T) {
+	diags := runOn(t, "a.go", `package p
+
+//mwlvet:allow dummy -- reviewed: the name is intentional here
+func bad() {}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("used allow must be silent, got %+v", diags)
+	}
+}
+
+func TestTestFileAllowNotStale(t *testing.T) {
+	// Analyzers skip _test.go files, so an allow there can never fire;
+	// it must not be reported as stale either.
+	diags := runOn(t, "a_test.go", `package p
+
+//mwlvet:allow dummy -- test helpers are exempt
+func bad() {}
+`)
+	for _, d := range diags {
+		if d.Analyzer == "allow" {
+			t.Fatalf("test-file allow reported stale: %+v", diags)
+		}
+	}
+}
+
+func TestProseMentionNotCollected(t *testing.T) {
+	// A doc comment describing the pragma syntax is not an exception:
+	// the recognizer is anchored to the start of the comment.
+	diags := runOn(t, "a.go", `package p
+
+// Suppress with:
+//
+//	//mwlvet:allow dummy -- reason
+func good() {}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("prose mention registered as an allow site, got %+v", diags)
+	}
+}

@@ -49,34 +49,25 @@ func mask(v uint64, w int) uint64 {
 }
 
 // slotWidths returns the operand widths of an operation's two slots.
-func slotWidths(spec model.OpSpec) [2]int {
-	if spec.Type.HardwareClass() == model.Mul {
-		return [2]int{spec.Sig.Hi, spec.Sig.Lo}
-	}
-	return [2]int{spec.Sig.Hi, spec.Sig.Hi}
-}
+func slotWidths(spec model.OpSpec) [2]int { return spec.OperandWidths() }
 
 // resultWidth returns the width of an operation's result.
-func resultWidth(spec model.OpSpec) int {
-	if spec.Type.HardwareClass() == model.Mul {
-		return spec.Sig.Hi + spec.Sig.Lo
-	}
-	return spec.Sig.Hi
-}
+func resultWidth(spec model.OpSpec) int { return spec.ResultWidth() }
 
-// compute applies the operation to its slot values.
+// words instantiates model.Arith over uint64 machine words: Trunc is the
+// package's mask, the operators are the native wrapping ones.
+type words struct{}
+
+func (words) Trunc(w int, x uint64) uint64 { return mask(x, w) }
+func (words) Add(x, y uint64) uint64       { return x + y }
+func (words) Sub(x, y uint64) uint64       { return x - y }
+func (words) Mul(x, y uint64) uint64       { return x * y }
+
+// compute applies the operation to its slot values under the shared
+// reference semantics (model.Reference), which the symbolic equivalence
+// prover instantiates over expression DAGs with the same Arith contract.
 func compute(spec model.OpSpec, a, b uint64) uint64 {
-	w := resultWidth(spec)
-	switch spec.Type {
-	case model.Add:
-		return mask(a+b, w)
-	case model.Sub:
-		return mask(a-b, w)
-	case model.Mul:
-		return mask(a*b, w)
-	default:
-		panic(fmt.Sprintf("fxsim: unknown op type %v", spec.Type))
-	}
+	return model.Reference[uint64](words{}, spec, a, b)
 }
 
 // operands resolves the two slot values of an operation from its

@@ -1,0 +1,44 @@
+package model
+
+import "fmt"
+
+// Arith is the operator alphabet of the library's fixed-point
+// semantics: unsigned truncating ring arithmetic over words of explicit
+// width. Trunc keeps the low `width` bits of a value (the value modulo
+// 2^width); Add, Sub and Mul are the exact integer operators, with all
+// wordlength discipline expressed through explicit Trunc applications.
+//
+// The type parameter lets one semantics drive several evaluators: fxsim
+// instantiates it over uint64 machine words, and the rtl layer's equiv
+// prover instantiates it over symbolic expression DAGs.
+type Arith[T any] interface {
+	Trunc(width int, x T) T
+	Add(x, y T) T
+	Sub(x, y T) T
+	Mul(x, y T) T
+}
+
+// Reference evaluates one operation on raw operand values under the
+// repository's fixed-point convention: each operand is truncated to its
+// slot width, the operator is applied exactly, and the result is
+// truncated to the operation's result width. This is the single
+// authoritative statement of what an operation computes — the simulator
+// and the symbolic equivalence prover both instantiate it, so they
+// cannot drift apart.
+func Reference[T any](ev Arith[T], o OpSpec, a, b T) T {
+	w := o.OperandWidths()
+	a = ev.Trunc(w[0], a)
+	b = ev.Trunc(w[1], b)
+	var r T
+	switch o.Type {
+	case Add:
+		r = ev.Add(a, b)
+	case Sub:
+		r = ev.Sub(a, b)
+	case Mul:
+		r = ev.Mul(a, b)
+	default:
+		panic(fmt.Sprintf("model: unknown op type %v", o.Type))
+	}
+	return ev.Trunc(o.ResultWidth(), r)
+}

@@ -45,18 +45,54 @@ func ExpectedWidths(d *dfg.Graph) map[string]int {
 	return widths
 }
 
+// AnalyzeOptions selects how much problem context the analysis runs
+// with. Every field is optional; the more is supplied, the more of the
+// suite becomes applicable.
+type AnalyzeOptions struct {
+	// File names the source in diagnostics (defaults to "<verilog>").
+	File string
+	// Graph, when non-nil, enables the "iface" pass: the module's ports
+	// and result registers must carry exactly the widths the graph's
+	// operation wordlength specs demand.
+	Graph *dfg.Graph
+	// Lib and Datapath, together with Graph, enable the "equiv" pass:
+	// a symbolic unrolling of the module across the schedule's makespan
+	// proving each result register and output port equal to the value
+	// the dataflow graph defines for it.
+	Lib      *model.Library
+	Datapath *datapath.Datapath
+}
+
+// Analyze runs the netlist static-analysis suite over Verilog source,
+// adding the problem-aware passes (iface, equiv) for whatever context
+// the options carry. A correct emitter yields no diagnostics for any
+// legal datapath.
+func Analyze(src string, opts AnalyzeOptions) ([]netlist.Diag, error) {
+	nopts := netlist.Options{File: opts.File}
+	if opts.Graph != nil {
+		nopts.ExpectedWidths = ExpectedWidths(opts.Graph)
+		if opts.Lib != nil && opts.Datapath != nil {
+			nopts.Extra = append(nopts.Extra, equivPass(opts.Graph, opts.Lib, opts.Datapath))
+		}
+	}
+	return netlist.Analyze(src, nopts)
+}
+
 // AnalyzeGraph generates the module for the datapath and runs the full
-// netlist analysis over it, including the iface pass against the widths
-// the graph's operation specs demand. A correct emitter yields no
-// diagnostics for any legal datapath.
+// netlist analysis over it — the iface pass against the widths the
+// graph's operation specs demand, and the equiv pass proving the module
+// computes the graph. A correct emitter yields no diagnostics for any
+// legal datapath.
 func AnalyzeGraph(moduleName string, d *dfg.Graph, lib *model.Library, dp *datapath.Datapath) ([]netlist.Diag, error) {
 	src, err := Generate(moduleName, d, lib, dp)
 	if err != nil {
 		return nil, err
 	}
-	return netlist.Analyze(src, netlist.Options{
-		File:           moduleName + ".v",
-		ExpectedWidths: ExpectedWidths(d),
+	return Analyze(src, AnalyzeOptions{
+		File:     moduleName + ".v",
+		Graph:    d,
+		Lib:      lib,
+		Datapath: dp,
 	})
 }
 

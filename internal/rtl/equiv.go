@@ -1,0 +1,127 @@
+package rtl
+
+import (
+	"fmt"
+
+	"repro/internal/datapath"
+	"repro/internal/dfg"
+	"repro/internal/model"
+	"repro/internal/rtl/netlist"
+	"repro/internal/rtl/netlist/sem"
+)
+
+// equivPass builds the "equiv" analyzer for one allocation problem: a
+// symbolic proof that the netlist implements the allocated dataflow
+// graph. The module is unrolled cycle-accurately across the schedule's
+// makespan under the generated protocol (post-start-edge controller
+// state, data inputs free and held), and each operation's result
+// register is required to hold — at its writeback edge, as canonical
+// expression-DAG identity — the reference value model.Reference derives
+// from the graph alone. Output ports, the done handshake and the
+// controller's shutdown are checked at the final edge. The reference is
+// built only from the DFG, the library and the datapath: the pass
+// shares no wiring logic with Generate, so a mis-emitted mux select,
+// swapped operand or off-by-one capture cycle shows up as a
+// counterexample naming the divergent net and cycle.
+func equivPass(g *dfg.Graph, lib *model.Library, dp *datapath.Datapath) func(*netlist.Design) []netlist.Diag {
+	return func(d *netlist.Design) (diags []netlist.Diag) {
+		defer func() {
+			// Reference construction shares the prover's DAG budget;
+			// a pathological problem degrades to a finding, not a hang.
+			if r := recover(); r != nil {
+				diags = []netlist.Diag{{File: d.File, Line: d.Module.Line, Analyzer: "equiv",
+					Message: fmt.Sprintf("cannot prove: reference construction failed: %v", r)}}
+			}
+		}()
+		b := sem.NewBuilder()
+		spec, err := equivSpec(b, g, lib, dp)
+		if err != nil {
+			return []netlist.Diag{{File: d.File, Line: d.Module.Line, Analyzer: "equiv",
+				Message: fmt.Sprintf("cannot prove: %v", err)}}
+		}
+		if spec.Cycles == 0 {
+			return nil // empty graph: nothing scheduled, nothing to prove
+		}
+		return sem.Prove(d, b, spec)
+	}
+}
+
+// equivSpec derives the proof obligations of the generated module from
+// the problem, independently of the emitter's wiring:
+//
+//   - unroll for the makespan, starting in the post-start-edge state
+//     (running=1, cyc=0, done=0) with rst and start held low;
+//   - every free operand slot's input port is a free symbolic variable,
+//     held stable for the whole iteration (the module's protocol);
+//   - each operation's r_<label> register must equal its reference DAG
+//     after clock edge Start + latency - 1 (its writeback edge);
+//   - after the final edge every sink's out_<label> port carries the
+//     sink's reference value, done is 1 and running is 0.
+func equivSpec(b *sem.Builder, g *dfg.Graph, lib *model.Library, dp *datapath.Datapath) (sem.Spec, error) {
+	n := g.N()
+	if len(dp.Start) != n || len(dp.InstOf) != n {
+		return sem.Spec{}, fmt.Errorf("datapath shape mismatch: %d starts for %d ops", len(dp.Start), n)
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return sem.Spec{}, err
+	}
+	makespan := dp.Makespan(lib)
+
+	inputs := map[string]*sem.Node{
+		"clk":   b.Const(0),
+		"rst":   b.Const(0),
+		"start": b.Const(0),
+	}
+	refs := make([]*sem.Node, n)
+	for _, o := range order {
+		spec := g.Op(o).Spec
+		widths := spec.OperandWidths()
+		preds := g.Pred(o)
+		var srcs [2]*sem.Node
+		for slot := 0; slot < 2; slot++ {
+			if slot < len(preds) {
+				srcs[slot] = refs[preds[slot]]
+			} else {
+				name := inPortName(g, o, slot)
+				v := b.Var(name, widths[slot])
+				inputs[name] = v
+				srcs[slot] = v
+			}
+		}
+		refs[o] = model.Reference[*sem.Node](b, spec, srcs[0], srcs[1])
+	}
+
+	init := map[string]*sem.Node{
+		"running": b.Const(1),
+		"cyc":     b.Const(0),
+		"done":    b.Const(0),
+	}
+	var checks []sem.Check
+	for o := 0; o < n; o++ {
+		id := dfg.OpID(o)
+		inst := dp.InstOf[o]
+		if inst < 0 || inst >= len(dp.Instances) {
+			return sem.Spec{}, fmt.Errorf("operation %d bound to unknown instance %d", o, inst)
+		}
+		wb := dp.Start[o] + lib.Latency(dp.Instances[inst].Kind) - 1
+		label := opLabel(g, id)
+		checks = append(checks, sem.Check{
+			Net: resultReg(g, id), Cycle: wb, Want: refs[o],
+			Label: fmt.Sprintf("the reference value of operation %q", label),
+		})
+		if len(g.Succ(id)) == 0 {
+			checks = append(checks, sem.Check{
+				Net: outPortName(g, id), Cycle: makespan - 1, Want: refs[o],
+				Label: fmt.Sprintf("the reference value of sink %q", label),
+			})
+		}
+	}
+	if makespan > 0 {
+		checks = append(checks,
+			sem.Check{Net: "done", Cycle: makespan - 1, Want: b.Const(1), Label: "the iteration-complete handshake"},
+			sem.Check{Net: "running", Cycle: makespan - 1, Want: b.Const(0), Label: "the controller shutdown"},
+		)
+	}
+	return sem.Spec{Cycles: makespan, Inputs: inputs, Init: init, Checks: checks}, nil
+}

@@ -34,6 +34,12 @@ type Options struct {
 	// (model.OpSpec), tying the netlist back to the formats the
 	// allocator optimised for.
 	ExpectedWidths map[string]int
+	// Extra appends caller-built problem-aware passes (the rtl layer's
+	// "equiv" symbolic prover rides here). They run over the elaborated
+	// design after the built-in suite — and, like it, only when every
+	// reference resolves — and their findings flow through the same
+	// //rtl:allow suppression and stale-allow accounting.
+	Extra []func(*Design) []Diag
 }
 
 // Analyze parses the source and runs the full pass suite. A parse
@@ -56,23 +62,43 @@ func AnalyzeModule(m *Module, opts Options) []Diag {
 	}
 	d := Elaborate(m, file)
 	var diags []Diag
+	suiteRan := false
 	if len(d.resolveDiags) > 0 {
 		// Unresolved references make the driver/dataflow graphs
 		// meaningless; report the resolution problems alone.
 		diags = d.resolveDiags
 	} else {
+		suiteRan = true
 		diags = append(diags, d.checkCombLoops()...)
 		diags = append(diags, d.checkDrivers()...)
 		diags = append(diags, d.checkDeadLogic()...)
 		diags = append(diags, d.checkWidths()...)
 		diags = append(diags, d.checkInterface(opts.ExpectedWidths)...)
+		for _, pass := range opts.Extra {
+			diags = append(diags, pass(d)...)
+		}
 	}
+	used := make([]bool, len(m.allow.sites))
 	kept := diags[:0]
 	for _, diag := range diags {
-		if m.allows[allowKey{diag.Line, diag.Analyzer}] {
+		if site, ok := m.allow.byKey[allowKey{diag.Line, diag.Analyzer}]; ok {
+			used[site] = true
 			continue
 		}
 		kept = append(kept, diag)
+	}
+	if suiteRan {
+		// A reviewed exception that excuses nothing has outlived the
+		// code it excused: report the pragma itself. Skipped when the
+		// suite short-circuited on resolve errors — with most passes
+		// unrun, "suppressed nothing" would be unfounded.
+		for i, site := range m.allow.sites {
+			if !used[i] {
+				kept = append(kept, Diag{File: file, Line: site.line, Analyzer: "allow",
+					Message: fmt.Sprintf("//rtl:allow %s suppresses no %s finding (stale exception; remove it)",
+						site.analyzer, site.analyzer)})
+			}
+		}
 	}
 	sort.Slice(kept, func(i, j int) bool {
 		a, b := kept[i], kept[j]

@@ -63,10 +63,10 @@ var multiPunct = []string{"<=", ">=", "==", "!=", "&&", "||", "<<", ">>"}
 // lexer turns Verilog source into tokens, discarding comments but
 // collecting //rtl:allow annotations by line.
 type lexer struct {
-	src    string
-	pos    int
-	line   int
-	allows map[allowKey]bool
+	src   string
+	pos   int
+	line  int
+	allow allowTable
 }
 
 type allowKey struct {
@@ -74,23 +74,39 @@ type allowKey struct {
 	analyzer string
 }
 
-var allowRe = regexp.MustCompile(`rtl:allow\s+([a-z][a-z0-9_,\s]*)`)
+// allowSite is one (annotation comment, analyzer) pair, tracked so a
+// pragma that ends up suppressing nothing can report its own staleness.
+type allowSite struct {
+	line     int
+	analyzer string
+}
+
+// allowTable indexes allow coverage: each covered (line, analyzer) maps
+// to the site that granted it, so suppression can be attributed back.
+type allowTable struct {
+	byKey map[allowKey]int // value: index into sites
+	sites []allowSite
+}
+
+// The annotation must open the comment (after optional whitespace):
+// prose that merely mentions the pragma syntax is not an exception.
+var allowRe = regexp.MustCompile(`^(?://|/\*)\s*rtl:allow\s+([a-z][a-z0-9_,\s]*)`)
 
 // lexAll tokenises the whole input and returns the token stream plus the
-// (line, analyzer) pairs covered by //rtl:allow comments. Like mwlvet's
+// allow table built from //rtl:allow comments. Like mwlvet's
 // suppression, an allow covers its own line and the line below it, so
 // both trailing and preceding-line placements work.
-func lexAll(src string) ([]token, map[allowKey]bool, error) {
-	lx := &lexer{src: src, line: 1, allows: map[allowKey]bool{}}
+func lexAll(src string) ([]token, allowTable, error) {
+	lx := &lexer{src: src, line: 1, allow: allowTable{byKey: map[allowKey]int{}}}
 	var toks []token
 	for {
 		t, err := lx.next()
 		if err != nil {
-			return nil, nil, err
+			return nil, allowTable{}, err
 		}
 		toks = append(toks, t)
 		if t.kind == tokEOF {
-			return toks, lx.allows, nil
+			return toks, lx.allow, nil
 		}
 	}
 }
@@ -106,8 +122,10 @@ func (lx *lexer) recordAllow(comment string, startLine, endLine int) {
 		names = names[:i]
 	}
 	for _, name := range strings.FieldsFunc(names, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' || r == '\n' }) {
+		site := len(lx.allow.sites)
+		lx.allow.sites = append(lx.allow.sites, allowSite{line: startLine, analyzer: name})
 		for line := startLine; line <= endLine+1; line++ {
-			lx.allows[allowKey{line, name}] = true
+			lx.allow.byKey[allowKey{line, name}] = site
 		}
 	}
 }

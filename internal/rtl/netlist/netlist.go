@@ -156,7 +156,11 @@ func (d *Design) attachStmts(stmts []Stmt, block int, conds []Expr) {
 	}
 }
 
-// checkExpr verifies every reference resolves and selects stay in range.
+// checkExpr verifies every reference resolves. Select bounds are NOT a
+// resolution concern: an out-of-range part-select is a width defect
+// (checked by the width pass), and classifying it here would
+// short-circuit the rest of the suite over a module that still has a
+// perfectly analysable structure.
 func (d *Design) checkExpr(e Expr) {
 	switch e := e.(type) {
 	case Num:
@@ -166,11 +170,6 @@ func (d *Design) checkExpr(e Expr) {
 		}
 	case Select:
 		d.checkExpr(e.X)
-		if ref, ok := e.X.(Ref); ok {
-			if n := d.Nets[ref.Name]; n != nil && e.Hi >= n.Width {
-				d.reportf(e.Line, ref.Name, "select %s[%d:%d] exceeds declared width %d", ref.Name, e.Hi, e.Lo, n.Width)
-			}
-		}
 	case Unary:
 		d.checkExpr(e.X)
 	case Binary:

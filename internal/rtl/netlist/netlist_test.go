@@ -316,7 +316,7 @@ endmodule
 			want: []string{`undeclared identifier "ghost"`},
 		},
 		{
-			name: "resolve: select past declared width",
+			name: "width: select past declared width",
 			src: `module m (
   input  wire [3:0] a,
   output wire y
@@ -324,7 +324,41 @@ endmodule
   assign y = a[4];
 endmodule
 `,
-			want: []string{"select a[4:4] exceeds declared width 4"},
+			want: []string{`part-select a[4:4] reads past the declared width 4 of "a"`},
+		},
+		{
+			name: "width: select bounds checked inside always and conditions",
+			src: `module m (
+  input  wire clk,
+  input  wire [3:0] a,
+  output reg [2:0] y
+);
+  always @(posedge clk) begin
+    if (a[5]) begin
+      y <= a[4:2];
+    end
+  end
+endmodule
+`,
+			want: []string{
+				`part-select a[5:5] reads past the declared width 4 of "a"`,
+				`part-select a[4:2] reads past the declared width 4 of "a"`,
+			},
+		},
+		{
+			name: "width: out-of-range select does not short-circuit the suite",
+			src: `module m (
+  input  wire [3:0] a,
+  output wire y
+);
+  wire dead = a[0];
+  assign y = a[4];
+endmodule
+`,
+			want: []string{
+				`part-select a[4:4] reads past the declared width 4 of "a"`,
+				`wire "dead" cannot reach any output port (dead logic)`,
+			},
 		},
 	}
 	for _, tc := range cases {
@@ -379,10 +413,66 @@ endmodule
 	if diags := analyze(t, bare, Options{}); len(diags) != 1 {
 		t.Fatalf("expected 1 diagnostic without allow, got:\n%s", renderAll(diags))
 	}
-	// An allow naming a different analyzer must not suppress.
+	// An allow naming a different analyzer must not suppress — and the
+	// pragma itself, now excusing nothing, is reported as stale.
 	wrong := strings.Replace(src, "rtl:allow driver", "rtl:allow width", 1)
-	if diags := analyze(t, wrong, Options{}); len(diags) != 1 {
-		t.Fatalf("allow for wrong analyzer suppressed:\n%s", renderAll(diags))
+	diags := analyze(t, wrong, Options{})
+	joined := renderAll(diags)
+	if len(diags) != 2 ||
+		!strings.Contains(joined, "[driver]") ||
+		!strings.Contains(joined, `[allow] //rtl:allow width suppresses no width finding`) {
+		t.Fatalf("want the driver finding plus a stale-allow finding, got:\n%s", joined)
+	}
+}
+
+// TestStaleAllow checks that an //rtl:allow pragma which suppresses
+// nothing is itself reported — except when the suite short-circuited on
+// resolve errors, where "suppressed nothing" would be unfounded.
+func TestStaleAllow(t *testing.T) {
+	src := `module m (
+  input  wire a,
+  output wire y
+);
+  //rtl:allow driver -- leftover from a dual-drive experiment
+  assign y = a;
+endmodule
+`
+	diags := analyze(t, src, Options{})
+	if len(diags) != 1 || diags[0].Analyzer != "allow" || diags[0].Line != 5 ||
+		!strings.Contains(diags[0].Message, "suppresses no driver finding") {
+		t.Fatalf("want one stale-allow finding at line 5, got:\n%s", renderAll(diags))
+	}
+
+	// The stale-allow finding is not itself suppressible: stacking an
+	// allow for "allow" on the same line changes nothing (and is stale
+	// too).
+	stacked := strings.Replace(src, "//rtl:allow driver", "//rtl:allow driver,allow", 1)
+	diags = analyze(t, stacked, Options{})
+	if len(diags) != 2 {
+		t.Fatalf("want two stale-allow findings, got:\n%s", renderAll(diags))
+	}
+	for _, d := range diags {
+		if d.Analyzer != "allow" {
+			t.Fatalf("want only [allow] findings, got:\n%s", renderAll(diags))
+		}
+	}
+
+	// Resolve errors short-circuit the suite; the allow is left alone.
+	broken := strings.Replace(src, "assign y = a;", "assign y = ghost;", 1)
+	diags = analyze(t, broken, Options{})
+	for _, d := range diags {
+		if d.Analyzer == "allow" {
+			t.Fatalf("stale-allow reported despite resolve short-circuit:\n%s", renderAll(diags))
+		}
+	}
+
+	// A prose mention of the pragma syntax inside an ordinary comment
+	// must not register as an exception.
+	prose := strings.Replace(src,
+		"//rtl:allow driver -- leftover from a dual-drive experiment",
+		"// document exceptions with //rtl:allow driver -- reason", 1)
+	if diags := analyze(t, prose, Options{}); len(diags) != 0 {
+		t.Fatalf("prose mention of the pragma registered:\n%s", renderAll(diags))
 	}
 }
 

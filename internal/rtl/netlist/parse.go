@@ -18,7 +18,7 @@ type Module struct {
 	Assigns []Assign // wire-with-initializer and continuous assigns
 	Always  []Always
 
-	allows map[allowKey]bool
+	allow allowTable
 }
 
 // Port is one ANSI-style module port.
@@ -160,7 +160,7 @@ type parser struct {
 // outside the supported synthesisable subset. Parse errors carry line
 // numbers; they never panic on any input (fuzzed).
 func Parse(src string) (*Module, error) {
-	toks, allows, err := lexAll(src)
+	toks, allow, err := lexAll(src)
 	if err != nil {
 		return nil, err
 	}
@@ -169,7 +169,7 @@ func Parse(src string) (*Module, error) {
 	if err != nil {
 		return nil, err
 	}
-	m.allows = allows
+	m.allow = allow
 	return m, nil
 }
 

@@ -1,0 +1,105 @@
+package sem
+
+import (
+	"testing"
+
+	"repro/internal/rtl/netlist"
+)
+
+// FuzzSemUnroll fuzzes the symbolic unroller: any module the front end
+// accepts must prove or report cleanly — never panic, never hang past
+// the work budget — under the generated-datapath protocol (controller
+// started, control inputs held low, every register checked against a
+// free variable it almost never equals, so the diagnostic path is
+// exercised too).
+func FuzzSemUnroll(f *testing.F) {
+	f.Add(`module m (
+  input  wire clk,
+  input  wire [3:0] a,
+  input  wire [3:0] b,
+  output wire [3:0] y
+);
+  reg [3:0] acc;
+  always @(posedge clk) begin
+    acc <= a + b;
+  end
+  assign y = acc;
+endmodule
+`)
+	f.Add(`module m (
+  input  wire clk,
+  input  wire rst,
+  input  wire start,
+  input  wire [7:0] in_a_0,
+  output wire [7:0] out_y,
+  output reg done
+);
+  reg running;
+  reg [3:0] cyc;
+  reg [7:0] r_y;
+  wire [7:0] u0_y = in_a_0 + in_a_0;
+  always @(posedge clk) begin
+    if (rst) begin
+      running <= 1'b0;
+      done <= 1'b0;
+      cyc <= 4'd0;
+    end else begin
+      if (start && !running) begin
+        running <= 1'b1;
+        done <= 1'b0;
+        cyc <= 4'd0;
+      end else begin
+        if (running) begin
+          cyc <= cyc + 4'd1;
+          if (cyc == 4'd1) begin
+            r_y <= u0_y;
+          end
+          if (cyc == 4'd2) begin
+            running <= 1'b0;
+            done <= 1'b1;
+          end
+        end
+      end
+    end
+  end
+  assign out_y = r_y;
+endmodule
+`)
+	f.Add(`module m (
+  input  wire clk,
+  input  wire [3:0] a,
+  output wire [15:0] y
+);
+  reg [15:0] p;
+  wire [7:0] w = {4'd0, a};
+  always @(posedge clk) begin
+    p <= w * w - {12'd0, a};
+  end
+  assign y = (a == 4'd3) ? p : p[15:0];
+endmodule
+`)
+	f.Add("module m (\n  input wire clk\n);\n  reg r;\n  always @(posedge clk) begin\n    r <= r;\n  end\nendmodule\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := netlist.Parse(src)
+		if err != nil {
+			return
+		}
+		d := netlist.Elaborate(m, "fuzz.v")
+		b := NewBuilder()
+		spec := Spec{
+			Cycles: 4,
+			Inputs: map[string]*Node{"clk": b.Const(0), "rst": b.Const(0), "start": b.Const(0)},
+			Init:   map[string]*Node{"running": b.Const(1), "cyc": b.Const(0), "done": b.Const(0)},
+		}
+		for name, n := range d.Nets {
+			if n.Reg {
+				spec.Checks = append(spec.Checks, Check{
+					Net: name, Cycle: 3, Want: b.Var("want#"+name, n.Width), Label: "a fuzz obligation",
+				})
+			}
+		}
+		// Prove must terminate without panicking on anything that
+		// parses; its verdicts are unconstrained here.
+		Prove(d, b, spec)
+	})
+}

@@ -33,7 +33,7 @@ import (
 // when they are not — a distinction no textual width check can make.
 func (d *Design) checkWidths() []Diag {
 	bounds := d.netBounds()
-	var diags []Diag
+	diags := d.checkSelectBounds()
 	check := func(target string, expr Expr, line int) {
 		n := d.Nets[target]
 		if n == nil {
@@ -69,6 +69,64 @@ func (d *Design) checkWidths() []Diag {
 		for _, drv := range d.Nets[name].Drivers {
 			check(name, drv.Expr, drv.Line)
 		}
+	}
+	return diags
+}
+
+// checkSelectBounds flags part- and bit-selects whose bounds exceed the
+// declared width of the selected net, in every expression context
+// (assign right-hand sides, always-block conditions and statements).
+// Selecting past the top bit reads Verilog x-bits, not a sanctioned
+// truncation — the sanctioned path keeps Hi inside the declaration —
+// and before this check the shape slipped through the width pass
+// because selfWidth trusted Hi-Lo+1 without consulting the net.
+func (d *Design) checkSelectBounds() []Diag {
+	var diags []Diag
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch e := e.(type) {
+		case Select:
+			walk(e.X)
+			if ref, ok := e.X.(Ref); ok {
+				if n := d.Nets[ref.Name]; n != nil && e.Hi >= n.Width {
+					diags = append(diags, Diag{File: d.File, Line: e.Line, Net: ref.Name, Analyzer: "width",
+						Message: fmt.Sprintf("part-select %s[%d:%d] reads past the declared width %d of %q (out-of-range bits are not a sanctioned truncation)",
+							ref.Name, e.Hi, e.Lo, n.Width, ref.Name)})
+				}
+			}
+		case Unary:
+			walk(e.X)
+		case Binary:
+			walk(e.X)
+			walk(e.Y)
+		case Ternary:
+			walk(e.Cond)
+			walk(e.Then)
+			walk(e.Else)
+		case Concat:
+			for _, part := range e.Parts {
+				walk(part)
+			}
+		}
+	}
+	var walkStmts func(stmts []Stmt)
+	walkStmts = func(stmts []Stmt) {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case NonBlocking:
+				walk(s.Expr)
+			case If:
+				walk(s.Cond)
+				walkStmts(s.Then)
+				walkStmts(s.Else)
+			}
+		}
+	}
+	for _, a := range d.Module.Assigns {
+		walk(a.Expr)
+	}
+	for _, al := range d.Module.Always {
+		walkStmts(al.Body)
 	}
 	return diags
 }

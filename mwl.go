@@ -51,7 +51,6 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/regalloc"
 	"repro/internal/rtl"
-	"repro/internal/rtl/netlist"
 	"repro/internal/tgff"
 	"repro/internal/workloads"
 )
@@ -164,11 +163,32 @@ func GenerateVerilog(moduleName string, g *Graph, lib *Library, dp *Datapath) (s
 // empty for a clean module; err is non-nil only when the source does
 // not parse.
 func AnalyzeVerilog(src string, g *Graph) ([]string, error) {
-	var widths map[string]int
-	if g != nil {
-		widths = rtl.ExpectedWidths(g)
+	diags, err := rtl.Analyze(src, rtl.AnalyzeOptions{Graph: g})
+	if err != nil {
+		return nil, err
 	}
-	diags, err := netlist.Analyze(src, netlist.Options{ExpectedWidths: widths})
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.String()
+	}
+	return out, nil
+}
+
+// ProveVerilog runs AnalyzeVerilog's suite plus the "equiv" analyzer: a
+// symbolic proof, by cycle-accurate unrolling across the schedule's
+// makespan, that every result register and output port of the module
+// carries exactly the fixed-point value the dataflow graph defines for
+// it. An empty result is a functional-correctness certificate for the
+// module under the binding and schedule (within the prover's canonical
+// form — expressions are normalised modulo commutativity and
+// truncation congruence, so an inequivalence it cannot refute is
+// reported as "cannot prove" rather than silently passed). lib may be
+// nil for DefaultLibrary.
+func ProveVerilog(src string, g *Graph, lib *Library, dp *Datapath) ([]string, error) {
+	if lib == nil {
+		lib = DefaultLibrary()
+	}
+	diags, err := rtl.Analyze(src, rtl.AnalyzeOptions{Graph: g, Lib: lib, Datapath: dp})
 	if err != nil {
 		return nil, err
 	}

@@ -88,6 +88,20 @@ func TestDifferentialAllMethods(t *testing.T) {
 				t.Fatalf("graph %d: %s: analyzer findings on emitted Verilog:\n%s\nproblem: %s",
 					i, m, strings.Join(findings, "\n"), problemJSON(t, p))
 			}
+
+			// A sampled slice additionally goes through the symbolic
+			// equivalence prover: the module must be shown to compute the
+			// graph, not just to be structurally clean.
+			if i%10 == 0 {
+				proofs, err := mwl.ProveVerilog(src, g, mwl.DefaultLibrary(), sol.Datapath)
+				if err != nil {
+					t.Fatalf("graph %d: %s: prove: %v\nproblem: %s", i, m, err, problemJSON(t, p))
+				}
+				if len(proofs) > 0 {
+					t.Fatalf("graph %d: %s: equivalence proof failed:\n%s\nproblem: %s",
+						i, m, strings.Join(proofs, "\n"), problemJSON(t, p))
+				}
+			}
 		}
 
 		// The portfolio races the same entrants under the same options
