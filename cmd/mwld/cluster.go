@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"strings"
 	"sync/atomic"
@@ -22,21 +23,37 @@ import (
 // than bouncing between replicas that each believe the other owns it.
 const forwardedHeader = "X-Mwld-Forwarded"
 
+// defaultRelayLimit caps how much of an owner's response body the
+// forwarder will buffer before classifying the relay as failed.
+const defaultRelayLimit = 64 << 20
+
 // cluster is mwld's horizontal scale-out mode: problems are owned by
 // exactly one replica — rendezvous hashing of Problem.Hash() over the
 // shared peer list — so each problem is computed (and cached, and
 // persisted) once cluster-wide. The owner solves locally; every other
-// replica proxies the solve to the owner and relays the result,
-// falling back to a local solve when the owner is unreachable.
+// replica proxies the solve to the first live replica in the key's rank
+// order and relays the result, falling back to a local solve (preceded
+// by a read-through of the ranked replicas' stores) when no owner is
+// reachable.
 type cluster struct {
 	ring   *shard.Ring
 	self   string
 	client *http.Client
 
+	health *healthChecker // nil = no active health checking: all peers assumed up
+	rep    *replicator    // nil = no write-through replication
+
+	relayLimit   int64         // max owner response bytes a forwarder buffers
+	fetchTimeout time.Duration // per-peer budget of a replication read-through
+
 	// Counters surfaced on /metrics.
-	owned     atomic.Uint64 // requests solved locally as the key's owner
-	forwarded atomic.Uint64 // requests proxied to their owner
-	fallback  atomic.Uint64 // owner unreachable: solved locally instead
+	owned       atomic.Uint64 // requests solved locally as the key's owner
+	forwarded   atomic.Uint64 // requests proxied to their owner
+	fallback    atomic.Uint64 // owner unreachable: solved locally instead
+	rerouted    atomic.Uint64 // requests routed past a down owner without burning a timeout
+	relayErrors atomic.Uint64 // relays that died mid-body after the status line
+	readHits    atomic.Uint64 // fallback solves served from a ranked peer's store
+	readMisses  atomic.Uint64 // fallback read-throughs that found no copy and recomputed
 }
 
 // newCluster validates the peer list and returns the routing state, or
@@ -49,8 +66,21 @@ func newCluster(peers, self string) (*cluster, error) {
 		return nil, nil
 	}
 	list := strings.Split(peers, ",")
+	seen := make(map[string]bool, len(list))
 	for i, p := range list {
 		list[i] = normalizeAddr(p)
+		if list[i] == "" {
+			continue
+		}
+		// Rejecting duplicates here (rather than silently deduplicating
+		// like shard.New) catches the config error that matters: the
+		// same host listed twice, usually via case or scheme variants,
+		// which would silently shrink the cluster one replica below
+		// what the operator believes is running.
+		if seen[list[i]] {
+			return nil, fmt.Errorf("-peers: duplicate replica %q after normalization", list[i])
+		}
+		seen[list[i]] = true
 	}
 	ring, err := shard.New(list)
 	if err != nil {
@@ -64,8 +94,10 @@ func newCluster(peers, self string) (*cluster, error) {
 		return nil, fmt.Errorf("-self %q is not in -peers %v", self, ring.Replicas())
 	}
 	return &cluster{
-		ring: ring,
-		self: self,
+		ring:         ring,
+		self:         self,
+		relayLimit:   defaultRelayLimit,
+		fetchTimeout: 2 * time.Second,
 		client: &http.Client{
 			// Connections to a dead peer must fail fast enough for the
 			// local fallback to still answer within the client's patience;
@@ -79,8 +111,11 @@ func newCluster(peers, self string) (*cluster, error) {
 	}, nil
 }
 
-// normalizeAddr trims a peer address and defaults the scheme to http,
-// so "-peers host1:8080,host2:8080" works as written.
+// normalizeAddr trims a peer address, defaults the scheme to http, and
+// lowercases the scheme and host — so "-peers host1:8080,host2:8080"
+// works as written, and "Host1:8080" on one replica and "host1:8080" on
+// another rendezvous-hash to the same owner instead of silently
+// splitting every key's ownership across the cluster.
 func normalizeAddr(a string) string {
 	a = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(a), "/"))
 	if a == "" {
@@ -88,6 +123,12 @@ func normalizeAddr(a string) string {
 	}
 	if !strings.Contains(a, "://") {
 		a = "http://" + a
+	}
+	scheme, rest, _ := strings.Cut(a, "://")
+	host, path, hasPath := strings.Cut(rest, "/")
+	a = strings.ToLower(scheme) + "://" + strings.ToLower(host)
+	if hasPath {
+		a += "/" + path
 	}
 	return a
 }
@@ -102,20 +143,137 @@ func (c *cluster) owner(p mwl.Problem) string {
 	return c.ring.Owner(key)
 }
 
+// alive reports whether a replica is believed reachable. Without a
+// health checker every peer is assumed up, which reproduces the static
+// relay-or-fallback behaviour; self is up by definition.
+func (c *cluster) alive(addr string) bool {
+	return addr == c.self || c.health == nil || c.health.up(addr)
+}
+
+// target returns the replica that should answer p right now: the first
+// live replica in the key's rank order — the true owner when it is up,
+// otherwise the deterministic failover target — or "" when the problem
+// has no canonical hash. Self always qualifies, so a fully partitioned
+// replica degrades to solving everything locally.
+func (c *cluster) target(p mwl.Problem) string {
+	key, err := p.Hash()
+	if err != nil {
+		return ""
+	}
+	return c.ring.First(key, c.alive)
+}
+
+// routeCounters records the owned/fallback/rerouted counter movement of
+// one routed request that is about to be answered locally.
+func (c *cluster) routeCounters(target, trueOwner string) {
+	if trueOwner != "" && target != trueOwner {
+		c.rerouted.Add(1)
+	}
+	if target == c.self {
+		if trueOwner == c.self {
+			c.owned.Add(1)
+		} else {
+			c.fallback.Add(1)
+		}
+	}
+}
+
+// serveLocal answers p on this replica. When this replica is not the
+// problem's true owner (it is acting for a down owner, or a forward
+// landed here), the ranked replicas' stores are read through before any
+// local compute: first the local cache/store, then the live peers in
+// rank order via the internal fetch endpoint — so a replica dying does
+// not trigger a recomputation storm for the keys it already solved and
+// replicated.
+func (c *cluster) serveLocal(ctx context.Context, svc *mwl.Service, p mwl.Problem, trueOwner string) (mwl.Solution, error) {
+	if trueOwner != "" && trueOwner != c.self {
+		if key, err := p.Hash(); err == nil {
+			if sol, ok := svc.Peek(key); ok {
+				sol.Cached = true
+				return sol, nil
+			}
+			if sol, ok := c.readThrough(ctx, key); ok {
+				c.readHits.Add(1)
+				svc.Admit(key, sol)
+				sol.Cached = true
+				return sol, nil
+			}
+			c.readMisses.Add(1)
+		}
+	}
+	return svc.Solve(ctx, p)
+}
+
+// readThrough asks every live ranked peer, owner-first, for its stored
+// copy of key. The first hit wins; transport failures and 404s just
+// move on to the next candidate.
+func (c *cluster) readThrough(ctx context.Context, key string) (mwl.Solution, bool) {
+	for _, addr := range c.ring.Rank(key) {
+		if addr == c.self || !c.alive(addr) {
+			continue
+		}
+		if sol, ok := c.fetch(ctx, addr, key); ok {
+			return sol, true
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return mwl.Solution{}, false
+}
+
+// fetch retrieves one peer's stored solution for key via the internal
+// fetch endpoint, bounded by fetchTimeout so a slow peer cannot stall
+// the fallback path it exists to accelerate.
+func (c *cluster) fetch(ctx context.Context, addr, key string) (mwl.Solution, bool) {
+	fctx, cancel := context.WithTimeout(ctx, c.fetchTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(fctx, "GET", addr+"/internal/v1/solution/"+key, nil)
+	if err != nil {
+		return mwl.Solution{}, false
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.observeFailure(addr)
+		return mwl.Solution{}, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return mwl.Solution{}, false
+	}
+	var sol mwl.Solution
+	if err := json.NewDecoder(io.LimitReader(resp.Body, c.relayLimit)).Decode(&sol); err != nil || sol.Datapath == nil {
+		return mwl.Solution{}, false
+	}
+	return sol, true
+}
+
+// observeFailure feeds a transport failure seen on the request path into
+// the health state, so a peer that died between probes is marked down by
+// the traffic that discovers it rather than only by the next probe.
+func (c *cluster) observeFailure(addr string) {
+	if c.health != nil {
+		c.health.observe(addr, false)
+	}
+}
+
 // solver returns the per-problem solve function for batch endpoints:
-// owned problems go through the local service, the rest are forwarded
-// to their owner with a local fallback. Passed to
-// Service.SolveBatchVia, which bounds the fan-out either way.
+// problems are answered by the first live ranked replica — locally when
+// that is us, otherwise forwarded with a read-through-then-recompute
+// fallback. Passed to Service.SolveBatchVia, which bounds the fan-out
+// either way.
 func (c *cluster) solver(svc *mwl.Service) func(context.Context, mwl.Problem) (mwl.Solution, error) {
 	return func(ctx context.Context, p mwl.Problem) (mwl.Solution, error) {
-		owner := c.owner(p)
-		if owner == "" || owner == c.self {
-			if owner == c.self {
-				c.owned.Add(1)
-			}
-			return svc.Solve(ctx, p)
+		trueOwner := c.owner(p)
+		target := c.target(p)
+		if target == "" || target == c.self {
+			c.routeCounters(target, trueOwner)
+			return c.serveLocal(ctx, svc, p, trueOwner)
 		}
-		sol, err, relayed := c.forwardSolve(ctx, owner, p)
+		if trueOwner != "" && target != trueOwner {
+			c.rerouted.Add(1)
+		}
+		sol, err, relayed := c.forwardSolve(ctx, target, p)
 		if relayed {
 			c.forwarded.Add(1)
 			return sol, err
@@ -124,21 +282,40 @@ func (c *cluster) solver(svc *mwl.Service) func(context.Context, mwl.Problem) (m
 			return mwl.Solution{}, ctx.Err()
 		}
 		c.fallback.Add(1)
-		return svc.Solve(ctx, p)
+		return c.serveLocal(ctx, svc, p, trueOwner)
 	}
 }
 
-// forwardSolve proxies one problem to its owner's /v1/solve. relayed
-// reports whether the owner answered at all: a transport failure
-// (connection refused, owner mid-restart) returns relayed=false and the
-// caller solves locally; an HTTP-level answer — success or error — is
-// the owner's verdict and is returned as-is.
-func (c *cluster) forwardSolve(ctx context.Context, owner string, p mwl.Problem) (sol mwl.Solution, err error, relayed bool) {
+// localSolver is the batch solve function for requests a peer already
+// forwarded here: never forwarded onward, but still read-through-aware,
+// so a forward that lands on a non-owner (the owner died) serves the
+// replicated copy instead of recomputing.
+func (c *cluster) localSolver(svc *mwl.Service) func(context.Context, mwl.Problem) (mwl.Solution, error) {
+	return func(ctx context.Context, p mwl.Problem) (mwl.Solution, error) {
+		return c.serveLocal(ctx, svc, p, c.owner(p))
+	}
+}
+
+// unavailableStatus reports whether an HTTP status from a peer means
+// "cannot serve right now" rather than a verdict on the problem: 499 is
+// a replica draining for shutdown, 503/429 a replica shedding load.
+// Falling back keeps those conditions invisible to clients.
+func unavailableStatus(code int) bool {
+	return code == 499 || code == http.StatusServiceUnavailable || code == http.StatusTooManyRequests
+}
+
+// forwardSolve proxies one problem to target's /v1/solve. relayed
+// reports whether the target answered usefully: a transport failure
+// (connection refused, mid-restart, truncated response) or an
+// unavailable status (draining, shedding) returns relayed=false and the
+// caller solves locally; any other HTTP-level answer — success or error
+// — is the target's verdict and is returned as-is.
+func (c *cluster) forwardSolve(ctx context.Context, target string, p mwl.Problem) (sol mwl.Solution, err error, relayed bool) {
 	blob, err := json.Marshal(p)
 	if err != nil {
 		return mwl.Solution{}, err, false
 	}
-	req, err := http.NewRequestWithContext(ctx, "POST", owner+"/v1/solve", bytes.NewReader(blob))
+	req, err := http.NewRequestWithContext(ctx, "POST", target+"/v1/solve", bytes.NewReader(blob))
 	if err != nil {
 		return mwl.Solution{}, err, false
 	}
@@ -146,18 +323,24 @@ func (c *cluster) forwardSolve(ctx context.Context, owner string, p mwl.Problem)
 	req.Header.Set(forwardedHeader, c.self)
 	resp, err := c.client.Do(req)
 	if err != nil {
+		if ctx.Err() == nil {
+			c.observeFailure(target)
+		}
 		return mwl.Solution{}, err, false
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	// Read one byte past the relay limit: a body that reaches it was
+	// truncated, and decoding a truncated solution would surface as a
+	// confusing JSON error instead of engaging the fallback path.
+	body, err := io.ReadAll(io.LimitReader(resp.Body, c.relayLimit+1))
 	if err != nil {
 		return mwl.Solution{}, err, false
 	}
-	// A 499 with our own context still live means the owner canceled the
-	// solve for its own reasons (it is draining for shutdown): that is
-	// the owner being unavailable, not a verdict on the problem.
-	if resp.StatusCode == 499 && ctx.Err() == nil {
-		return mwl.Solution{}, fmt.Errorf("owner %s draining", owner), false
+	if int64(len(body)) > c.relayLimit {
+		return mwl.Solution{}, fmt.Errorf("owner %s: response exceeds the %d-byte relay limit", target, c.relayLimit), false
+	}
+	if unavailableStatus(resp.StatusCode) && ctx.Err() == nil {
+		return mwl.Solution{}, fmt.Errorf("owner %s unavailable (status %d)", target, resp.StatusCode), false
 	}
 	if resp.StatusCode != http.StatusOK {
 		var e struct {
@@ -169,7 +352,7 @@ func (c *cluster) forwardSolve(ctx context.Context, owner string, p mwl.Problem)
 		}
 		infeasible := resp.StatusCode == http.StatusUnprocessableEntity
 		if !infeasible {
-			msg = fmt.Sprintf("owner %s: %s", owner, msg)
+			msg = fmt.Sprintf("owner %s: %s", target, msg)
 		}
 		// FromWire keeps the relayed classification: infeasible verdicts
 		// wrap mwl.ErrInfeasible and survive re-Wire()ing in a batch.
@@ -177,20 +360,20 @@ func (c *cluster) forwardSolve(ctx context.Context, owner string, p mwl.Problem)
 		return mwl.Solution{}, rec.FromWire().Err, true
 	}
 	if err := json.Unmarshal(body, &sol); err != nil {
-		return mwl.Solution{}, fmt.Errorf("owner %s: decoding solution: %w", owner, err), false
+		return mwl.Solution{}, fmt.Errorf("owner %s: decoding solution: %w", target, err), false
 	}
 	return sol, nil, true
 }
 
-// relay proxies a single-solve request body to the owner and copies the
-// owner's response — status, headers that matter, body — back to the
-// client verbatim, counting it as forwarded. Returns false when the
-// owner is unreachable or draining, in which case nothing has been
+// relay proxies a single-solve request body to target and copies the
+// response — status, headers that matter, body — back to the client
+// verbatim, counting it as forwarded. Returns false when the target is
+// unreachable, draining or shedding, in which case nothing has been
 // written and the caller falls back to a local solve. A requesting
 // client that disconnected mid-relay is answered 499 without touching
 // the forwarded counter: nothing reached anyone.
-func (c *cluster) relay(w http.ResponseWriter, r *http.Request, owner string, body []byte) bool {
-	req, err := http.NewRequestWithContext(r.Context(), "POST", owner+"/v1/solve", bytes.NewReader(body))
+func (c *cluster) relay(w http.ResponseWriter, r *http.Request, target string, body []byte) bool {
+	req, err := http.NewRequestWithContext(r.Context(), "POST", target+"/v1/solve", bytes.NewReader(body))
 	if err != nil {
 		return false
 	}
@@ -204,20 +387,29 @@ func (c *cluster) relay(w http.ResponseWriter, r *http.Request, owner string, bo
 			writeError(w, 499, r.Context().Err())
 			return true
 		}
+		c.observeFailure(target)
 		return false
 	}
 	defer resp.Body.Close()
-	// An owner-side cancellation with our client still connected means
-	// the owner is draining for shutdown: fall back to a local solve
-	// rather than relaying a 499 the client never caused.
-	if resp.StatusCode == 499 && r.Context().Err() == nil {
+	// An owner that cannot serve right now — draining for shutdown (499
+	// with our client still connected) or shedding load (503/429) — is
+	// unavailable, not a verdict: fall back to a local solve rather than
+	// relaying an error the client never caused.
+	if unavailableStatus(resp.StatusCode) && r.Context().Err() == nil {
 		return false
 	}
 	if ct := resp.Header.Get("Content-Type"); ct != "" {
 		w.Header().Set("Content-Type", ct)
 	}
 	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body)
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		// The status line is already on the wire, so this relay must
+		// count as forwarded either way — but a copy that died mid-body
+		// handed the client a truncated response indistinguishable from
+		// success unless it is made visible here.
+		c.relayErrors.Add(1)
+		log.Printf("relay from %s died mid-body: %v", target, err)
+	}
 	c.forwarded.Add(1)
 	return true
 }
@@ -232,9 +424,19 @@ func (c *cluster) writeShardMetrics(w io.Writer) {
 		{"mwld_shard_owned_total", "Solve requests handled locally because this replica owns the problem hash.", c.owned.Load()},
 		{"mwld_shard_forwarded_total", "Solve requests proxied to the owning replica.", c.forwarded.Load()},
 		{"mwld_shard_fallback_total", "Solve requests answered locally because the owning replica was unreachable.", c.fallback.Load()},
+		{"mwld_shard_rerouted_total", "Solve requests routed past a down owner to the next ranked replica before burning a connection timeout.", c.rerouted.Load()},
+		{"mwld_shard_relay_errors_total", "Relays that failed after the status line was written, handing the client a truncated response.", c.relayErrors.Load()},
+		{"mwld_readthrough_hits_total", "Fallback solves served from a ranked peer's store instead of recomputing.", c.readHits.Load()},
+		{"mwld_readthrough_misses_total", "Fallback read-throughs that found no replicated copy and recomputed locally.", c.readMisses.Load()},
 	}
 	for _, ct := range counters {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", ct.name, ct.help, ct.name, ct.name, ct.v)
 	}
 	fmt.Fprintf(w, "# HELP mwld_shard_replicas Replicas in the configured peer list.\n# TYPE mwld_shard_replicas gauge\nmwld_shard_replicas %d\n", c.ring.Len())
+	if c.health != nil {
+		c.health.writeMetrics(w)
+	}
+	if c.rep != nil {
+		c.rep.writeMetrics(w)
+	}
 }

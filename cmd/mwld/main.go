@@ -24,7 +24,15 @@
 // problems are sharded by their canonical hash with rendezvous hashing,
 // the owning replica computes and persists each solution, and the other
 // replicas proxy solves to the owner and relay its answer — falling
-// back to a local solve if the owner is unreachable.
+// back to a local solve if the owner is unreachable. The cluster is
+// self-healing: each replica probes its peers' /healthz (-health-*) and
+// routes around a down owner before burning a connection timeout;
+// solved entries are replicated asynchronously to the next ranked
+// replicas (-replicate), and a replica acting for a dead owner serves
+// the replicated copy — fetched via the internal
+// /internal/v1/solution/{key} endpoints — instead of recomputing.
+// Admission control (-rate, -burst, -queue-depth) sheds excess load
+// with 429/503 + Retry-After before it queues.
 //
 // Usage:
 //
@@ -70,6 +78,14 @@ func main() {
 		peers        = flag.String("peers", "", "comma-separated replica addresses of the whole cluster, this one included (empty = single replica)")
 		self         = flag.String("self", "", "this replica's address exactly as it appears in -peers")
 		verify       = flag.Bool("verify", false, "validate every solution with mwl.Verify before serving; re-verify store entries on load")
+		replicate    = flag.Int("replicate", 1, "copies of each solved entry across the cluster, the solver's own included (1 = no replication)")
+		healthEvery  = flag.Duration("health-interval", time.Second, "gap between peer health probes in cluster mode (0 = no active health checking)")
+		healthRTT    = flag.Duration("health-timeout", 500*time.Millisecond, "per-probe round-trip timeout")
+		healthFails  = flag.Int("health-fails", 3, "consecutive failed probes marking a peer down")
+		healthPasses = flag.Int("health-passes", 2, "consecutive successful probes marking a down peer up again")
+		queueDepth   = flag.Int("queue-depth", 1024, "shed solve requests with 503 when this many solves already wait for a worker (0 = never shed)")
+		rate         = flag.Float64("rate", 0, "per-client solve rate limit in requests/second (0 = unlimited)")
+		burst        = flag.Int("burst", 0, "per-client burst allowance above -rate (minimum 1)")
 	)
 	flag.Parse()
 
@@ -95,12 +111,32 @@ func main() {
 		opts.Store = fs
 	}
 
+	var rep *replicator
+	if cl != nil {
+		rep = cl.attachReplicator(*replicate)
+	}
+	if rep != nil {
+		opts.OnSolved = rep.onSolved
+	}
+	svc := mwl.NewServiceWith(opts)
+
+	var hc *healthChecker
+	if cl != nil && *healthEvery > 0 {
+		hc = cl.attachHealth(healthConfig{
+			interval:  *healthEvery,
+			timeout:   *healthRTT,
+			failAfter: *healthFails,
+			passAfter: *healthPasses,
+		})
+	}
+
 	srv := newServer(*addr, handlerConfig{
-		svc:      mwl.NewServiceWith(opts),
+		svc:      svc,
 		maxBody:  *maxBody,
 		batchMax: *batchMax,
 		maxNodes: *maxNodes,
 		cluster:  cl,
+		adm:      newAdmission(svc, *queueDepth, *rate, *burst),
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -115,10 +151,18 @@ func main() {
 	}()
 
 	if cl != nil {
-		log.Printf("cluster mode: self %s, peers %v", cl.self, cl.ring.Replicas())
+		log.Printf("cluster mode: self %s, peers %v, replicate %d, health probes every %v",
+			cl.self, cl.ring.Replicas(), *replicate, *healthEvery)
 	}
 	log.Printf("serving on %s (methods: %v)", *addr, mwl.Methods())
-	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+	err = srv.ListenAndServe()
+	if hc != nil {
+		hc.close()
+	}
+	if rep != nil {
+		rep.close()
+	}
+	if !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
 }
@@ -140,9 +184,10 @@ const defaultMaxNodes = 10000
 type handlerConfig struct {
 	svc      *mwl.Service
 	maxBody  int64
-	batchMax int      // max problems per batch/stream request; <= 0 = unlimited
-	maxNodes int      // max operations per problem graph; <= 0 = unlimited
-	cluster  *cluster // nil = single-replica mode
+	batchMax int        // max problems per batch/stream request; <= 0 = unlimited
+	maxNodes int        // max operations per problem graph; <= 0 = unlimited
+	cluster  *cluster   // nil = single-replica mode
+	adm      *admission // nil = no admission control
 }
 
 // newServer assembles the mwld HTTP server. Every request context
@@ -196,12 +241,18 @@ func newHandler(cfg handlerConfig) http.Handler {
 		return cl != nil && r.Header.Get(forwardedHeader) == ""
 	}
 	// batchSolve is the per-problem solve of the batch endpoints:
-	// straight through the service, or shard-routed in cluster mode.
+	// straight through the service, shard-routed in cluster mode, or —
+	// for requests a peer already forwarded here — a local solve that is
+	// still read-through-aware, so a forward rerouted past a dead owner
+	// serves the replicated copy instead of recomputing it.
 	batchSolve := func(r *http.Request) func(context.Context, mwl.Problem) (mwl.Solution, error) {
+		if cl == nil {
+			return nil // SolveBatchVia defaults to svc.Solve
+		}
 		if routed(r) {
 			return cl.solver(svc)
 		}
-		return nil // SolveBatchVia defaults to svc.Solve
+		return cl.localSolver(svc)
 	}
 	// admitSize enforces the per-problem node cap; a violation is the
 	// same class of refusal as an oversized batch (413 with JSON body).
@@ -241,7 +292,18 @@ func newHandler(cfg handlerConfig) http.Handler {
 		return req, true
 	}
 
+	// writeSolve renders one solve outcome.
+	writeSolve := func(w http.ResponseWriter, sol mwl.Solution, err error) {
+		if err != nil {
+			writeError(w, solveStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, sol)
+	}
 	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
+		if !cfg.adm.admit(w, r) {
+			return
+		}
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
 		if err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
@@ -255,24 +317,82 @@ func newHandler(cfg handlerConfig) http.Handler {
 		if !admitSize(w, p) {
 			return
 		}
-		if routed(r) {
-			if owner := cl.owner(p); owner != "" && owner != cl.self {
-				if cl.relay(w, r, owner, body) {
+		if cl == nil {
+			sol, err := svc.Solve(r.Context(), p)
+			writeSolve(w, sol, err)
+			return
+		}
+		trueOwner := cl.owner(p)
+		if routed(r) && trueOwner != "" {
+			// Route to the first live ranked replica: the true owner when
+			// it is healthy, otherwise its failover successor — skipping a
+			// known-down owner before burning a connection timeout on it.
+			if target := cl.target(p); target != "" && target != cl.self {
+				if target != trueOwner {
+					cl.rerouted.Add(1)
+				}
+				if cl.relay(w, r, target, body) {
 					return
 				}
 				cl.fallback.Add(1)
-			} else if owner == cl.self {
-				cl.owned.Add(1)
+			} else {
+				cl.routeCounters(target, trueOwner)
 			}
 		}
-		sol, err := svc.Solve(r.Context(), p)
-		if err != nil {
-			writeError(w, solveStatus(err), err)
+		sol, err := cl.serveLocal(r.Context(), svc, p, trueOwner)
+		writeSolve(w, sol, err)
+	})
+	// The internal solution endpoints are the cluster's replication
+	// plane: peers PUT copies of freshly solved entries here, and a
+	// replica acting for a down owner GETs the ranked replicas' copies
+	// before recomputing. Keys are canonical problem hashes.
+	validKey := func(key string) bool {
+		if len(key) != 64 {
+			return false
+		}
+		for i := 0; i < len(key); i++ {
+			c := key[i]
+			if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+				return false
+			}
+		}
+		return true
+	}
+	mux.HandleFunc("GET /internal/v1/solution/{key}", func(w http.ResponseWriter, r *http.Request) {
+		key := r.PathValue("key")
+		if !validKey(key) {
+			writeError(w, http.StatusBadRequest, errors.New("key must be a 64-character lowercase hex problem hash"))
+			return
+		}
+		sol, ok := svc.Peek(key)
+		if !ok {
+			writeError(w, http.StatusNotFound, errors.New("no stored solution for key"))
 			return
 		}
 		writeJSON(w, http.StatusOK, sol)
 	})
+	mux.HandleFunc("PUT /internal/v1/solution/{key}", func(w http.ResponseWriter, r *http.Request) {
+		key := r.PathValue("key")
+		if !validKey(key) {
+			writeError(w, http.StatusBadRequest, errors.New("key must be a 64-character lowercase hex problem hash"))
+			return
+		}
+		var sol mwl.Solution
+		if err := decodeBody(w, r, maxBody, &sol); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if sol.Datapath == nil {
+			writeError(w, http.StatusBadRequest, errors.New("replicated solution has no datapath"))
+			return
+		}
+		svc.Admit(key, sol)
+		w.WriteHeader(http.StatusNoContent)
+	})
 	mux.HandleFunc("POST /v1/solve/batch", func(w http.ResponseWriter, r *http.Request) {
+		if !cfg.adm.admit(w, r) {
+			return
+		}
 		req, ok := decodeBatch(w, r)
 		if !ok {
 			return
@@ -290,6 +410,9 @@ func newHandler(cfg handlerConfig) http.Handler {
 		writeJSON(w, http.StatusOK, mwl.WireBatch(out))
 	})
 	mux.HandleFunc("POST /v1/solve/stream", func(w http.ResponseWriter, r *http.Request) {
+		if !cfg.adm.admit(w, r) {
+			return
+		}
 		req, ok := decodeBatch(w, r)
 		if !ok {
 			return
@@ -320,6 +443,8 @@ func newHandler(cfg handlerConfig) http.Handler {
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		writeMetrics(w, svc.Metrics())
+		fmt.Fprintf(w, "# HELP mwld_queue_depth Solves waiting for a worker slot right now.\n# TYPE mwld_queue_depth gauge\nmwld_queue_depth %d\n", svc.Queued())
+		cfg.adm.writeMetrics(w)
 		if cl != nil {
 			cl.writeShardMetrics(w)
 		}

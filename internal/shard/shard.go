@@ -108,6 +108,20 @@ func (r *Ring) Rank(key string) []string {
 	return out
 }
 
+// First returns the highest-ranked replica for key that the predicate
+// accepts — the routing primitive of health-aware clusters, where ok
+// reports liveness: the true owner when it is up, otherwise the first
+// live replica in the deterministic failover order. Returns "" when no
+// replica is accepted.
+func (r *Ring) First(key string, ok func(addr string) bool) string {
+	for _, rep := range r.Rank(key) {
+		if ok(rep) {
+			return rep
+		}
+	}
+	return ""
+}
+
 // score is the rendezvous weight of (key, replica): FNV-1a over the
 // pair with a separator that cannot appear in a hex problem hash (so
 // distinct pairs cannot collide by concatenation), pushed through a

@@ -146,3 +146,25 @@ func TestZeroRing(t *testing.T) {
 		t.Fatal("zero ring owns keys")
 	}
 }
+
+// TestFirst: First walks the rank order and returns the highest-ranked
+// replica the predicate accepts — the owner when everything is up, the
+// failover successor when the owner is excluded, "" when nothing is.
+func TestFirst(t *testing.T) {
+	r, err := New([]string{"http://a:1", "http://b:1", "http://c:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys(20) {
+		rank := r.Rank(k)
+		if got := r.First(k, func(string) bool { return true }); got != rank[0] {
+			t.Fatalf("First(all up) = %s, want owner %s", got, rank[0])
+		}
+		if got := r.First(k, func(a string) bool { return a != rank[0] }); got != rank[1] {
+			t.Fatalf("First(owner down) = %s, want %s", got, rank[1])
+		}
+		if got := r.First(k, func(string) bool { return false }); got != "" {
+			t.Fatalf("First(all down) = %q, want empty", got)
+		}
+	}
+}

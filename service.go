@@ -37,6 +37,13 @@ type ServiceOptions struct {
 	// recomputed and repaired instead of served. Solutions entering the
 	// in-memory LRU have passed verification, so cache hits stay cheap.
 	Verify bool
+	// OnSolved, when non-nil, is called after every fresh successful
+	// solve (cache hits, store hits and failures excluded) with the
+	// problem's canonical hash and its solution. cmd/mwld uses it as the
+	// write-through hook of cluster replication; the callback runs on
+	// the solving goroutine, so implementations that do I/O should hand
+	// the work off rather than block the solve.
+	OnSolved func(key string, sol Solution)
 }
 
 // Service is a concurrent solve front end: it bounds the number of
@@ -47,9 +54,12 @@ type ServiceOptions struct {
 // concurrent use; the zero value is not usable — construct one with
 // NewService or NewServiceWith.
 type Service struct {
-	sem    chan struct{} // worker-pool slots
-	store  Store         // optional persistence under the LRU
-	verify bool          // validate every solution before serving it
+	sem      chan struct{} // worker-pool slots
+	store    Store         // optional persistence under the LRU
+	verify   bool          // validate every solution before serving it
+	onSolved func(key string, sol Solution)
+
+	queued atomic.Int64 // solves waiting for a worker slot right now
 
 	mu       sync.Mutex
 	cache    *lruCache             // completed solutions, bounded
@@ -95,6 +105,7 @@ func NewServiceWith(opts ServiceOptions) *Service {
 		sem:      make(chan struct{}, workers),
 		store:    opts.Store,
 		verify:   opts.Verify,
+		onSolved: opts.OnSolved,
 		cache:    newLRUCache(entries, bytes),
 		inflight: make(map[string]*memoEntry),
 		methods:  make(map[string]*methodMetrics),
@@ -184,17 +195,63 @@ func (s *Service) Solve(ctx context.Context, p Problem) (Solution, error) {
 
 	sol, err := s.solveOne(ctx, p)
 	s.finish(key, e, sol, err, false)
-	if err == nil && s.store != nil {
-		if perr := s.store.Put(key, sol); perr != nil {
-			// Persistence is best-effort: the answer is correct and
-			// cached in memory; only restart warmth is lost.
+	if err == nil {
+		if s.store != nil {
+			if perr := s.store.Put(key, sol); perr != nil {
+				// Persistence is best-effort: the answer is correct and
+				// cached in memory; only restart warmth is lost.
+				s.mu.Lock()
+				s.stats.StorePutErrors++
+				s.mu.Unlock()
+			}
+		}
+		if s.onSolved != nil {
+			s.onSolved(key, sol)
+		}
+	}
+	return sol, err
+}
+
+// Peek returns the cached or stored solution for a problem hash without
+// running a solver or waiting on one — the serving half of cluster
+// replication read-through. It does not count as a cache hit and does
+// not refresh LRU recency: a peer fetching a copy is not local workload
+// evidence.
+func (s *Service) Peek(key string) (Solution, bool) {
+	s.mu.Lock()
+	sol, ok := s.cache.peek(key)
+	s.mu.Unlock()
+	if ok {
+		return sol, true
+	}
+	if s.store != nil {
+		return s.store.Get(key)
+	}
+	return Solution{}, false
+}
+
+// Admit inserts an externally computed solution under its problem hash —
+// the receiving half of cluster replication. The solution enters the
+// in-memory LRU and, when configured, the persistent store, exactly as
+// if this Service's own solver had produced it.
+func (s *Service) Admit(key string, sol Solution) {
+	sol.Cached = false
+	size := approxSolutionSize(key, sol)
+	s.mu.Lock()
+	s.cache.add(key, sol, size)
+	s.mu.Unlock()
+	if s.store != nil {
+		if err := s.store.Put(key, sol); err != nil {
 			s.mu.Lock()
 			s.stats.StorePutErrors++
 			s.mu.Unlock()
 		}
 	}
-	return sol, err
 }
+
+// Queued reports how many solves are blocked waiting for a worker-pool
+// slot right now — the queue depth admission control sheds on.
+func (s *Service) Queued() int { return int(s.queued.Load()) }
 
 // finish publishes a leader's outcome: successful solutions enter the
 // LRU (failures are not cached — a cancellation or deadline is the
@@ -223,10 +280,13 @@ func (s *Service) finish(key string, e *memoEntry, sol Solution, err error, from
 // solveOne runs one solve inside a worker-pool slot and records the
 // per-method metrics.
 func (s *Service) solveOne(ctx context.Context, p Problem) (Solution, error) {
+	s.queued.Add(1)
 	select {
 	case s.sem <- struct{}{}:
+		s.queued.Add(-1)
 		defer func() { <-s.sem }()
 	case <-ctx.Done():
+		s.queued.Add(-1)
 		return Solution{}, ctx.Err()
 	}
 	t0 := time.Now()
@@ -434,6 +494,8 @@ type Metrics struct {
 	// Workers is the pool size; WorkersBusy the occupied slots now.
 	Workers     int `json:"workers"`
 	WorkersBusy int `json:"workers_busy"`
+	// Queued counts solves waiting for a worker slot right now.
+	Queued int `json:"queued"`
 }
 
 // LatencyBucketBounds reports the histogram bucket upper bounds used by
@@ -452,6 +514,7 @@ func (s *Service) Metrics() Metrics {
 	out := Metrics{
 		Workers:     cap(s.sem),
 		WorkersBusy: len(s.sem),
+		Queued:      int(s.queued.Load()),
 	}
 	out.Cache = s.stats
 	out.Cache.Entries = s.cache.len()

@@ -124,6 +124,17 @@ func (c *lruCache) get(key string) (Solution, bool) {
 	return el.Value.(*lruEntry).sol, true
 }
 
+// peek returns the cached solution without refreshing its recency: a
+// replication fetch from a peer replica is not local workload evidence
+// and must not keep an otherwise-cold entry pinned in the LRU.
+func (c *lruCache) peek(key string) (Solution, bool) {
+	el, ok := c.index[key]
+	if !ok {
+		return Solution{}, false
+	}
+	return el.Value.(*lruEntry).sol, true
+}
+
 // add inserts (or refreshes) a solution of the given approximate size
 // and evicts from the cold end until both caps hold again. A solution
 // alone larger than the whole byte cap is rejected up front (counted as
